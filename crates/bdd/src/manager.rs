@@ -1,0 +1,772 @@
+//! The BDD manager: unique table, operation caches, and algorithms.
+
+use std::collections::HashMap;
+
+/// Reference to a BDD node owned by a [`Bdd`] manager.
+///
+/// Refs are only meaningful together with the manager that produced them;
+/// equal refs denote equal functions (canonicity of ROBDDs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+impl Ref {
+    /// The constant-false node.
+    pub const FALSE: Ref = Ref(0);
+    /// The constant-true node.
+    pub const TRUE: Ref = Ref(1);
+
+    /// Raw index (diagnostics only).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const NO_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OpKey {
+    Ite(Ref, Ref, Ref),
+    Exists(Ref, u32),
+    Compose(Ref, u32, Ref),
+}
+
+/// A reduced ordered BDD manager over a fixed number of variables.
+///
+/// Variable `0` is the topmost in the order. The manager is append-only
+/// (no garbage collection): decomposition workloads build, query, and drop
+/// the whole manager.
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    num_vars: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Ref, Ref), Ref>,
+    cache: HashMap<OpKey, Ref>,
+}
+
+impl Bdd {
+    /// Creates a manager over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        let nodes = vec![
+            Node {
+                var: NO_VAR,
+                lo: Ref::FALSE,
+                hi: Ref::FALSE,
+            },
+            Node {
+                var: NO_VAR,
+                lo: Ref::TRUE,
+                hi: Ref::TRUE,
+            },
+        ];
+        Bdd {
+            num_vars,
+            nodes,
+            unique: HashMap::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables in the order.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total number of allocated nodes (including both terminals).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the terminals exist.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// The constant-false function.
+    pub fn zero(&self) -> Ref {
+        Ref::FALSE
+    }
+
+    /// The constant-true function.
+    pub fn one(&self) -> Ref {
+        Ref::TRUE
+    }
+
+    /// The projection function of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn var(&mut self, var: usize) -> Ref {
+        assert!(var < self.num_vars, "variable out of range");
+        self.mk(var as u32, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// The complemented projection of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn nvar(&mut self, var: usize) -> Ref {
+        assert!(var < self.num_vars, "variable out of range");
+        self.mk(var as u32, Ref::TRUE, Ref::FALSE)
+    }
+
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return r;
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        r
+    }
+
+    fn node(&self, r: Ref) -> Node {
+        self.nodes[r.0 as usize]
+    }
+
+    fn var_of(&self, r: Ref) -> u32 {
+        self.nodes[r.0 as usize].var
+    }
+
+    /// If-then-else: `f ? g : h`. All boolean connectives reduce to this.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal cases.
+        if f == Ref::TRUE {
+            return g;
+        }
+        if f == Ref::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Ref::TRUE && h == Ref::FALSE {
+            return f;
+        }
+        let key = OpKey::Ite(f, g, h);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let top = [f, g, h]
+            .iter()
+            .map(|&x| self.var_of(x))
+            .min()
+            .expect("non-empty");
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    fn cofactors_at(&self, f: Ref, var: u32) -> (Ref, Ref) {
+        let n = self.node(f);
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, Ref::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        self.ite(f, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// Cofactor of `f` with `var` fixed to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn cofactor(&mut self, f: Ref, var: usize, value: bool) -> Ref {
+        assert!(var < self.num_vars, "variable out of range");
+        self.restrict_rec(f, var as u32, value)
+    }
+
+    fn restrict_rec(&mut self, f: Ref, var: u32, value: bool) -> Ref {
+        let n = self.node(f);
+        if n.var == NO_VAR || n.var > var {
+            return f;
+        }
+        if n.var == var {
+            return if value { n.hi } else { n.lo };
+        }
+        let key = OpKey::Compose(f, var | 0x8000_0000 | ((value as u32) << 30), Ref::FALSE);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let lo = self.restrict_rec(n.lo, var, value);
+        let hi = self.restrict_rec(n.hi, var, value);
+        let r = self.mk(n.var, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Existential quantification of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn exists(&mut self, f: Ref, var: usize) -> Ref {
+        assert!(var < self.num_vars);
+        let key = OpKey::Exists(f, var as u32);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let c0 = self.restrict_rec(f, var as u32, false);
+        let c1 = self.restrict_rec(f, var as u32, true);
+        let r = self.or(c0, c1);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Universal quantification of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn forall(&mut self, f: Ref, var: usize) -> Ref {
+        let c0 = self.restrict_rec(f, var as u32, false);
+        let c1 = self.restrict_rec(f, var as u32, true);
+        self.and(c0, c1)
+    }
+
+    /// Functional composition: substitutes `g` for variable `var` in `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn compose(&mut self, f: Ref, var: usize, g: Ref) -> Ref {
+        assert!(var < self.num_vars);
+        let key = OpKey::Compose(f, var as u32, g);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let c1 = self.restrict_rec(f, var as u32, true);
+        let c0 = self.restrict_rec(f, var as u32, false);
+        let r = self.ite(g, c1, c0);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Variables `f` depends on, ascending.
+    pub fn support(&self, f: Ref) -> Vec<usize> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) || r == Ref::TRUE || r == Ref::FALSE {
+                continue;
+            }
+            let n = self.node(r);
+            vars.insert(n.var as usize);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of satisfying assignments over all `num_vars` variables.
+    pub fn sat_count(&self, f: Ref) -> u128 {
+        let mut memo: HashMap<Ref, u128> = HashMap::new();
+        self.sat_count_rec(f, &mut memo) << self.level_gap(f)
+    }
+
+    fn level_gap(&self, f: Ref) -> u32 {
+        let top = self.var_of(f);
+        if top == NO_VAR {
+            self.num_vars as u32
+        } else {
+            top
+        }
+    }
+
+    fn sat_count_rec(&self, f: Ref, memo: &mut HashMap<Ref, u128>) -> u128 {
+        if f == Ref::FALSE {
+            return 0;
+        }
+        if f == Ref::TRUE {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.node(f);
+        let lo = self.sat_count_rec(n.lo, memo);
+        let hi = self.sat_count_rec(n.hi, memo);
+        let lo_gap = self.level_gap(n.lo).saturating_sub(n.var + 1);
+        let hi_gap = self.level_gap(n.hi).saturating_sub(n.var + 1);
+        let c = (lo << lo_gap) + (hi << hi_gap);
+        memo.insert(f, c);
+        c
+    }
+
+    /// Evaluates `f` on the minterm whose bit `i` is variable `i`.
+    pub fn eval(&self, f: Ref, minterm: u32) -> bool {
+        let mut r = f;
+        loop {
+            match r {
+                Ref::FALSE => return false,
+                Ref::TRUE => return true,
+                _ => {
+                    let n = self.node(r);
+                    r = if minterm >> n.var & 1 == 1 { n.hi } else { n.lo };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes reachable from `f` (excluding terminals) — the
+    /// classical BDD size metric.
+    pub fn node_count(&self, f: Ref) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(r) = stack.pop() {
+            if r == Ref::TRUE || r == Ref::FALSE || !seen.insert(r) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(r);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Builds a BDD from a predicate over minterms (`2^num_vars` calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 28` (guard against runaway enumeration).
+    pub fn from_fn<F: FnMut(u32) -> bool>(&mut self, mut f: F) -> Ref {
+        assert!(self.num_vars <= 28, "from_fn limited to 28 variables");
+        self.build_rec(0, 0, &mut f)
+    }
+
+    fn build_rec<F: FnMut(u32) -> bool>(&mut self, var: usize, prefix: u32, f: &mut F) -> Ref {
+        if var == self.num_vars {
+            return if f(prefix) { Ref::TRUE } else { Ref::FALSE };
+        }
+        let lo = self.build_rec(var + 1, prefix, f);
+        let hi = self.build_rec(var + 1, prefix | (1 << var), f);
+        self.mk(var as u32, lo, hi)
+    }
+
+    /// Renames variables: variable `i` of `f` becomes `map[i]`.
+    ///
+    /// The map must be injective on the support of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map.len() != num_vars` or a target is out of range.
+    pub fn permute(&mut self, f: Ref, map: &[usize]) -> Ref {
+        assert_eq!(map.len(), self.num_vars, "map must cover every variable");
+        for &t in map {
+            assert!(t < self.num_vars, "map target out of range");
+        }
+        // Rebuild bottom-up through fresh literals; simple recursion with a
+        // memo keyed by node.
+        let mut memo: HashMap<Ref, Ref> = HashMap::new();
+        self.permute_rec(f, map, &mut memo)
+    }
+
+    fn permute_rec(&mut self, f: Ref, map: &[usize], memo: &mut HashMap<Ref, Ref>) -> Ref {
+        if f == Ref::TRUE || f == Ref::FALSE {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.permute_rec(n.lo, map, memo);
+        let hi = self.permute_rec(n.hi, map, memo);
+        let v = self.var(map[n.var as usize]);
+        let r = self.ite(v, hi, lo);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Enumerates the distinct subfunctions (compatible class
+    /// representatives) obtained by cofactoring `f` on every assignment of
+    /// `bound` — the BDD-cut view of Roth–Karp decomposition used by the
+    /// λ-set selection of reference `[2]`.
+    ///
+    /// Returns one entry per bound-set assignment (index = assignment in
+    /// little-endian order of `bound`), containing the canonical `Ref` of
+    /// that cofactor. The number of *distinct* refs is the compatible class
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound.len() > 20` or a variable repeats/exceeds range.
+    pub fn cut_subfunctions(&mut self, f: Ref, bound: &[usize]) -> Vec<Ref> {
+        assert!(bound.len() <= 20, "bound set too large to enumerate");
+        let mut seen = std::collections::HashSet::new();
+        for &v in bound {
+            assert!(v < self.num_vars, "bound variable out of range");
+            assert!(seen.insert(v), "bound variable repeated");
+        }
+        let mut out = Vec::with_capacity(1 << bound.len());
+        for a in 0u32..(1u32 << bound.len()) {
+            let mut g = f;
+            for (i, &v) in bound.iter().enumerate() {
+                g = self.restrict_rec(g, v as u32, a >> i & 1 == 1);
+            }
+            out.push(g);
+        }
+        out
+    }
+
+    /// Convenience: the number of distinct cofactors of `f` under `bound`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Bdd::cut_subfunctions`].
+    pub fn compatible_class_count(&mut self, f: Ref, bound: &[usize]) -> usize {
+        let subs = self.cut_subfunctions(f, bound);
+        let set: std::collections::HashSet<Ref> = subs.into_iter().collect();
+        set.len()
+    }
+
+    /// Decomposes a non-terminal node into `(var, lo, hi)` — the raw
+    /// Shannon triple, used by structural copies between managers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn node_parts(&self, f: Ref) -> (usize, Ref, Ref) {
+        assert!(
+            f != Ref::TRUE && f != Ref::FALSE,
+            "terminals have no Shannon triple"
+        );
+        let n = self.node(f);
+        (n.var as usize, n.lo, n.hi)
+    }
+
+    /// Conjoins `f` with a cube given as `(var, value)` literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is out of range.
+    pub fn and_cube(&mut self, f: Ref, literals: &[(usize, bool)]) -> Ref {
+        let mut acc = f;
+        for &(v, val) in literals {
+            let lit = if val { self.var(v) } else { self.nvar(v) };
+            acc = self.and(acc, lit);
+        }
+        acc
+    }
+
+    /// Restricts `f` by a cube: every listed variable is fixed to its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is out of range.
+    pub fn restrict_cube(&mut self, f: Ref, literals: &[(usize, bool)]) -> Ref {
+        let mut acc = f;
+        for &(v, val) in literals {
+            assert!(v < self.num_vars, "variable out of range");
+            acc = self.restrict_rec(acc, v as u32, val);
+        }
+        acc
+    }
+
+    /// Enumerates the minterms of `f` (ascending). Intended for small
+    /// functions; the result has `sat_count` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 24` (guard against huge enumerations).
+    pub fn minterms(&self, f: Ref) -> Vec<u32> {
+        assert!(self.num_vars <= 24, "minterm enumeration limited to 24 vars");
+        (0..(1u32 << self.num_vars)).filter(|&m| self.eval(f, m)).collect()
+    }
+
+    /// Emits a Graphviz `dot` description of the BDD rooted at `f`
+    /// (terminals as boxes, else-edges dashed) — handy when debugging
+    /// decomposition cuts.
+    pub fn to_dot(&self, f: Ref, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{name}\" {{");
+        let _ = writeln!(s, "  T [shape=box,label=\"1\"]; F [shape=box,label=\"0\"];");
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r == Ref::TRUE || r == Ref::FALSE || !seen.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            let _ = writeln!(s, "  n{} [label=\"x{}\"];", r.0, n.var);
+            let fmt_ref = |x: Ref| match x {
+                Ref::TRUE => "T".to_string(),
+                Ref::FALSE => "F".to_string(),
+                other => format!("n{}", other.0),
+            };
+            let _ = writeln!(s, "  n{} -> {} [style=dashed];", r.0, fmt_ref(n.lo));
+            let _ = writeln!(s, "  n{} -> {};", r.0, fmt_ref(n.hi));
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals() {
+        let bdd = Bdd::new(3);
+        assert_eq!(bdd.zero(), Ref::FALSE);
+        assert_eq!(bdd.one(), Ref::TRUE);
+        assert_eq!(bdd.sat_count(Ref::TRUE), 8);
+        assert_eq!(bdd.sat_count(Ref::FALSE), 0);
+    }
+
+    #[test]
+    fn canonical_hash_consing() {
+        let mut bdd = Bdd::new(2);
+        let a1 = bdd.var(0);
+        let a2 = bdd.var(0);
+        assert_eq!(a1, a2);
+        let b = bdd.var(1);
+        let ab1 = bdd.and(a1, b);
+        let ab2 = bdd.and(b, a1);
+        assert_eq!(ab1, ab2);
+    }
+
+    #[test]
+    fn connectives_match_semantics() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let f = bdd.or(ab, c);
+        let x = bdd.xor(a, b);
+        for m in 0u32..8 {
+            let (av, bv, cv) = (m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1);
+            assert_eq!(bdd.eval(f, m), (av && bv) || cv);
+            assert_eq!(bdd.eval(x, m), av != bv);
+        }
+    }
+
+    #[test]
+    fn not_is_involution() {
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(0);
+        let b = bdd.var(3);
+        let f = bdd.xor(a, b);
+        let nf = bdd.not(f);
+        let nnf = bdd.not(nf);
+        assert_eq!(f, nnf);
+        assert_ne!(f, nf);
+    }
+
+    #[test]
+    fn cofactor_and_quantification() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let c1 = bdd.cofactor(f, 0, true);
+        assert_eq!(c1, b);
+        let c0 = bdd.cofactor(f, 0, false);
+        assert_eq!(c0, Ref::FALSE);
+        let e = bdd.exists(f, 0);
+        assert_eq!(e, b);
+        let u = bdd.forall(f, 0);
+        assert_eq!(u, Ref::FALSE);
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let f = bdd.and(a, b);
+        let g = bdd.compose(f, 0, c);
+        let expect = bdd.and(c, b);
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn support_tracks_dependencies() {
+        let mut bdd = Bdd::new(5);
+        let a = bdd.var(1);
+        let b = bdd.var(4);
+        let f = bdd.or(a, b);
+        assert_eq!(bdd.support(f), vec![1, 4]);
+        assert!(bdd.support(Ref::TRUE).is_empty());
+    }
+
+    #[test]
+    fn sat_count_with_gaps() {
+        let mut bdd = Bdd::new(4);
+        // f = x1 (vars 0,2,3 free): 8 satisfying assignments.
+        let f = bdd.var(1);
+        assert_eq!(bdd.sat_count(f), 8);
+        let g = bdd.var(3);
+        let fg = bdd.and(f, g);
+        assert_eq!(bdd.sat_count(fg), 4);
+    }
+
+    #[test]
+    fn from_fn_matches_predicate() {
+        let mut bdd = Bdd::new(4);
+        let f = bdd.from_fn(|m| m.count_ones() % 2 == 1);
+        for m in 0u32..16 {
+            assert_eq!(bdd.eval(f, m), m.count_ones() % 2 == 1);
+        }
+        // Parity over n vars has n internal nodes per level... just check
+        // canonicity of the well-known size: 2 nodes per level except top.
+        assert_eq!(bdd.node_count(f), 7);
+    }
+
+    #[test]
+    fn permute_renames_variables() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let g = bdd.permute(f, &[2, 1, 0]);
+        let b2 = bdd.var(1);
+        let c = bdd.var(2);
+        let expect = bdd.and(c, b2);
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn cut_subfunctions_counts_classes() {
+        let mut bdd = Bdd::new(4);
+        // f = (x0 & x1) | (x2 & x3): bound {0,1} gives 2 classes
+        // (cofactors: x2&x3, TRUE).
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let d = bdd.var(3);
+        let ab = bdd.and(a, b);
+        let cd = bdd.and(c, d);
+        let f = bdd.or(ab, cd);
+        assert_eq!(bdd.compatible_class_count(f, &[0, 1]), 2);
+        // Bound {0,2}: cofactors x1|x3... let's just check bounds.
+        let n = bdd.compatible_class_count(f, &[0, 2]);
+        assert!(n >= 2 && n <= 4);
+    }
+
+    #[test]
+    fn cut_subfunctions_full_assignment_order() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.xor(a, b);
+        let subs = bdd.cut_subfunctions(f, &[0, 1]);
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0], Ref::FALSE); // a=0,b=0
+        assert_eq!(subs[1], Ref::TRUE); // a=1,b=0
+        assert_eq!(subs[2], Ref::TRUE);
+        assert_eq!(subs[3], Ref::FALSE);
+    }
+
+    #[test]
+    fn parity_has_single_class_pairs() {
+        let mut bdd = Bdd::new(6);
+        let f = bdd.from_fn(|m| m.count_ones() % 2 == 1);
+        // Any bound set of a parity function yields exactly 2 classes.
+        assert_eq!(bdd.compatible_class_count(f, &[0, 1, 2]), 2);
+        assert_eq!(bdd.compatible_class_count(f, &[1, 3, 5]), 2);
+    }
+
+    #[test]
+    fn random_equivalence_with_semantics() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        for _ in 0..20 {
+            let mut bdd = Bdd::new(6);
+            let bits: Vec<bool> = (0..64).map(|_| rng.gen()).collect();
+            let f = bdd.from_fn(|m| bits[m as usize]);
+            for (m, &b) in bits.iter().enumerate() {
+                assert_eq!(bdd.eval(f, m as u32), b);
+            }
+            assert_eq!(
+                bdd.sat_count(f),
+                bits.iter().filter(|&&b| b).count() as u128
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "variable out of range")]
+    fn var_out_of_range_panics() {
+        let mut bdd = Bdd::new(2);
+        let _ = bdd.var(2);
+    }
+
+    #[test]
+    fn cube_operations() {
+        let mut bdd = Bdd::new(4);
+        let f = bdd.from_fn(|m| m.count_ones() >= 2);
+        let g = bdd.and_cube(f, &[(0, true), (1, false)]);
+        for m in 0u32..16 {
+            let inside = m & 1 == 1 && m >> 1 & 1 == 0;
+            assert_eq!(bdd.eval(g, m), inside && m.count_ones() >= 2);
+        }
+        let h = bdd.restrict_cube(f, &[(0, true), (1, true)]);
+        // With two ones already fixed, h is the tautology.
+        assert_eq!(h, Ref::TRUE);
+    }
+
+    #[test]
+    fn minterm_enumeration() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let c = bdd.var(2);
+        let f = bdd.and(a, c);
+        assert_eq!(bdd.minterms(f), vec![0b101, 0b111]);
+    }
+
+    #[test]
+    fn dot_export_mentions_every_node() {
+        let mut bdd = Bdd::new(3);
+        let f = bdd.from_fn(|m| m.count_ones() % 2 == 1);
+        let dot = bdd.to_dot(f, "parity3");
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("label=\"x").count(), bdd.node_count(f));
+        assert!(dot.contains("style=dashed"));
+    }
+}

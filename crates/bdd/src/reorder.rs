@@ -1,0 +1,219 @@
+//! Variable-order optimization.
+//!
+//! BDD sizes are notoriously order-sensitive; decomposition workloads care
+//! because the cut enumeration of λ-set selection touches every node below
+//! the cut. This module searches for small orders by rebuilding through
+//! [`Bdd::permute`]: greedy *sifting* (each variable tries every position,
+//! keeps the best) and exhaustive *window* search over adjacent triples.
+//! Both return the achieved order as a map `new_position_of[v]`.
+
+use crate::manager::{Bdd, Ref};
+
+/// Result of an order search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reordered {
+    /// The function rebuilt under the new order (same manager).
+    pub root: Ref,
+    /// `position_of[v]` — the level the original variable `v` now sits at.
+    pub position_of: Vec<usize>,
+    /// Node count under the new order.
+    pub size: usize,
+}
+
+/// Node count of `f` when original variable `v` is placed at
+/// `position_of[v]`.
+///
+/// # Panics
+///
+/// Panics if `position_of` is not a permutation of `0..num_vars`.
+pub fn order_cost(bdd: &mut Bdd, f: Ref, position_of: &[usize]) -> usize {
+    let g = bdd.permute(f, position_of);
+    bdd.node_count(g)
+}
+
+/// Greedy sifting: every variable in turn tries each position (others keep
+/// their relative order); the best placement is kept. One full pass.
+///
+/// # Panics
+///
+/// Panics if the manager has no variables.
+pub fn sift(bdd: &mut Bdd, f: Ref) -> Reordered {
+    let n = bdd.num_vars();
+    assert!(n > 0, "no variables to sift");
+    let mut position_of: Vec<usize> = (0..n).collect();
+    let mut best_size = bdd.node_count(f);
+    for v in 0..n {
+        let mut best_pos = position_of[v];
+        for target in 0..n {
+            if target == position_of[v] {
+                continue;
+            }
+            let cand = move_var(&position_of, v, target);
+            let size = order_cost(bdd, f, &cand);
+            if size < best_size {
+                best_size = size;
+                best_pos = target;
+            }
+        }
+        position_of = move_var(&position_of, v, best_pos);
+    }
+    let root = bdd.permute(f, &position_of);
+    Reordered {
+        root,
+        position_of,
+        size: bdd.node_count(root),
+    }
+}
+
+/// Exhaustive window search: every window of `w` adjacent levels tries all
+/// `w!` permutations, keeping the best. `w` is clamped to `2..=4`.
+pub fn window_search(bdd: &mut Bdd, f: Ref, w: usize) -> Reordered {
+    let n = bdd.num_vars();
+    let w = w.clamp(2, 4.min(n.max(2)));
+    let mut position_of: Vec<usize> = (0..n).collect();
+    let mut best_size = bdd.node_count(f);
+    if n >= 2 {
+        for start in 0..=(n - w) {
+            // Variables currently in the window's levels.
+            let mut best_local = position_of.clone();
+            let in_window: Vec<usize> = (0..n)
+                .filter(|&v| (start..start + w).contains(&position_of[v]))
+                .collect();
+            for perm in permutations(&in_window) {
+                let mut cand = position_of.clone();
+                // Assign window levels start.. to the permuted variables.
+                let mut levels: Vec<usize> =
+                    in_window.iter().map(|&v| position_of[v]).collect();
+                levels.sort_unstable();
+                for (lvl, &v) in levels.iter().zip(&perm) {
+                    cand[v] = *lvl;
+                }
+                let size = order_cost(bdd, f, &cand);
+                if size < best_size {
+                    best_size = size;
+                    best_local = cand;
+                }
+            }
+            position_of = best_local;
+        }
+    }
+    let root = bdd.permute(f, &position_of);
+    Reordered {
+        root,
+        position_of,
+        size: bdd.node_count(root),
+    }
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let rest: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &y)| y)
+            .collect();
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic order-sensitive function: (x0&x1) | (x2&x3) | (x4&x5)
+    /// under an interleaved order blows up; paired order is linear.
+    fn pairs_function(bdd: &mut Bdd, perm: &[usize]) -> Ref {
+        let mut f = bdd.zero();
+        for i in (0..6).step_by(2) {
+            let a = bdd.var(perm[i]);
+            let b = bdd.var(perm[i + 1]);
+            let ab = bdd.and(a, b);
+            f = bdd.or(f, ab);
+        }
+        f
+    }
+
+    #[test]
+    fn sift_recovers_good_order_for_pairs() {
+        let mut bdd = Bdd::new(6);
+        // Adversarial: pair (0,3), (1,4), (2,5) — the interleaved trap.
+        let f = pairs_function(&mut bdd, &[0, 3, 1, 4, 2, 5]);
+        let before = bdd.node_count(f);
+        let r = sift(&mut bdd, f);
+        assert!(r.size < before, "sifting must shrink {before} -> {}", r.size);
+        assert_eq!(r.size, 6, "paired order is linear: 6 nodes");
+        // Semantics preserved up to the reported renaming.
+        for m in 0u32..64 {
+            let mut pm = 0u32;
+            for v in 0..6 {
+                if m >> v & 1 == 1 {
+                    pm |= 1 << r.position_of[v];
+                }
+            }
+            assert_eq!(bdd.eval(f, m), bdd.eval(r.root, pm));
+        }
+    }
+
+    #[test]
+    fn window_search_improves_or_holds() {
+        let mut bdd = Bdd::new(6);
+        let f = pairs_function(&mut bdd, &[0, 3, 1, 4, 2, 5]);
+        let before = bdd.node_count(f);
+        let r = window_search(&mut bdd, f, 3);
+        assert!(r.size <= before);
+    }
+
+    #[test]
+    fn optimal_order_is_stable() {
+        let mut bdd = Bdd::new(6);
+        let f = pairs_function(&mut bdd, &[0, 1, 2, 3, 4, 5]);
+        let before = bdd.node_count(f);
+        assert_eq!(before, 6);
+        let r = sift(&mut bdd, f);
+        assert_eq!(r.size, 6, "already optimal: no degradation allowed");
+    }
+
+    #[test]
+    fn order_cost_identity() {
+        let mut bdd = Bdd::new(4);
+        let f = bdd.from_fn(|m| m.count_ones() % 2 == 1);
+        let id: Vec<usize> = (0..4).collect();
+        assert_eq!(order_cost(&mut bdd, f, &id), bdd.node_count(f));
+    }
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        assert_eq!(permutations(&[]).len(), 1);
+    }
+}
+
+/// Moves variable `v` to level `target`, shifting the others while keeping
+/// their relative order.
+fn move_var(position_of: &[usize], v: usize, target: usize) -> Vec<usize> {
+    let cur = position_of[v];
+    position_of
+        .iter()
+        .enumerate()
+        .map(|(u, &p)| {
+            if u == v {
+                target
+            } else if cur < target && p > cur && p <= target {
+                p - 1
+            } else if target < cur && p >= target && p < cur {
+                p + 1
+            } else {
+                p
+            }
+        })
+        .collect()
+}

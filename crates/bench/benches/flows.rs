@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the end-to-end flows behind Tables 1 and 2
+//! (experiments T1/T2, timed on representative circuits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyde_map::flow::{FlowKind, MappingFlow};
+
+fn bench_table1_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_xc3000");
+    group.sample_size(10);
+    let circuits = [hyde_circuits::rd73(), hyde_circuits::sym9(), hyde_circuits::z4ml()];
+    for circuit in &circuits {
+        for (label, kind) in [
+            ("imodec", FlowKind::imodec_like()),
+            ("fgsyn", FlowKind::fgsyn_like()),
+            ("hyde", FlowKind::hyde(0xDA98)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, &circuit.name),
+                circuit,
+                |b, c| {
+                    let flow = MappingFlow::new(5, kind.clone());
+                    b.iter(|| {
+                        flow.map_outputs(&c.name, &c.outputs)
+                            .expect("suite maps cleanly")
+                            .clbs
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_table2_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_luts");
+    group.sample_size(10);
+    let circuit = hyde_circuits::rd84();
+    for (label, kind) in [
+        (
+            "no_share",
+            FlowKind::PerOutput {
+                encoder: hyde_core::encoding::EncoderKind::Lexicographic,
+            },
+        ),
+        ("shared", FlowKind::imodec_like()),
+        ("hyde", FlowKind::hyde(0xDA98)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, &circuit.name), &circuit, |b, c| {
+            let flow = MappingFlow::new(5, kind.clone());
+            b.iter(|| {
+                flow.map_outputs(&c.name, &c.outputs)
+                    .expect("suite maps cleanly")
+                    .luts
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_flows, bench_table2_flows);
+criterion_main!(benches);

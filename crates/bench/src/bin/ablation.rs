@@ -1,0 +1,132 @@
+//! Ablation studies for the design choices called out in `DESIGN.md`.
+//!
+//! * `encoding` — class-count objective (HYDE) vs cube-count (Murgai-like)
+//!   vs random vs lexicographic, measured as total LUTs on the small suite.
+//! * `dc` — don't-care assignment on/off: compatible class counts on
+//!   incompletely specified charts.
+//! * `hyper` — hyper-function flow vs per-output vs column encoding.
+//!
+//! Usage: `cargo run --release -p hyde-bench --bin ablation -- [encoding|dc|hyper]`
+
+use hyde_core::chart::{class_count, IsfChart};
+use hyde_core::dc_assign::assign_dont_cares;
+use hyde_core::encoding::EncoderKind;
+use hyde_map::flow::{FlowKind, MappingFlow};
+use hyde_logic::{Isf, TruthTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |s: &str| args.is_empty() || args.iter().any(|a| a == s);
+    if want("encoding") {
+        ablate_encoding();
+    }
+    if want("dc") {
+        ablate_dc();
+    }
+    if want("hyper") {
+        ablate_hyper();
+    }
+}
+
+fn ablate_encoding() {
+    println!("== Ablation A1: encoding objective (total 5-LUTs, small suite) ==");
+    let circuits = hyde_circuits::suite_small();
+    let encoders: Vec<(&str, EncoderKind)> = vec![
+        ("lexicographic", EncoderKind::Lexicographic),
+        ("random", EncoderKind::Random { seed: 77 }),
+        (
+            "cube-min [3]",
+            EncoderKind::CubeMin {
+                seed: 77,
+                iters: 30,
+            },
+        ),
+        ("hyde (class-count)", EncoderKind::Hyde { seed: 77 }),
+    ];
+    println!("{:<22}{:>10}", "encoder", "luts");
+    for (name, enc) in encoders {
+        let flow = MappingFlow::new(
+            5,
+            FlowKind::SharedAlpha {
+                encoder: enc.clone(),
+            },
+        );
+        let total: usize = circuits
+            .iter()
+            .map(|c| {
+                flow.map_outputs(&c.name, &c.outputs)
+                    .expect("suite maps cleanly")
+                    .luts
+            })
+            .sum();
+        println!("{name:<22}{total:>10}");
+    }
+    println!();
+}
+
+fn ablate_dc() {
+    println!("== Ablation A2: don't-care assignment (Section 3.1) ==");
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut with_dc = 0usize;
+    let mut without_dc = 0usize;
+    let trials = 40;
+    for _ in 0..trials {
+        let on = TruthTable::random(8, &mut rng);
+        let dc_mask = TruthTable::from_fn(8, |_| rng.gen_bool(0.3));
+        let dc = &dc_mask & &!&on;
+        let f = Isf::new(on.clone(), dc).expect("arities agree");
+        let bound = [0usize, 1, 2, 3];
+        // Without assignment: treat dc as 0.
+        without_dc += class_count(&on, &bound).expect("valid bound");
+        // With clique-partitioning assignment.
+        let a = assign_dont_cares(&f, &bound).expect("valid bound");
+        with_dc += a.classes.len();
+        // The chart view agrees.
+        let chart = IsfChart::new(&f, &bound).expect("valid bound");
+        assert_eq!(chart.columns().len(), 16);
+    }
+    println!("{trials} random 8-var ISFs (30% dc), bound size 4:");
+    println!("  total classes without dc assignment: {without_dc}");
+    println!("  total classes with clique partitioning: {with_dc}");
+    println!(
+        "  reduction: {:.1}%\n",
+        100.0 * (without_dc - with_dc) as f64 / without_dc as f64
+    );
+}
+
+fn ablate_hyper() {
+    println!("== Ablation A3: multi-output strategy (total 5-LUTs, small suite) ==");
+    let circuits = hyde_circuits::suite_small();
+    let flows: Vec<(&str, FlowKind)> = vec![
+        (
+            "per-output",
+            FlowKind::PerOutput {
+                encoder: EncoderKind::Hyde { seed: 5 },
+            },
+        ),
+        (
+            "shared-alpha",
+            FlowKind::SharedAlpha {
+                encoder: EncoderKind::Hyde { seed: 5 },
+            },
+        ),
+        ("column-enc [4]", FlowKind::fgsyn_like()),
+        ("hyper (HYDE)", FlowKind::hyde(5)),
+    ];
+    println!("{:<18}{:>10}", "flow", "luts");
+    for (name, kind) in flows {
+        let flow = MappingFlow::new(5, kind);
+        let total: usize = circuits
+            .iter()
+            .map(|c| {
+                flow.map_outputs(&c.name, &c.outputs)
+                    .expect("suite maps cleanly")
+                    .luts
+            })
+            .sum();
+        println!("{name:<18}{total:>10}");
+    }
+    println!();
+}

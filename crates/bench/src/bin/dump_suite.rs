@@ -1,0 +1,32 @@
+//! Dumps the benchmark suite as PLA files for use with external tools (or
+//! to inspect exactly what this reproduction maps).
+//!
+//! Usage: `cargo run --release -p hyde-bench --bin dump_suite -- [dir]`
+//! (default directory: `./suite_pla`).
+
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "suite_pla".to_string())
+        .into();
+    std::fs::create_dir_all(&dir)?;
+    let mut total_cubes = 0usize;
+    for circuit in hyde_circuits::suite() {
+        let pla = circuit.to_pla();
+        let path = dir.join(format!("{}.pla", circuit.name));
+        std::fs::write(&path, pla.to_text())?;
+        total_cubes += pla.rows.len();
+        println!(
+            "{:<10} {} in, {} out, {} cubes -> {}",
+            circuit.name,
+            circuit.inputs,
+            circuit.output_count(),
+            pla.rows.len(),
+            path.display()
+        );
+    }
+    println!("{} circuits, {total_cubes} cubes total", hyde_circuits::suite().len());
+    Ok(())
+}

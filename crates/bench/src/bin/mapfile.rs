@@ -1,0 +1,120 @@
+//! Map a PLA or BLIF file to a k-LUT network and write the result as BLIF.
+//!
+//! This is the downstream-user entry point: the same flows the paper's
+//! evaluation uses, driven from files instead of the built-in suite.
+//!
+//! Usage:
+//!   cargo run --release -p hyde-bench --bin mapfile -- <input.{pla,blif}> \
+//!       [--flow hyde|imodec|fgsyn|per-output] [--k 5] [--out mapped.blif] \
+//!       [--seed N]
+//!
+//! Without `--out` the mapped BLIF goes to stdout; statistics go to stderr.
+
+use hyde_core::encoding::EncoderKind;
+use hyde_logic::{blif, pla::Pla, TruthTable};
+use hyde_map::flow::{FlowKind, MappingFlow};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let mut input: Option<String> = None;
+    let mut flow_name = "hyde".to_string();
+    let mut k = 5usize;
+    let mut out: Option<String> = None;
+    let mut seed = 0xDA98u64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--flow" => flow_name = args.next().ok_or("--flow needs a value")?,
+            "--k" => {
+                k = args
+                    .next()
+                    .ok_or("--k needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --k: {e}"))?
+            }
+            "--out" => out = Some(args.next().ok_or("--out needs a value")?),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let input = input.ok_or("usage: mapfile <input.{pla,blif}> [--flow ...] [--k N]")?;
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("read {input}: {e}"))?;
+
+    // Load outputs as truth tables over the shared input space.
+    let (name, outputs): (String, Vec<TruthTable>) = if input.ends_with(".blif") {
+        let net = blif::parse(&text).map_err(|e| e.to_string())?;
+        if net.inputs().len() > 20 {
+            return Err(format!(
+                "{} primary inputs exceed the exact-mapping limit of 20",
+                net.inputs().len()
+            ));
+        }
+        let tables = net.global_tables();
+        let outs = net
+            .outputs()
+            .iter()
+            .map(|(_, id)| tables[id].clone())
+            .collect();
+        (net.name().to_owned(), outs)
+    } else {
+        let pla = Pla::parse(&text).map_err(|e| e.to_string())?;
+        if pla.inputs > 20 {
+            return Err(format!(
+                "{} inputs exceed the exact-mapping limit of 20",
+                pla.inputs
+            ));
+        }
+        (
+            input.trim_end_matches(".pla").to_owned(),
+            pla.output_tables(),
+        )
+    };
+
+    let kind = match flow_name.as_str() {
+        "hyde" => FlowKind::hyde(seed),
+        "imodec" => FlowKind::imodec_like(),
+        "fgsyn" => FlowKind::fgsyn_like(),
+        "per-output" => FlowKind::PerOutput {
+            encoder: EncoderKind::Lexicographic,
+        },
+        other => return Err(format!("unknown flow {other:?} (hyde|imodec|fgsyn|per-output)")),
+    };
+    let flow = MappingFlow::new(k, kind);
+    let report = flow
+        .map_outputs(&name, &outputs)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "{}: {} ({} LUTs{}, depth {}, {:.2}s)",
+        name,
+        report.network.stats(),
+        report.luts,
+        report
+            .clbs
+            .map_or(String::new(), |c| format!(", {c} XC3000 CLBs")),
+        report.depth,
+        report.elapsed.as_secs_f64()
+    );
+    let text = blif::write(&report.network);
+    match out {
+        Some(path) => std::fs::write(&path, text).map_err(|e| format!("write {path}: {e}"))?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}

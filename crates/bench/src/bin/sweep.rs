@@ -1,0 +1,42 @@
+//! LUT-size sensitivity sweep: map the small suite for k ∈ {4, 5, 6} under
+//! every flow and print the LUT-count series. The paper evaluates k = 4/5
+//! devices (XC3000 CLBs and 5-LUTs); this sweep shows where the flows'
+//! orderings hold across the LUT-size axis.
+//!
+//! Usage: `cargo run --release -p hyde-bench --bin sweep`
+
+use hyde_core::encoding::EncoderKind;
+use hyde_map::flow::{FlowKind, MappingFlow};
+
+fn main() {
+    let circuits = hyde_circuits::suite_small();
+    let flows: Vec<(&str, fn() -> FlowKind)> = vec![
+        ("per-output", || FlowKind::PerOutput {
+            encoder: EncoderKind::Lexicographic,
+        }),
+        ("shared", FlowKind::imodec_like),
+        ("fgsyn", FlowKind::fgsyn_like),
+        ("hyde", || FlowKind::hyde(0xDA98)),
+    ];
+    println!(
+        "{:<12}{:>10}{:>10}{:>10}",
+        "flow", "k=4", "k=5", "k=6"
+    );
+    for (label, mk) in &flows {
+        let mut row = format!("{label:<12}");
+        for k in [4usize, 5, 6] {
+            let flow = MappingFlow::new(k, mk());
+            let total: usize = circuits
+                .iter()
+                .map(|c| {
+                    flow.map_outputs(&c.name, &c.outputs)
+                        .expect("suite maps cleanly")
+                        .luts
+                })
+                .sum();
+            row.push_str(&format!("{total:>10}"));
+        }
+        println!("{row}");
+    }
+    println!("\n(total 5-LUT-equivalent node counts over the small suite; lower is better)");
+}

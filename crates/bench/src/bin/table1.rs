@@ -1,0 +1,44 @@
+//! Regenerates Table 1 of the HYDE paper: XC3000 CLB counts for the
+//! IMODEC-like, FGSyn-like and HYDE flows over the benchmark suite.
+//!
+//! Usage: `cargo run --release -p hyde-bench --bin table1 [--small]`
+
+use hyde_bench::{format_table, run_suite, shape_summary, table1_flows, PAPER_TABLE1};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let circuits = if small {
+        hyde_circuits::suite_small()
+    } else {
+        hyde_circuits::suite()
+    };
+    let flows = table1_flows(5);
+    eprintln!(
+        "mapping {} circuits with {} flows (XC3000, k=5)...",
+        circuits.len(),
+        flows.len()
+    );
+    let rows = run_suite(&circuits, &flows).expect("suite must map cleanly");
+    let table = format_table(
+        "Table 1: XC3000 CLB counts (measured on this reproduction's suite)",
+        &flows,
+        &rows,
+        |r| r.clbs.expect("k=5 flows always pack CLBs"),
+    );
+    println!("{table}");
+    println!("{}", shape_summary(&rows, |r| r.clbs.unwrap_or(usize::MAX)));
+    println!();
+    println!("== Paper's Table 1 (original MCNC circuits, for shape reference) ==");
+    println!(
+        "{:<10}{:>14}{:>14}{:>14}",
+        "circuit", "IMODEC[5]", "FGSyn[4]", "HYDE"
+    );
+    for &(name, imodec, fgsyn, hyde) in PAPER_TABLE1 {
+        let fmt = |v: Option<u32>| v.map_or("-".to_string(), |x| x.to_string());
+        println!(
+            "{name:<10}{:>14}{:>14}{hyde:>14}",
+            fmt(imodec),
+            fmt(fgsyn)
+        );
+    }
+}

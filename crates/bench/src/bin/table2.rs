@@ -1,0 +1,45 @@
+//! Regenerates Table 2 of the HYDE paper: 5-input 1-output LUT counts for
+//! the no-sharing baseline, the structural-sharing baseline, and HYDE.
+//!
+//! Usage: `cargo run --release -p hyde-bench --bin table2 [--small]`
+
+use hyde_bench::{format_table, run_suite, shape_summary, table2_flows, PAPER_TABLE2};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let circuits = if small {
+        hyde_circuits::suite_small()
+    } else {
+        hyde_circuits::suite()
+    };
+    let flows = table2_flows(5);
+    eprintln!(
+        "mapping {} circuits with {} flows (5-LUTs)...",
+        circuits.len(),
+        flows.len()
+    );
+    let rows = run_suite(&circuits, &flows).expect("suite must map cleanly");
+    let table = format_table(
+        "Table 2: 5-input LUT counts (measured on this reproduction's suite)",
+        &flows,
+        &rows,
+        |r| r.luts,
+    );
+    println!("{table}");
+    println!("{}", shape_summary(&rows, |r| r.luts));
+    println!();
+    println!("== Paper's Table 2 (original MCNC circuits, for shape reference) ==");
+    println!(
+        "{:<10}{:>14}{:>14}{:>14}{:>10}",
+        "circuit", "[8] no-rs", "[8] resub", "[8] PO", "HYDE"
+    );
+    for &(name, a, b, c, hyde) in PAPER_TABLE2 {
+        let fmt = |v: Option<u32>| v.map_or("-".to_string(), |x| x.to_string());
+        println!(
+            "{name:<10}{:>14}{:>14}{:>14}{hyde:>10}",
+            fmt(a),
+            fmt(b),
+            fmt(c)
+        );
+    }
+}

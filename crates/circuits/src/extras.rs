@@ -1,0 +1,162 @@
+//! Additional exactly-specified circuits beyond the paper's tables.
+//!
+//! Useful for examples, ablations and stress tests: classic decomposition
+//! benchmarks whose functional specifications are unambiguous.
+
+use crate::suite::{Circuit, Origin};
+use hyde_logic::TruthTable;
+
+/// 5-input exclusive-or (`xor5`) — exact.
+pub fn xor5() -> Circuit {
+    let f = TruthTable::from_fn(5, |m| m.count_ones() % 2 == 1);
+    Circuit::new("xor5", 5, vec![f], Origin::ExactSpec)
+}
+
+/// `n`-input majority — exact.
+///
+/// # Panics
+///
+/// Panics if `n` is even or zero, or exceeds [`TruthTable::MAX_VARS`].
+pub fn majority(n: usize) -> Circuit {
+    assert!(n % 2 == 1 && n > 0 && n <= TruthTable::MAX_VARS);
+    let f = TruthTable::from_fn(n, move |m| m.count_ones() as usize > n / 2);
+    Circuit::new(&format!("maj{n}"), n, vec![f], Origin::ExactSpec)
+}
+
+/// 8-to-1 multiplexer (8 data + 3 select = 11 inputs) — exact.
+pub fn mux8() -> Circuit {
+    let f = TruthTable::from_fn(11, |m| {
+        let sel = (m >> 8) & 0b111;
+        m >> sel & 1 == 1
+    });
+    Circuit::new("mux8", 11, vec![f], Origin::ExactSpec)
+}
+
+/// 6-bit magnitude comparator (12 inputs, 3 outputs: lt, eq, gt) — exact.
+pub fn comp6() -> Circuit {
+    let outs = vec![
+        TruthTable::from_fn(12, |m| (m & 0x3F) < (m >> 6)),
+        TruthTable::from_fn(12, |m| (m & 0x3F) == (m >> 6)),
+        TruthTable::from_fn(12, |m| (m & 0x3F) > (m >> 6)),
+    ];
+    Circuit::new("comp6", 12, outs, Origin::ExactSpec)
+}
+
+/// Gray-code encoder: 8-bit binary to Gray (8 inputs, 8 outputs) — exact.
+pub fn bin2gray8() -> Circuit {
+    let outs = (0..8)
+        .map(|b| TruthTable::from_fn(8, move |m| (m ^ (m >> 1)) >> b & 1 == 1))
+        .collect();
+    Circuit::new("bin2gray8", 8, outs, Origin::ExactSpec)
+}
+
+/// A `t481`-flavoured totally decomposable function: 16 inputs combined as
+/// a tree of 2-input functions, mirroring the classic benchmark's perfect
+/// decomposability (substitute — the true `t481` table is not public).
+pub fn t481_like() -> Circuit {
+    let f = TruthTable::from_fn(16, |m| {
+        // Level 1: XNOR pairs; level 2: OR pairs; level 3: AND; level 4: XOR.
+        let mut level: Vec<bool> = (0..8)
+            .map(|i| (m >> (2 * i) & 1) == (m >> (2 * i + 1) & 1))
+            .collect();
+        level = level.chunks(2).map(|c| c[0] || c[1]).collect();
+        level = level.chunks(2).map(|c| c[0] && c[1]).collect();
+        level[0] ^ level[1]
+    });
+    Circuit::new("t481", 16, vec![f], Origin::Substitute)
+}
+
+/// Extended suite: the paper's circuits plus the extras above.
+pub fn suite_extended() -> Vec<Circuit> {
+    let mut s = crate::suite::suite();
+    s.push(xor5());
+    s.push(majority(7));
+    s.push(mux8());
+    s.push(comp6());
+    s.push(bin2gray8());
+    s.push(t481_like());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor5_is_parity() {
+        let c = xor5();
+        assert!(c.outputs[0].eval(0b00001));
+        assert!(!c.outputs[0].eval(0b00011));
+    }
+
+    #[test]
+    fn majority_counts() {
+        let c = majority(5);
+        assert!(c.outputs[0].eval(0b00111));
+        assert!(!c.outputs[0].eval(0b00011));
+    }
+
+    #[test]
+    fn mux8_selects() {
+        let c = mux8();
+        // data = bit pattern 0b01000000 (bit 6 set), sel = 6 -> 1.
+        let m = (1 << 6) | (6 << 8);
+        assert!(c.outputs[0].eval(m));
+        let m = (1 << 6) | (5 << 8);
+        assert!(!c.outputs[0].eval(m));
+    }
+
+    #[test]
+    fn comp6_trichotomy() {
+        let c = comp6();
+        for (a, b) in [(3u32, 9u32), (17, 17), (40, 2)] {
+            let m = a | (b << 6);
+            let lt = c.outputs[0].eval(m);
+            let eq = c.outputs[1].eval(m);
+            let gt = c.outputs[2].eval(m);
+            assert_eq!(u32::from(lt) + u32::from(eq) + u32::from(gt), 1);
+            assert_eq!(lt, a < b);
+            assert_eq!(eq, a == b);
+        }
+    }
+
+    #[test]
+    fn gray_code_adjacent_codes_differ_by_one_bit() {
+        let c = bin2gray8();
+        let gray = |m: u32| -> u32 {
+            (0..8)
+                .map(|b| u32::from(c.outputs[b].eval(m)) << b)
+                .sum()
+        };
+        for m in 0u32..255 {
+            let diff = gray(m) ^ gray(m + 1);
+            assert_eq!(diff.count_ones(), 1, "m={m}");
+        }
+    }
+
+    #[test]
+    fn t481_like_is_highly_decomposable() {
+        use hyde_logic::TruthTable;
+        let c = t481_like();
+        let f = &c.outputs[0];
+        // Any adjacent input pair is a 2-class bound set.
+        let mut distinct = std::collections::HashSet::new();
+        for col in 0u32..4 {
+            let mut g = f.clone();
+            g = g.cofactor(0, col & 1 == 1);
+            g = g.cofactor(1, col >> 1 & 1 == 1);
+            distinct.insert(g);
+        }
+        assert_eq!(distinct.len(), 2);
+        let _ = TruthTable::zero(1);
+    }
+
+    #[test]
+    fn extended_suite_is_well_formed() {
+        let s = suite_extended();
+        assert!(s.len() >= 30);
+        for c in &s {
+            assert!(c.inputs <= 16);
+        }
+    }
+}

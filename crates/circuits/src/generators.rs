@@ -1,0 +1,486 @@
+//! Constructive circuit generators.
+//!
+//! Each generator documents whether it is the exact public specification or
+//! a same-flavour substitute (see `DESIGN.md`). All circuits are capped at
+//! 16 inputs so the mapping flows stay exact (truth-table based).
+
+use crate::suite::{Circuit, Origin};
+use hyde_logic::TruthTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Helper: outputs of an integer function `f(x) -> y`, `out_bits` wide.
+fn arith_outputs(inputs: usize, out_bits: usize, f: impl Fn(u32) -> u64) -> Vec<TruthTable> {
+    (0..out_bits)
+        .map(|b| TruthTable::from_fn(inputs, |m| f(m) >> b & 1 == 1))
+        .collect()
+}
+
+/// Seeded synthetic SOP circuit: each output is a disjunction of random
+/// cubes (used for benchmarks whose exact spec is not public).
+fn random_sop(name: &str, inputs: usize, outputs: usize, cubes: usize, lits: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fns = (0..outputs)
+        .map(|_| {
+            let mut f = TruthTable::zero(inputs);
+            for _ in 0..cubes {
+                let mut cube = TruthTable::one(inputs);
+                let mut vars: Vec<usize> = (0..inputs).collect();
+                for _ in 0..(inputs - lits.min(inputs)) {
+                    vars.remove(rng.gen_range(0..vars.len()));
+                }
+                for &v in &vars {
+                    let lit = TruthTable::var(inputs, v);
+                    cube = if rng.gen_bool(0.5) { &cube & &lit } else { &cube & &!&lit };
+                }
+                f = &f | &cube;
+            }
+            f
+        })
+        .collect();
+    Circuit::new(name, inputs, fns, Origin::Substitute)
+}
+
+/// `9sym` — exact: 1 iff the number of set inputs is between 3 and 6.
+pub fn sym9() -> Circuit {
+    let f = TruthTable::from_fn(9, |m| (3..=6).contains(&m.count_ones()));
+    Circuit::new("9sym", 9, vec![f], Origin::ExactSpec)
+}
+
+/// `rd73` — exact: the 3-bit binary count of ones over 7 inputs.
+pub fn rd73() -> Circuit {
+    let outs = arith_outputs(7, 3, |m| m.count_ones() as u64);
+    Circuit::new("rd73", 7, outs, Origin::ExactSpec)
+}
+
+/// `rd84` — exact: the 4-bit binary count of ones over 8 inputs.
+pub fn rd84() -> Circuit {
+    let outs = arith_outputs(8, 4, |m| m.count_ones() as u64);
+    Circuit::new("rd84", 8, outs, Origin::ExactSpec)
+}
+
+/// `z4ml` — substitute: two-bit add with carry-in (7 inputs, 4 outputs:
+/// 3 sum bits plus an overflow flag), matching the benchmark's documented
+/// two-bit-adder character.
+pub fn z4ml() -> Circuit {
+    let outs = arith_outputs(7, 4, |m| {
+        let a = m & 0b11;
+        let b = m >> 2 & 0b11;
+        let cin = m >> 4 & 1;
+        let extra = m >> 5 & 0b11; // fold the remaining inputs in as a bias
+        (a + b + cin + (extra & 1) * 0) as u64 | ((u64::from(extra == 0b11)) << 3)
+    });
+    Circuit::new("z4ml", 7, outs, Origin::Substitute)
+}
+
+/// `5xp1` — substitute: `x² + x` over a 7-bit operand, low 10 result bits
+/// (the benchmark is a small arithmetic polynomial circuit).
+pub fn x5p1() -> Circuit {
+    let outs = arith_outputs(7, 10, |m| {
+        let x = m as u64;
+        x * x + x
+    });
+    Circuit::new("5xp1", 7, outs, Origin::Substitute)
+}
+
+/// `clip` — substitute: signed 9-bit input clipped to the 5-bit range
+/// `[-16, 15]` (the benchmark is a clipping function; 9 inputs, 5 outputs).
+pub fn clip() -> Circuit {
+    let outs = arith_outputs(9, 5, |m| {
+        // sign-extend 9-bit to i32
+        let x = ((m as i32) << 23) >> 23;
+        let clipped = x.clamp(-16, 15);
+        (clipped & 0x1F) as u64
+    });
+    Circuit::new("clip", 9, outs, Origin::Substitute)
+}
+
+/// `count` — substitute: 8-bit up-counter next-state with enable
+/// (9 inputs, 8 outputs), matching the carry-chain character of the
+/// original counter benchmark.
+pub fn count() -> Circuit {
+    let outs = arith_outputs(9, 8, |m| {
+        let state = (m & 0xFF) as u64;
+        let en = m >> 8 & 1;
+        if en == 1 {
+            (state + 1) & 0xFF
+        } else {
+            state
+        }
+    });
+    Circuit::new("count", 9, outs, Origin::Substitute)
+}
+
+/// `f51m` — substitute: 4×4 unsigned multiplier (8 inputs, 8 outputs),
+/// matching the original's arithmetic character.
+pub fn f51m() -> Circuit {
+    let outs = arith_outputs(8, 8, |m| {
+        let a = (m & 0xF) as u64;
+        let b = (m >> 4 & 0xF) as u64;
+        a * b
+    });
+    Circuit::new("f51m", 8, outs, Origin::Substitute)
+}
+
+/// `alu2` — substitute: 4-bit ALU (a, b, 2 control bits; 10 inputs, 6
+/// outputs: 4 result bits, carry, zero flag). Ops: add, and, or, xor.
+pub fn alu2() -> Circuit {
+    let outs = arith_outputs(10, 6, |m| {
+        let a = (m & 0xF) as u64;
+        let b = (m >> 4 & 0xF) as u64;
+        let op = m >> 8 & 0b11;
+        let r = match op {
+            0 => a + b,
+            1 => a & b,
+            2 => a | b,
+            _ => a ^ b,
+        };
+        let result = r & 0xF;
+        let carry = u64::from(r > 0xF);
+        let zero = u64::from(result == 0);
+        result | (carry << 4) | (zero << 5)
+    });
+    Circuit::new("alu2", 10, outs, Origin::Substitute)
+}
+
+/// `alu4` — substitute: 5-bit ALU with 4 control bits (14 inputs, 8
+/// outputs), in the 74181 style: 8 arithmetic/logic ops selected by the
+/// control nibble.
+pub fn alu4() -> Circuit {
+    let outs = arith_outputs(14, 8, |m| {
+        let a = (m & 0x1F) as u64;
+        let b = (m >> 5 & 0x1F) as u64;
+        let op = m >> 10 & 0xF;
+        let r = match op % 8 {
+            0 => a + b,
+            1 => a.wrapping_sub(b) & 0x3F,
+            2 => a & b,
+            3 => a | b,
+            4 => a ^ b,
+            5 => !a & 0x1F,
+            6 => (a << 1) & 0x3F,
+            _ => a >> 1,
+        };
+        let result = r & 0x1F;
+        let carry = u64::from(r > 0x1F);
+        let zero = u64::from(result == 0);
+        let sign = r >> 4 & 1;
+        result | (carry << 5) | (zero << 6) | (sign << 7)
+    });
+    Circuit::new("alu4", 14, outs, Origin::Substitute)
+}
+
+/// `e64` — substitute: 16-way priority encoder matrix (16 inputs, 16
+/// outputs: `o_i = x_i & !(x_0 | ... | x_{i-1})`), matching the chain
+/// structure of the original.
+pub fn e64() -> Circuit {
+    let outs: Vec<TruthTable> = (0..16)
+        .map(|i| {
+            TruthTable::from_fn(16, move |m| {
+                m >> i & 1 == 1 && (m & ((1u32 << i) - 1)) == 0
+            })
+        })
+        .collect();
+    Circuit::new("e64", 16, outs, Origin::Substitute)
+}
+
+/// `rot` — substitute: 8-bit barrel rotator (8 data + 3 amount = 11
+/// inputs, 8 outputs).
+pub fn rot() -> Circuit {
+    let outs = arith_outputs(11, 8, |m| {
+        let data = (m & 0xFF) as u64;
+        let amt = (m >> 8 & 0b111) as u32;
+        ((data << amt) | (data >> (8 - amt % 8).min(8))) & 0xFF
+    });
+    Circuit::new("rot", 11, outs, Origin::Substitute)
+}
+
+/// The real DES S-boxes S1 and S2 (row = bits 0,5; column = bits 1..4).
+const DES_S1: [[u8; 16]; 4] = [
+    [14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7],
+    [0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8],
+    [4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0],
+    [15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13],
+];
+const DES_S2: [[u8; 16]; 4] = [
+    [15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10],
+    [3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5],
+    [0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15],
+    [13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9],
+];
+
+fn sbox_lookup(table: &[[u8; 16]; 4], x: u32) -> u64 {
+    let row = ((x & 1) | (x >> 4 & 0b10)) as usize;
+    let col = (x >> 1 & 0xF) as usize;
+    table[row][col] as u64
+}
+
+/// `des` — substitute: a two-S-box slice of one DES round using the real
+/// S1/S2 tables (12 inputs, 8 outputs). The original `des` is the full
+/// 256-input combinational DES; this keeps the S-box logic that dominates
+/// its mapping difficulty at a tractable width.
+pub fn des() -> Circuit {
+    let outs = arith_outputs(12, 8, |m| {
+        let x1 = m & 0x3F;
+        let x2 = m >> 6 & 0x3F;
+        sbox_lookup(&DES_S1, x1) | (sbox_lookup(&DES_S2, x2) << 4)
+    });
+    Circuit::new("des", 12, outs, Origin::Substitute)
+}
+
+/// `C499` — substitute: Hamming(15,11) single-error corrector (15 inputs:
+/// the received word; 11 outputs: corrected data bits). XOR-dominated like
+/// the original 32-bit SEC circuit.
+pub fn c499() -> Circuit {
+    // Parity positions 1,2,4,8 (1-based); data in the rest.
+    let data_pos: Vec<u32> = (1..=15u32).filter(|p| !p.is_power_of_two()).collect();
+    let outs: Vec<TruthTable> = (0..11)
+        .map(|d| {
+            let data_pos = data_pos.clone();
+            TruthTable::from_fn(15, move |m| {
+                // Compute syndrome.
+                let mut syn = 0u32;
+                for p in 1..=15u32 {
+                    if m >> (p - 1) & 1 == 1 {
+                        syn ^= p;
+                    }
+                }
+                let corrected = if syn != 0 { m ^ (1 << (syn - 1)) } else { m };
+                corrected >> (data_pos[d] - 1) & 1 == 1
+            })
+        })
+        .collect();
+    Circuit::new("C499", 15, outs, Origin::Substitute)
+}
+
+/// `C880` — substitute: a 4-bit ALU slice with carry-in and 2 mode bits
+/// (11 inputs, 6 outputs), echoing the original's 8-bit ALU structure.
+pub fn c880() -> Circuit {
+    let outs = arith_outputs(11, 6, |m| {
+        let a = (m & 0xF) as u64;
+        let b = (m >> 4 & 0xF) as u64;
+        let cin = (m >> 8 & 1) as u64;
+        let mode = m >> 9 & 0b11;
+        let r = match mode {
+            0 => a + b + cin,
+            1 => a.wrapping_sub(b).wrapping_sub(cin) & 0x1F,
+            2 => (a & b) | (cin << 3),
+            _ => a ^ b ^ (cin * 0xF),
+        };
+        let result = r & 0xF;
+        let cout = u64::from(r > 0xF);
+        let zero = u64::from(result == 0);
+        result | (cout << 4) | (zero << 5)
+    });
+    Circuit::new("C880", 11, outs, Origin::Substitute)
+}
+
+/// `misex1` — substitute at the original's exact 8-in/7-out dimensions.
+pub fn misex1() -> Circuit {
+    random_sop("misex1", 8, 7, 6, 4, 0x01EC1)
+}
+
+/// `misex2` — substitute, scaled from 25 to 14 inputs, 18 outputs.
+pub fn misex2() -> Circuit {
+    random_sop("misex2", 14, 18, 5, 6, 0x01EC2)
+}
+
+/// `misex3` — substitute at the original's exact 14-in/14-out dimensions.
+pub fn misex3() -> Circuit {
+    random_sop("misex3", 14, 14, 10, 7, 0x01EC3)
+}
+
+/// `apex4` — substitute at the original's exact 9-in/19-out dimensions.
+pub fn apex4() -> Circuit {
+    random_sop("apex4", 9, 19, 12, 5, 0x0A9E4)
+}
+
+/// `apex6` — substitute, scaled from 135 to 16 inputs, 16 outputs.
+pub fn apex6() -> Circuit {
+    random_sop("apex6", 16, 16, 8, 6, 0x0A9E6)
+}
+
+/// `apex7` — substitute, scaled from 49 to 14 inputs, 12 outputs.
+pub fn apex7() -> Circuit {
+    random_sop("apex7", 14, 12, 7, 6, 0x0A9E7)
+}
+
+/// `b9` — substitute, scaled from 41 to 14 inputs, 10 outputs.
+pub fn b9() -> Circuit {
+    random_sop("b9", 14, 10, 5, 5, 0x000B9)
+}
+
+/// `sao2` — substitute at the original's exact 10-in/4-out dimensions.
+pub fn sao2() -> Circuit {
+    random_sop("sao2", 10, 4, 14, 7, 0x05A02)
+}
+
+/// `vg2` — substitute, scaled from 25 to 14 inputs, 8 outputs.
+pub fn vg2() -> Circuit {
+    random_sop("vg2", 14, 8, 6, 7, 0x00762)
+}
+
+/// `duke2` — substitute, scaled from 22 to 14 inputs, 16 outputs.
+pub fn duke2() -> Circuit {
+    random_sop("duke2", 14, 16, 9, 7, 0x0D0CE)
+}
+
+/// `parity` over `n` inputs — exact.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or exceeds [`TruthTable::MAX_VARS`].
+pub fn parity(n: usize) -> Circuit {
+    assert!(n >= 1 && n <= TruthTable::MAX_VARS);
+    let f = TruthTable::from_fn(n, |m| m.count_ones() % 2 == 1);
+    Circuit::new(&format!("parity{n}"), n, vec![f], Origin::ExactSpec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym9_counts() {
+        let c = sym9();
+        let f = &c.outputs[0];
+        assert!(f.eval(0b000000111)); // 3 ones
+        assert!(f.eval(0b000111111)); // 6 ones
+        assert!(!f.eval(0b000000011)); // 2 ones
+        assert!(!f.eval(0b111111110)); // 7 ones
+        assert_eq!(c.origin, Origin::ExactSpec);
+    }
+
+    #[test]
+    fn rd73_is_a_ones_counter() {
+        let c = rd73();
+        for m in 0u32..128 {
+            let count = m.count_ones();
+            for b in 0..3 {
+                assert_eq!(c.outputs[b].eval(m), count >> b & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rd84_is_a_ones_counter() {
+        let c = rd84();
+        for m in (0u32..256).step_by(3) {
+            let count = m.count_ones() as u64;
+            for b in 0..4 {
+                assert_eq!(c.outputs[b].eval(m), count >> b & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn f51m_multiplies() {
+        let c = f51m();
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                let m = a | (b << 4);
+                let product = (a * b) as u64;
+                for bit in 0..8 {
+                    assert_eq!(c.outputs[bit].eval(m), product >> bit & 1 == 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu2_adds_and_ands() {
+        let c = alu2();
+        // 3 + 5 = 8 with op 0.
+        let m = 3 | (5 << 4);
+        assert!(c.outputs[3].eval(m)); // bit 3 of 8
+        assert!(!c.outputs[0].eval(m));
+        // 3 & 5 = 1 with op 1.
+        let m = 3 | (5 << 4) | (1 << 8);
+        assert!(c.outputs[0].eval(m));
+        assert!(!c.outputs[1].eval(m));
+    }
+
+    #[test]
+    fn clip_saturates() {
+        let c = clip();
+        // +100 (within 9 bits) clips to 15 = 0b01111.
+        let m = 100u32;
+        let val: u32 = (0..5).map(|b| u32::from(c.outputs[b].eval(m)) << b).sum();
+        assert_eq!(val, 15);
+        // -100 clips to -16 = 0b10000 (two's complement 5-bit).
+        let m = (512i32 - 100) as u32;
+        let val: u32 = (0..5).map(|b| u32::from(c.outputs[b].eval(m)) << b).sum();
+        assert_eq!(val, 0b10000);
+    }
+
+    #[test]
+    fn e64_priority_chain() {
+        let c = e64();
+        // Input with bits 3 and 7 set: only output 3 fires.
+        let m = (1 << 3) | (1 << 7);
+        assert!(c.outputs[3].eval(m));
+        assert!(!c.outputs[7].eval(m));
+        assert!(!c.outputs[0].eval(m));
+    }
+
+    #[test]
+    fn des_uses_real_sboxes() {
+        let c = des();
+        // S1(0) = 14: row 0 col 0 -> 14.
+        let v: u64 = (0..4).map(|b| u64::from(c.outputs[b].eval(0)) << b).sum();
+        assert_eq!(v, 14);
+        // S2(0) = 15.
+        let v: u64 = (0..4).map(|b| u64::from(c.outputs[4 + b].eval(0)) << b).sum();
+        assert_eq!(v, 15);
+    }
+
+    #[test]
+    fn c499_corrects_single_errors() {
+        let c = c499();
+        // Encode data by choosing a valid codeword: all zeros is valid.
+        // Flip bit 5 (1-based position 6): correction restores zeros.
+        let received = 1u32 << 5;
+        for o in 0..11 {
+            assert!(!c.outputs[o].eval(received), "output {o}");
+        }
+        // No error: zeros stay zeros.
+        for o in 0..11 {
+            assert!(!c.outputs[o].eval(0));
+        }
+    }
+
+    #[test]
+    fn count_increments_when_enabled() {
+        let c = count();
+        let m = 5 | (1 << 8);
+        let v: u64 = (0..8).map(|b| u64::from(c.outputs[b].eval(m)) << b).sum();
+        assert_eq!(v, 6);
+        let m = 5;
+        let v: u64 = (0..8).map(|b| u64::from(c.outputs[b].eval(m)) << b).sum();
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn rot_rotates() {
+        let c = rot();
+        let m = 0b0000_0001 | (3 << 8); // rotate 1 left by 3
+        let v: u64 = (0..8).map(|b| u64::from(c.outputs[b].eval(m)) << b).sum();
+        assert_eq!(v, 0b0000_1000);
+    }
+
+    #[test]
+    fn synthetic_circuits_are_deterministic() {
+        let a = misex1();
+        let b = misex1();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.inputs, 8);
+        assert_eq!(a.output_count(), 7);
+    }
+
+    #[test]
+    fn parity_generator() {
+        let c = parity(5);
+        assert!(c.outputs[0].eval(0b10110));
+        assert!(!c.outputs[0].eval(0b10010));
+    }
+}

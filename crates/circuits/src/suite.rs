@@ -1,0 +1,174 @@
+//! Suite assembly and the circuit model.
+
+use crate::generators;
+use hyde_logic::TruthTable;
+
+/// Provenance of a benchmark circuit in this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// The public functional specification, implemented exactly.
+    ExactSpec,
+    /// A same-flavour substitute (scaled or reconstructed), see `DESIGN.md`.
+    Substitute,
+}
+
+/// A combinational benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    /// Benchmark name (matching the paper's tables).
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Output functions over the shared input space.
+    pub outputs: Vec<TruthTable>,
+    /// Whether the circuit is the exact public spec or a substitute.
+    pub origin: Origin,
+}
+
+impl Circuit {
+    /// Creates a circuit, checking that every output matches `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output has the wrong arity or there are no outputs.
+    pub fn new(name: &str, inputs: usize, outputs: Vec<TruthTable>, origin: Origin) -> Self {
+        assert!(!outputs.is_empty(), "circuit {name} has no outputs");
+        for (i, f) in outputs.iter().enumerate() {
+            assert_eq!(
+                f.vars(),
+                inputs,
+                "circuit {name} output {i} has arity {} != {inputs}",
+                f.vars()
+            );
+        }
+        Circuit {
+            name: name.to_owned(),
+            inputs,
+            outputs,
+            origin,
+        }
+    }
+
+    /// Number of outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Exports the circuit as a multi-output PLA (ISOP cover per output).
+    pub fn to_pla(&self) -> hyde_logic::pla::Pla {
+        use hyde_logic::pla::{OutputValue, Pla};
+        use hyde_logic::SopCover;
+        let mut rows: Vec<(hyde_logic::Cube, Vec<OutputValue>)> = Vec::new();
+        for (o, f) in self.outputs.iter().enumerate() {
+            for cube in SopCover::isop(f).iter() {
+                let mut outs = vec![OutputValue::Off; self.outputs.len()];
+                outs[o] = OutputValue::On;
+                rows.push((cube.clone(), outs));
+            }
+        }
+        Pla {
+            inputs: self.inputs,
+            input_names: (0..self.inputs).map(|i| format!("x{i}")).collect(),
+            output_names: (0..self.outputs.len()).map(|o| format!("o{o}")).collect(),
+            rows,
+        }
+    }
+}
+
+/// The full evaluation suite, in the row order of the paper's Table 1/2
+/// union.
+pub fn suite() -> Vec<Circuit> {
+    vec![
+        generators::x5p1(),
+        generators::sym9(),
+        generators::alu2(),
+        generators::alu4(),
+        generators::apex4(),
+        generators::apex6(),
+        generators::apex7(),
+        generators::b9(),
+        generators::clip(),
+        generators::count(),
+        generators::des(),
+        generators::duke2(),
+        generators::e64(),
+        generators::f51m(),
+        generators::misex1(),
+        generators::misex2(),
+        generators::misex3(),
+        generators::rd73(),
+        generators::rd84(),
+        generators::rot(),
+        generators::sao2(),
+        generators::vg2(),
+        generators::z4ml(),
+        generators::c499(),
+        generators::c880(),
+    ]
+}
+
+/// A fast subset for smoke tests and ablations (small input counts).
+pub fn suite_small() -> Vec<Circuit> {
+    vec![
+        generators::x5p1(),
+        generators::sym9(),
+        generators::clip(),
+        generators::misex1(),
+        generators::rd73(),
+        generators::rd84(),
+        generators::z4ml(),
+        generators::f51m(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_complete_and_well_formed() {
+        let s = suite();
+        assert_eq!(s.len(), 25);
+        for c in &s {
+            assert!(c.inputs <= 16, "{} too wide for truth tables", c.name);
+            assert!(c.output_count() >= 1);
+            // No constant-only circuits (they would trivialize flows).
+            assert!(
+                c.outputs.iter().any(|f| f.is_const().is_none()),
+                "{} is constant",
+                c.name
+            );
+        }
+        let names: Vec<&str> = s.iter().map(|c| c.name.as_str()).collect();
+        for expect in ["9sym", "alu4", "des", "rd84", "C880"] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn small_suite_is_subset_flavour() {
+        for c in suite_small() {
+            assert!(c.inputs <= 10, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn pla_export_roundtrip() {
+        let c = crate::generators::rd73();
+        let text = c.to_pla().to_text();
+        let reparsed = hyde_logic::pla::Pla::parse(&text).unwrap();
+        let tables = reparsed.output_tables();
+        assert_eq!(tables, c.outputs);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn circuit_validates_arity() {
+        let _ = Circuit::new(
+            "bad",
+            3,
+            vec![TruthTable::one(2)],
+            Origin::Substitute,
+        );
+    }
+}

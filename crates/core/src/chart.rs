@@ -1,0 +1,321 @@
+//! Decomposition charts.
+//!
+//! For a function `f(X, Y)` with bound (λ) set `X` and free (μ) set `Y`,
+//! the decomposition chart has one column per assignment of `X` and one row
+//! per assignment of `Y`. Two bound-set vertices are *compatible*
+//! (Definition 2.1) iff their columns are identical; the distinct columns
+//! are the compatible classes.
+
+use crate::classes::CompatibleClasses;
+use crate::CoreError;
+use hyde_logic::{Isf, TruthTable};
+use std::collections::HashMap;
+
+/// A materialized decomposition chart for a completely specified function.
+///
+/// The bound set is an ordered list of variable indices of `f`; column `c`
+/// corresponds to the assignment where bound variable `i` receives bit `i`
+/// of `c` (little-endian). The free set is the remaining variables in
+/// ascending order, indexed the same way by rows.
+#[derive(Debug, Clone)]
+pub struct DecompositionChart {
+    bound: Vec<usize>,
+    free: Vec<usize>,
+    /// Column patterns: `columns[c]` is the function of the free variables
+    /// observed in column `c` (arity = `free.len()`).
+    columns: Vec<TruthTable>,
+    classes: CompatibleClasses,
+}
+
+impl DecompositionChart {
+    /// Builds the chart of `f` for the given bound set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBoundSet`] if a bound variable is out of
+    /// range, repeated, or the bound set is empty or covers all variables.
+    pub fn new(f: &TruthTable, bound: &[usize]) -> Result<Self, CoreError> {
+        let (bound, free) = split_bound_free(f.vars(), bound)?;
+        let columns = column_patterns(f, &bound, &free);
+        let classes = CompatibleClasses::from_columns(&columns);
+        Ok(DecompositionChart {
+            bound,
+            free,
+            columns,
+            classes,
+        })
+    }
+
+    /// Bound (λ) set variables, in column bit order.
+    pub fn bound(&self) -> &[usize] {
+        &self.bound
+    }
+
+    /// Free (μ) set variables, ascending, in row bit order.
+    pub fn free(&self) -> &[usize] {
+        &self.free
+    }
+
+    /// Column pattern of column `c` as a function of the free variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= 2^bound.len()`.
+    pub fn column(&self, c: usize) -> &TruthTable {
+        &self.columns[c]
+    }
+
+    /// All column patterns in column order.
+    pub fn columns(&self) -> &[TruthTable] {
+        &self.columns
+    }
+
+    /// The compatible classes of the chart.
+    pub fn classes(&self) -> &CompatibleClasses {
+        &self.classes
+    }
+
+    /// Number of compatible classes — the decomposability cost used
+    /// throughout the paper.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// Validates and splits a bound set, returning `(bound, free)`.
+pub(crate) fn split_bound_free(
+    vars: usize,
+    bound: &[usize],
+) -> Result<(Vec<usize>, Vec<usize>), CoreError> {
+    if bound.is_empty() {
+        return Err(CoreError::InvalidBoundSet("bound set is empty".into()));
+    }
+    if bound.len() >= vars {
+        return Err(CoreError::InvalidBoundSet(format!(
+            "bound set of size {} leaves no free variables (function has {vars})",
+            bound.len()
+        )));
+    }
+    let mut seen = vec![false; vars];
+    for &v in bound {
+        if v >= vars {
+            return Err(CoreError::InvalidBoundSet(format!(
+                "variable {v} out of range for {vars}-variable function"
+            )));
+        }
+        if seen[v] {
+            return Err(CoreError::InvalidBoundSet(format!("variable {v} repeated")));
+        }
+        seen[v] = true;
+    }
+    let free: Vec<usize> = (0..vars).filter(|&v| !seen[v]).collect();
+    Ok((bound.to_vec(), free))
+}
+
+/// Extracts the column patterns of `f` for an ordered bound set.
+pub(crate) fn column_patterns(
+    f: &TruthTable,
+    bound: &[usize],
+    free: &[usize],
+) -> Vec<TruthTable> {
+    let n_cols = 1usize << bound.len();
+    let mut out = Vec::with_capacity(n_cols);
+    for c in 0..n_cols {
+        let mut col = f.clone();
+        for (i, &v) in bound.iter().enumerate() {
+            col = col.cofactor(v, c >> i & 1 == 1);
+        }
+        out.push(hyde_logic::network::project_to_support(&col, free));
+    }
+    out
+}
+
+/// A decomposition chart for an incompletely specified function.
+///
+/// Column entries can be don't cares, so compatibility (equal wherever both
+/// are specified) is not transitive; the compatible classes of an ISF chart
+/// come from the clique partitioning of [`crate::dc_assign`].
+#[derive(Debug, Clone)]
+pub struct IsfChart {
+    bound: Vec<usize>,
+    free: Vec<usize>,
+    /// Column patterns as ISFs over the free variables.
+    columns: Vec<Isf>,
+}
+
+impl IsfChart {
+    /// Builds the ISF chart of `f` for the given bound set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DecompositionChart::new`].
+    pub fn new(f: &Isf, bound: &[usize]) -> Result<Self, CoreError> {
+        let (bound, free) = split_bound_free(f.vars(), bound)?;
+        let on_cols = column_patterns(f.on_set(), &bound, &free);
+        let dc_cols = column_patterns(f.dc_set(), &bound, &free);
+        let columns: Vec<Isf> = on_cols
+            .into_iter()
+            .zip(dc_cols)
+            .map(|(on, dc)| Isf::new(on, dc).expect("arities agree by construction"))
+            .collect();
+        Ok(IsfChart {
+            bound,
+            free,
+            columns,
+        })
+    }
+
+    /// Bound (λ) set variables.
+    pub fn bound(&self) -> &[usize] {
+        &self.bound
+    }
+
+    /// Free (μ) set variables.
+    pub fn free(&self) -> &[usize] {
+        &self.free
+    }
+
+    /// Column patterns.
+    pub fn columns(&self) -> &[Isf] {
+        &self.columns
+    }
+
+    /// Whether columns `a` and `b` are compatible: they agree on every row
+    /// where both are specified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn columns_compatible(&self, a: usize, b: usize) -> bool {
+        let (ca, cb) = (&self.columns[a], &self.columns[b]);
+        let both_care = !&(ca.dc_set() | cb.dc_set());
+        ((ca.on_set() ^ cb.on_set()) & both_care).is_zero()
+    }
+}
+
+/// Counts compatible classes of `f` under `bound` without keeping the chart.
+///
+/// This is the hot path of λ-set selection; it hashes column patterns.
+///
+/// # Errors
+///
+/// Same conditions as [`DecompositionChart::new`].
+pub fn class_count(f: &TruthTable, bound: &[usize]) -> Result<usize, CoreError> {
+    let (bound, free) = split_bound_free(f.vars(), bound)?;
+    let mut distinct: HashMap<TruthTable, ()> = HashMap::new();
+    for col in column_patterns(f, &bound, &free) {
+        distinct.insert(col, ());
+    }
+    Ok(distinct.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f_ab_cd() -> TruthTable {
+        (TruthTable::var(4, 0) & TruthTable::var(4, 1))
+            | (TruthTable::var(4, 2) & TruthTable::var(4, 3))
+    }
+
+    #[test]
+    fn chart_of_and_or() {
+        let chart = DecompositionChart::new(&f_ab_cd(), &[0, 1]).unwrap();
+        assert_eq!(chart.bound(), &[0, 1]);
+        assert_eq!(chart.free(), &[2, 3]);
+        assert_eq!(chart.class_count(), 2);
+        // Columns 0..2 have pattern c&d, column 3 is constant 1.
+        let cd = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+        assert_eq!(*chart.column(0), cd);
+        assert_eq!(*chart.column(3), TruthTable::one(2));
+    }
+
+    #[test]
+    fn parity_has_two_classes_any_bound() {
+        let f = TruthTable::from_fn(6, |m| m.count_ones() % 2 == 1);
+        for bound in [[0usize, 1, 2], [1, 3, 5], [0, 2, 4]] {
+            assert_eq!(class_count(&f, &bound).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn nondecomposable_function_has_many_classes() {
+        // A random-looking function usually has close to 2^|bound| classes.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let f = TruthTable::random(8, &mut rng);
+        let n = class_count(&f, &[0, 1, 2, 3]).unwrap();
+        assert!(n > 8, "random function had only {n} classes");
+    }
+
+    #[test]
+    fn bound_order_affects_column_indexing_not_classes() {
+        let f = f_ab_cd();
+        let a = DecompositionChart::new(&f, &[0, 1]).unwrap();
+        let b = DecompositionChart::new(&f, &[1, 0]).unwrap();
+        assert_eq!(a.class_count(), b.class_count());
+    }
+
+    #[test]
+    fn invalid_bound_sets_rejected() {
+        let f = f_ab_cd();
+        assert!(DecompositionChart::new(&f, &[]).is_err());
+        assert!(DecompositionChart::new(&f, &[0, 0]).is_err());
+        assert!(DecompositionChart::new(&f, &[9]).is_err());
+        assert!(DecompositionChart::new(&f, &[0, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn class_count_matches_chart() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let f = TruthTable::random(6, &mut rng);
+            for bound in [[0usize, 3], [1, 4], [2, 5]] {
+                let fast = class_count(&f, &bound).unwrap();
+                let chart = DecompositionChart::new(&f, &bound).unwrap();
+                assert_eq!(fast, chart.class_count());
+            }
+        }
+    }
+
+    #[test]
+    fn isf_chart_compatibility() {
+        // f over 3 vars, bound {0}: columns over (x1,x2).
+        // on = {m: x0=0, x1=1}, dc = {m: x0=1}.
+        let on = TruthTable::from_fn(3, |m| m & 1 == 0 && m >> 1 & 1 == 1);
+        let dc = TruthTable::from_fn(3, |m| m & 1 == 1);
+        let f = Isf::new(on, dc).unwrap();
+        let chart = IsfChart::new(&f, &[0]).unwrap();
+        // Column 1 is all-dc, so compatible with column 0.
+        assert!(chart.columns_compatible(0, 1));
+        assert!(chart.columns_compatible(0, 0));
+    }
+
+    #[test]
+    fn isf_chart_incompatibility() {
+        // Column 0 says row0=1, column 1 says row0=0 -> incompatible.
+        let on = TruthTable::from_fn(2, |m| m == 0); // x0=0,x1=0 -> 1
+        let f = Isf::completely_specified(on);
+        let chart = IsfChart::new(&f, &[0]).unwrap();
+        assert!(!chart.columns_compatible(0, 1));
+    }
+
+    #[test]
+    fn chart_agrees_with_bdd_cut() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..5 {
+            let f = TruthTable::random(7, &mut rng);
+            let mut bdd = hyde_bdd::Bdd::new(7);
+            let fr = bdd.from_fn(|m| f.eval(m));
+            for bound in [[0usize, 1, 2], [2, 4, 6], [1, 3, 5]] {
+                assert_eq!(
+                    class_count(&f, &bound).unwrap(),
+                    bdd.compatible_class_count(fr, &bound),
+                    "bound {bound:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Compatible classes (Definition 2.1) extracted from decomposition charts.
+
+use hyde_logic::TruthTable;
+use std::collections::HashMap;
+
+/// The compatible classes of a decomposition chart.
+///
+/// Classes are numbered by first occurrence in column order; `class_of[c]`
+/// maps each bound-set assignment (column) to its class, and
+/// `class_fn[i]` is the *compatible class function* `fc_i` — the shared
+/// column pattern, a function of the free variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompatibleClasses {
+    class_of: Vec<usize>,
+    class_fn: Vec<TruthTable>,
+}
+
+impl CompatibleClasses {
+    /// Groups identical columns into classes.
+    pub fn from_columns(columns: &[TruthTable]) -> Self {
+        let mut index: HashMap<&TruthTable, usize> = HashMap::new();
+        let mut class_of = Vec::with_capacity(columns.len());
+        let mut class_fn = Vec::new();
+        for col in columns {
+            let next = class_fn.len();
+            let id = *index.entry(col).or_insert(next);
+            if id == next {
+                class_fn.push(col.clone());
+            }
+            class_of.push(id);
+        }
+        CompatibleClasses { class_of, class_fn }
+    }
+
+    /// Builds classes from an explicit assignment (used after don't-care
+    /// assignment merges columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_of` references a class `>= class_fn.len()` or some
+    /// class has no column.
+    pub fn from_parts(class_of: Vec<usize>, class_fn: Vec<TruthTable>) -> Self {
+        let mut used = vec![false; class_fn.len()];
+        for &c in &class_of {
+            assert!(c < class_fn.len(), "class index out of range");
+            used[c] = true;
+        }
+        assert!(used.iter().all(|&u| u), "every class must own a column");
+        CompatibleClasses { class_of, class_fn }
+    }
+
+    /// Number of compatible classes.
+    pub fn len(&self) -> usize {
+        self.class_fn.len()
+    }
+
+    /// Whether there are no classes (empty chart).
+    pub fn is_empty(&self) -> bool {
+        self.class_fn.is_empty()
+    }
+
+    /// Class of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn class_of(&self, c: usize) -> usize {
+        self.class_of[c]
+    }
+
+    /// The full column-to-class map.
+    pub fn class_map(&self) -> &[usize] {
+        &self.class_of
+    }
+
+    /// Compatible class function `fc_i` over the free variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn class_fn(&self, i: usize) -> &TruthTable {
+        &self.class_fn[i]
+    }
+
+    /// All class functions in class order.
+    pub fn class_fns(&self) -> &[TruthTable] {
+        &self.class_fn
+    }
+
+    /// Columns belonging to class `i`.
+    pub fn members(&self, i: usize) -> Vec<usize> {
+        self.class_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &cls)| cls == i)
+            .map(|(c, _)| c)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_identical_columns() {
+        let a = TruthTable::var(1, 0);
+        let b = !&a;
+        let cols = vec![a.clone(), b.clone(), a.clone(), a.clone()];
+        let cc = CompatibleClasses::from_columns(&cols);
+        assert_eq!(cc.len(), 2);
+        assert_eq!(cc.class_map(), &[0, 1, 0, 0]);
+        assert_eq!(*cc.class_fn(0), a);
+        assert_eq!(*cc.class_fn(1), b);
+        assert_eq!(cc.members(0), vec![0, 2, 3]);
+        assert_eq!(cc.members(1), vec![1]);
+    }
+
+    #[test]
+    fn numbering_is_by_first_occurrence() {
+        let one = TruthTable::one(1);
+        let zero = TruthTable::zero(1);
+        let cc = CompatibleClasses::from_columns(&[zero.clone(), one.clone()]);
+        assert_eq!(cc.class_of(0), 0);
+        assert_eq!(cc.class_of(1), 1);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let f = TruthTable::one(1);
+        let cc = CompatibleClasses::from_parts(vec![0, 0], vec![f.clone()]);
+        assert_eq!(cc.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "every class must own a column")]
+    fn from_parts_rejects_orphan_class() {
+        let f = TruthTable::one(1);
+        let _ = CompatibleClasses::from_parts(vec![0], vec![f.clone(), f]);
+    }
+}

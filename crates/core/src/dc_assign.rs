@@ -1,0 +1,160 @@
+//! Don't-care assignment (Section 3.1 of the HYDE paper).
+//!
+//! For an incompletely specified function, two chart columns are compatible
+//! iff they agree on every row where both are specified. HYDE assigns the
+//! don't cares so as to *minimize the number of compatible classes* — a
+//! clique partitioning of the column compatibility graph (in contrast to
+//! Sawada et al. `[8]`, who assign don't cares to minimize supports). The
+//! NP-complete partitioning is solved with the polynomial heuristic of
+//! [`hyde_graph::partition_into_cliques`].
+
+use crate::chart::IsfChart;
+use crate::classes::CompatibleClasses;
+use crate::CoreError;
+use hyde_logic::{Isf, TruthTable};
+
+/// Result of a don't-care assignment on an ISF chart.
+#[derive(Debug, Clone)]
+pub struct DcAssignment {
+    /// The merged compatible classes (columns of a clique share a class).
+    pub classes: CompatibleClasses,
+    /// The completed (fully specified) function equivalent to the input ISF
+    /// on its care set, with don't cares fixed by the assignment.
+    pub completed: TruthTable,
+}
+
+/// Assigns the don't cares of `f` (with respect to `bound`) by clique
+/// partitioning, merging as many columns as possible into shared classes.
+///
+/// Every column of a clique receives the clique's merged pattern; rows
+/// where no member specifies a value are resolved to 0.
+///
+/// # Errors
+///
+/// Propagates [`CoreError::InvalidBoundSet`] from chart construction.
+///
+/// # Example
+///
+/// ```
+/// use hyde_core::dc_assign::assign_dont_cares;
+/// use hyde_logic::{Isf, TruthTable};
+///
+/// // 3-variable ISF where half the space is don't care: columns collapse.
+/// let on = TruthTable::from_fn(3, |m| m == 0b110);
+/// let dc = TruthTable::from_fn(3, |m| m & 1 == 1);
+/// let f = Isf::new(on, dc).unwrap();
+/// let a = assign_dont_cares(&f, &[0, 1]).unwrap();
+/// assert!(a.classes.len() <= 2);
+/// ```
+pub fn assign_dont_cares(f: &Isf, bound: &[usize]) -> Result<DcAssignment, CoreError> {
+    let chart = IsfChart::new(f, bound)?;
+    let n_cols = chart.columns().len();
+    let partition =
+        hyde_graph::partition_into_cliques(n_cols, |a, b| chart.columns_compatible(a, b));
+
+    // Merge each clique into one completed class function.
+    let free_vars = chart.free().len();
+    let mut class_fn = Vec::with_capacity(partition.len());
+    for clique in &partition.cliques {
+        let mut on = TruthTable::zero(free_vars);
+        for &c in clique {
+            on = &on | chart.columns()[c].on_set();
+        }
+        // Unspecified-by-all rows default to 0 (already are).
+        class_fn.push(on);
+    }
+    let class_of: Vec<usize> = partition.class_of.clone();
+    let classes = CompatibleClasses::from_parts(class_of, class_fn);
+
+    // Rebuild the completed global function from the chart.
+    let completed = recompose_from_classes(f.vars(), chart.bound(), chart.free(), &classes);
+    debug_assert!(f.admits(&completed), "completion must respect care set");
+    Ok(DcAssignment { classes, completed })
+}
+
+/// Rebuilds a function over the original variable space from per-column
+/// class patterns.
+fn recompose_from_classes(
+    vars: usize,
+    bound: &[usize],
+    free: &[usize],
+    classes: &CompatibleClasses,
+) -> TruthTable {
+    TruthTable::from_fn(vars, |m| {
+        let mut col = 0usize;
+        for (i, &v) in bound.iter().enumerate() {
+            if m >> v & 1 == 1 {
+                col |= 1 << i;
+            }
+        }
+        let mut row = 0u32;
+        for (i, &v) in free.iter().enumerate() {
+            if m >> v & 1 == 1 {
+                row |= 1 << i;
+            }
+        }
+        classes.class_fn(classes.class_of(col)).eval(row)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::class_count;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_dc_means_plain_classes() {
+        let f_tt = TruthTable::from_fn(4, |m| (m & 0b11) == (m >> 2));
+        let f = Isf::completely_specified(f_tt.clone());
+        let a = assign_dont_cares(&f, &[0, 1]).unwrap();
+        assert_eq!(a.classes.len(), class_count(&f_tt, &[0, 1]).unwrap());
+        assert_eq!(a.completed, f_tt);
+    }
+
+    #[test]
+    fn dc_reduces_class_count() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut reduced = 0;
+        for _ in 0..20 {
+            let on = TruthTable::random(6, &mut rng);
+            let dc_mask = TruthTable::from_fn(6, |_| rng.gen_bool(0.4));
+            let dc = &dc_mask & &!&on;
+            let f = Isf::new(on.clone(), dc).unwrap();
+            let a = assign_dont_cares(&f, &[0, 1, 2]).unwrap();
+            let baseline = class_count(&on, &[0, 1, 2]).unwrap();
+            assert!(a.classes.len() <= baseline);
+            if a.classes.len() < baseline {
+                reduced += 1;
+            }
+            assert!(f.admits(&a.completed));
+            assert_eq!(
+                class_count(&a.completed, &[0, 1, 2]).unwrap(),
+                a.classes.len()
+            );
+        }
+        assert!(reduced > 5, "dc assignment should usually help (helped {reduced}/20)");
+    }
+
+    #[test]
+    fn all_dc_collapses_to_one_class() {
+        let vars = 4;
+        let f = Isf::new(TruthTable::zero(vars), TruthTable::one(vars)).unwrap();
+        let a = assign_dont_cares(&f, &[0, 1]).unwrap();
+        assert_eq!(a.classes.len(), 1);
+    }
+
+    #[test]
+    fn completion_matches_on_set_everywhere_specified() {
+        let on = TruthTable::from_minterms(4, &[3, 5, 9]);
+        let dc = TruthTable::from_minterms(4, &[0, 15]);
+        let f = Isf::new(on.clone(), dc.clone()).unwrap();
+        let a = assign_dont_cares(&f, &[1, 2]).unwrap();
+        for m in 0u32..16 {
+            if !dc.eval(m) {
+                assert_eq!(a.completed.eval(m), on.eval(m), "care minterm {m}");
+            }
+        }
+    }
+}

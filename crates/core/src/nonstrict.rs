@@ -1,0 +1,308 @@
+//! Non-strict encodings (Section 2 and Section 4.3 of the paper).
+//!
+//! A *strict* encoding gives every compatible class exactly one code; a
+//! *non-strict* encoding may give a class several codes. The paper notes
+//! that hyper-function decomposition naturally produces non-strict
+//! per-ingredient encodings: a strict encoding of the hyper-function's
+//! classes splits, from one ingredient's point of view, a single class over
+//! several codes (the conjunction partition broke its patterns apart).
+//!
+//! [`NonStrictAssignment`] models code *sets* per class, the induced α
+//! functions (each bound assignment picks one concrete code), and the
+//! image construction whose extra code points become don't cares.
+
+use crate::classes::CompatibleClasses;
+use crate::encoding::CodeAssignment;
+use crate::CoreError;
+use hyde_logic::TruthTable;
+use std::collections::{HashMap, HashSet};
+
+/// A (possibly) non-strict encoding: each class owns a non-empty set of
+/// codes, and each chart column is pinned to one concrete code of its
+/// class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonStrictAssignment {
+    /// Code sets per class.
+    code_sets: Vec<Vec<u32>>,
+    /// Concrete code per chart column (must belong to the column's class).
+    column_code: Vec<u32>,
+    bits: usize,
+}
+
+impl NonStrictAssignment {
+    /// Builds a non-strict assignment.
+    ///
+    /// `code_sets[cls]` lists the codes owned by class `cls`;
+    /// `column_code[c]` is the code used at bound assignment `c` and must
+    /// be a member of `code_sets[class_of[c]]`. Code sets must be disjoint
+    /// across classes (otherwise the α functions could not identify a
+    /// class function for some code).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CodeSpaceTooSmall`] when codes collide, exceed
+    /// `bits`, a set is empty, or a column uses a foreign code.
+    pub fn new(
+        code_sets: Vec<Vec<u32>>,
+        column_code: Vec<u32>,
+        class_of: &[usize],
+        bits: usize,
+    ) -> Result<Self, CoreError> {
+        let too_small = || CoreError::CodeSpaceTooSmall {
+            classes: code_sets.len(),
+            bits,
+        };
+        let mut seen: HashSet<u32> = HashSet::new();
+        for set in &code_sets {
+            if set.is_empty() {
+                return Err(too_small());
+            }
+            for &c in set {
+                if c as usize >= 1usize << bits || !seen.insert(c) {
+                    return Err(too_small());
+                }
+            }
+        }
+        if column_code.len() != class_of.len() {
+            return Err(too_small());
+        }
+        for (col, (&code, &cls)) in column_code.iter().zip(class_of).enumerate() {
+            if !code_sets.get(cls).is_some_and(|s| s.contains(&code)) {
+                return Err(CoreError::InvalidBoundSet(format!(
+                    "column {col} uses code {code} outside its class {cls}"
+                )));
+            }
+        }
+        Ok(NonStrictAssignment {
+            code_sets,
+            column_code,
+            bits,
+        })
+    }
+
+    /// Lifts a strict assignment over a column map.
+    pub fn from_strict(codes: &CodeAssignment, class_of: &[usize]) -> Self {
+        NonStrictAssignment {
+            code_sets: codes.codes().iter().map(|&c| vec![c]).collect(),
+            column_code: class_of.iter().map(|&cls| codes.code(cls)).collect(),
+            bits: codes.bits(),
+        }
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.code_sets.len()
+    }
+
+    /// Whether there are no classes.
+    pub fn is_empty(&self) -> bool {
+        self.code_sets.is_empty()
+    }
+
+    /// Code bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether the encoding is strict (every class has exactly one code).
+    pub fn is_strict(&self) -> bool {
+        self.code_sets.iter().all(|s| s.len() == 1)
+    }
+
+    /// The code sets.
+    pub fn code_sets(&self) -> &[Vec<u32>] {
+        &self.code_sets
+    }
+
+    /// α functions over `bound_vars` bound variables: bit `b` of the code
+    /// chosen at each column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column_code.len() != 2^bound_vars`.
+    pub fn alphas(&self, bound_vars: usize) -> Vec<TruthTable> {
+        assert_eq!(self.column_code.len(), 1 << bound_vars, "column count");
+        (0..self.bits)
+            .map(|bit| {
+                TruthTable::from_fn(bound_vars, |c| {
+                    self.column_code[c as usize] >> bit & 1 == 1
+                })
+            })
+            .collect()
+    }
+
+    /// Image `(on, dc)` over `bits + μ` variables: every code of a class
+    /// maps to the class function; unused code points are don't care.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes.len() != self.len()`.
+    pub fn build_image(&self, classes: &CompatibleClasses) -> (TruthTable, TruthTable) {
+        assert_eq!(classes.len(), self.len(), "one code set per class");
+        let mu = classes.class_fn(0).vars();
+        let mut by_code: HashMap<u32, usize> = HashMap::new();
+        for (cls, set) in self.code_sets.iter().enumerate() {
+            for &c in set {
+                by_code.insert(c, cls);
+            }
+        }
+        let vars = self.bits + mu;
+        let mask = (1u32 << self.bits) - 1;
+        let on = TruthTable::from_fn(vars, |m| {
+            by_code
+                .get(&(m & mask))
+                .is_some_and(|&cls| classes.class_fn(cls).eval(m >> self.bits))
+        });
+        let dc = TruthTable::from_fn(vars, |m| !by_code.contains_key(&(m & mask)));
+        (on, dc)
+    }
+
+    /// Verifies the decomposition against `f` (chart semantics: bound
+    /// variables in column-bit order, free variables ascending).
+    pub fn verify(
+        &self,
+        f: &TruthTable,
+        bound: &[usize],
+        classes: &CompatibleClasses,
+    ) -> bool {
+        let alphas = self.alphas(bound.len());
+        let (on, _) = self.build_image(classes);
+        let free: Vec<usize> = (0..f.vars()).filter(|v| !bound.contains(v)).collect();
+        for m in 0..f.num_minterms() as u32 {
+            let mut x = 0u32;
+            for (i, &v) in bound.iter().enumerate() {
+                if m >> v & 1 == 1 {
+                    x |= 1 << i;
+                }
+            }
+            let mut g_in = 0u32;
+            for (bit, alpha) in alphas.iter().enumerate() {
+                if alpha.eval(x) {
+                    g_in |= 1 << bit;
+                }
+            }
+            for (i, &v) in free.iter().enumerate() {
+                if m >> v & 1 == 1 {
+                    g_in |= 1 << (self.bits + i);
+                }
+            }
+            if on.eval(g_in) != f.eval(m) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Extracts, from a strict encoding of a hyper-function's joint classes,
+/// the per-ingredient view: the ingredient's own classes and the
+/// (generally non-strict) code sets they receive. This is the §4.3
+/// observation made computational.
+///
+/// `joint_class_of[c]` and `joint_codes` describe the hyper-function
+/// encoding; `ingredient_class_of[c]` are the ingredient's own classes.
+pub fn per_ingredient_view(
+    joint_class_of: &[usize],
+    joint_codes: &CodeAssignment,
+    ingredient_class_of: &[usize],
+) -> Vec<Vec<u32>> {
+    assert_eq!(joint_class_of.len(), ingredient_class_of.len());
+    let n_classes = ingredient_class_of.iter().max().map_or(0, |m| m + 1);
+    let mut sets: Vec<HashSet<u32>> = vec![HashSet::new(); n_classes];
+    for (c, &own_cls) in ingredient_class_of.iter().enumerate() {
+        sets[own_cls].insert(joint_codes.code(joint_class_of[c]));
+    }
+    sets.into_iter()
+        .map(|s| {
+            let mut v: Vec<u32> = s.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::DecompositionChart;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strict_lift_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let f = TruthTable::random(6, &mut rng);
+        let chart = DecompositionChart::new(&f, &[0, 1]).unwrap();
+        let classes = chart.classes().clone();
+        let t = crate::encoding::ceil_log2(classes.len());
+        let strict = CodeAssignment::new((0..classes.len() as u32).collect(), t).unwrap();
+        let ns = NonStrictAssignment::from_strict(&strict, classes.class_map());
+        assert!(ns.is_strict());
+        assert!(ns.verify(&f, &[0, 1], &classes));
+    }
+
+    #[test]
+    fn genuinely_non_strict_encoding_verifies() {
+        // f with 2 classes under a 2-var bound; give class 0 two codes.
+        let f = TruthTable::from_fn(5, |m| {
+            let col = m & 0b11;
+            if col == 0b11 {
+                (m >> 2) == 0b101
+            } else {
+                (m >> 2) % 2 == 1
+            }
+        });
+        let chart = DecompositionChart::new(&f, &[0, 1]).unwrap();
+        let classes = chart.classes().clone();
+        assert_eq!(classes.len(), 2);
+        // class of columns: [0,0,0,1]; codes: class0 -> {0,1}, class1 -> {2}.
+        let ns = NonStrictAssignment::new(
+            vec![vec![0, 1], vec![2]],
+            vec![0, 1, 0, 2],
+            classes.class_map(),
+            2,
+        )
+        .unwrap();
+        assert!(!ns.is_strict());
+        assert!(ns.verify(&f, &[0, 1], &classes));
+        let (on, dc) = ns.build_image(&classes);
+        assert!((&on & &dc).is_zero());
+        // Code 3 is unused -> dc.
+        assert!(dc.eval(0b00011));
+    }
+
+    #[test]
+    fn rejects_overlapping_code_sets() {
+        let r = NonStrictAssignment::new(
+            vec![vec![0, 1], vec![1]],
+            vec![0, 1],
+            &[0, 1],
+            1,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_foreign_column_code() {
+        let r = NonStrictAssignment::new(
+            vec![vec![0], vec![1]],
+            vec![1, 1],
+            &[0, 1],
+            1,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn hyper_induced_non_strictness() {
+        // Joint classes refine ingredient classes: joint has 4, the
+        // ingredient only 2, so some ingredient class owns 2 codes.
+        let joint_class_of = [0usize, 1, 2, 3];
+        let joint_codes = CodeAssignment::new(vec![0, 1, 2, 3], 2).unwrap();
+        let ingredient_class_of = [0usize, 0, 1, 1];
+        let sets = per_ingredient_view(&joint_class_of, &joint_codes, &ingredient_class_of);
+        assert_eq!(sets, vec![vec![0, 1], vec![2, 3]]);
+        // That is exactly a non-strict (and pliable) per-ingredient code.
+        let strict_bits_needed = crate::encoding::ceil_log2(2);
+        assert!(joint_codes.bits() > strict_bits_needed);
+    }
+}

@@ -1,0 +1,379 @@
+//! The symbolic partition algebra of Definition 3.1.
+//!
+//! A [`Partition`] `Π = <s_0, ..., s_{n-1}>` is a symbolic notation of `n`
+//! column patterns: `s_i == s_j` iff the i-th and j-th column patterns are
+//! equal. Symbols live in a *global alphabet* — equal symbol values in two
+//! different partitions denote the same underlying pattern, exactly as in
+//! the worked Example 3.2 of the paper (where `Bc_ij` counts shared symbols
+//! across `Π_i` and `Π_j`).
+//!
+//! The encoding procedure manipulates partitions through:
+//!
+//! * the **conjunction partition** `Πc` (patterns stacked vertically in the
+//!   same column of the encoding chart) — [`Partition::conjunction`];
+//! * the **disjunction partition** `Πd` (patterns laid side by side in the
+//!   same row) — [`Partition::disjunction`];
+//! * **multiplicity** (number of distinct symbols) —
+//!   [`Partition::multiplicity`];
+//! * **positions with the same content** (`Psc`) — [`Partition::psc_sets`];
+//! * **containment** (Definition 4.6) — [`Partition::is_contained_by`].
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A symbolic partition over a global symbol alphabet.
+///
+/// # Example
+///
+/// ```
+/// use hyde_core::Partition;
+///
+/// let p = Partition::new(vec![0, 1, 3, 1]);
+/// assert_eq!(p.multiplicity(), 3);
+/// assert_eq!(p.psc_sets(), vec![vec![1, 3]]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Partition {
+    symbols: Vec<u32>,
+}
+
+impl Partition {
+    /// Creates a partition from its symbol vector.
+    pub fn new(symbols: Vec<u32>) -> Self {
+        Partition { symbols }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the partition has no positions.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Symbol at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn symbol(&self, i: usize) -> u32 {
+        self.symbols[i]
+    }
+
+    /// The raw symbol vector.
+    pub fn symbols(&self) -> &[u32] {
+        &self.symbols
+    }
+
+    /// Number of distinct symbols — the *multiplicity* of the partition.
+    pub fn multiplicity(&self) -> usize {
+        self.symbols.iter().collect::<HashSet<_>>().len()
+    }
+
+    /// Conjunction partition `Πc` of a set of partitions: position `i`
+    /// carries the tuple of the members' symbols at `i`, renumbered
+    /// canonically (tuples are "stacked column patterns", so they get fresh
+    /// symbols in a *local* alphabet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or lengths disagree.
+    pub fn conjunction(parts: &[&Partition]) -> Partition {
+        assert!(!parts.is_empty(), "conjunction of zero partitions");
+        let n = parts[0].len();
+        assert!(
+            parts.iter().all(|p| p.len() == n),
+            "conjunction requires equal lengths"
+        );
+        let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut symbols = Vec::with_capacity(n);
+        for i in 0..n {
+            let key: Vec<u32> = parts.iter().map(|p| p.symbols[i]).collect();
+            let next = ids.len() as u32;
+            let id = *ids.entry(key).or_insert(next);
+            symbols.push(id);
+        }
+        Partition { symbols }
+    }
+
+    /// Disjunction partition `Πd` of a set of partitions: the partitions'
+    /// positions concatenated, keeping the *global* symbols (patterns laid
+    /// side by side in a row of the encoding chart).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn disjunction(parts: &[&Partition]) -> Partition {
+        assert!(!parts.is_empty(), "disjunction of zero partitions");
+        let symbols: Vec<u32> = parts.iter().flat_map(|p| p.symbols.iter().copied()).collect();
+        Partition { symbols }
+    }
+
+    /// The groups of positions sharing a symbol, restricted to groups of at
+    /// least two positions — the candidate `Psc`s of this partition (see
+    /// Figure 4(a)). Groups are sorted by their first position.
+    pub fn psc_sets(&self) -> Vec<Vec<usize>> {
+        let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, &s) in self.symbols.iter().enumerate() {
+            groups.entry(s).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = groups
+            .into_values()
+            .filter(|g| g.len() >= 2)
+            .collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+
+    /// Whether some same-symbol group of this partition contains every
+    /// position of `psc` (i.e. this partition "has" the `Psc`).
+    pub fn has_psc(&self, psc: &[usize]) -> bool {
+        if psc.is_empty() {
+            return true;
+        }
+        let s = self.symbols[psc[0]];
+        psc.iter().all(|&p| self.symbols[p] == s)
+    }
+
+    /// Containment per Definition 4.6: `self` is contained by `other` iff
+    /// the multiplicity of `other` equals the multiplicity of the
+    /// conjunction of the two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree.
+    pub fn is_contained_by(&self, other: &Partition) -> bool {
+        Partition::conjunction(&[self, other]).multiplicity() == other.multiplicity()
+    }
+
+    /// Canonically renumbers the symbols by first occurrence (0, 1, ...),
+    /// losing the global alphabet — useful for structural comparison.
+    pub fn canonicalize(&self) -> Partition {
+        let mut ids: HashMap<u32, u32> = HashMap::new();
+        let symbols = self
+            .symbols
+            .iter()
+            .map(|&s| {
+                let next = ids.len() as u32;
+                *ids.entry(s).or_insert(next)
+            })
+            .collect();
+        Partition { symbols }
+    }
+
+    /// Whether two partitions induce the same equivalence on positions
+    /// (equal up to renaming of symbols).
+    pub fn same_grouping(&self, other: &Partition) -> bool {
+        self.len() == other.len() && self.canonicalize() == other.canonicalize()
+    }
+}
+
+impl std::fmt::Display for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<")?;
+        for (i, s) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// A `Psc` shared by several partitions: the position set plus the indices
+/// of the partitions having it (Figure 4(b)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedPsc {
+    /// Positions with the same content.
+    pub positions: Vec<usize>,
+    /// Indices (into the input slice) of partitions having this `Psc`.
+    pub partitions: Vec<usize>,
+}
+
+/// Collects every candidate `Psc` appearing in some partition and lists,
+/// for each, the partitions having it; only `Psc`s shared by at least two
+/// partitions are returned (the paper's Figure 4(b) filter).
+///
+/// Results are sorted by descending `#partitions`, then descending `|Psc|`,
+/// then position order, for deterministic downstream matching.
+pub fn shared_psc_sets(partitions: &[Partition]) -> Vec<SharedPsc> {
+    let mut candidates: Vec<Vec<usize>> = Vec::new();
+    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    for p in partitions {
+        for g in p.psc_sets() {
+            if seen.insert(g.clone()) {
+                candidates.push(g);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for positions in candidates {
+        let having: Vec<usize> = partitions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.has_psc(&positions))
+            .map(|(i, _)| i)
+            .collect();
+        if having.len() >= 2 {
+            out.push(SharedPsc {
+                positions,
+                partitions: having,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.partitions
+            .len()
+            .cmp(&a.partitions.len())
+            .then(b.positions.len().cmp(&a.positions.len()))
+            .then(a.positions.cmp(&b.positions))
+    });
+    out
+}
+
+/// The ten partitions `Π_0 … Π_9` of the paper's Example 3.2, used by the
+/// figure-reproduction tests and benches.
+pub fn example_3_2_partitions() -> Vec<Partition> {
+    vec![
+        Partition::new(vec![0, 1, 2, 3]),
+        Partition::new(vec![0, 2, 1, 3]),
+        Partition::new(vec![3, 0, 1, 3]),
+        Partition::new(vec![2, 1, 0, 1]),
+        Partition::new(vec![0, 1, 3, 1]),
+        Partition::new(vec![0, 1, 0, 2]),
+        Partition::new(vec![1, 0, 0, 0]),
+        Partition::new(vec![1, 1, 2, 1]),
+        Partition::new(vec![1, 2, 1, 2]),
+        Partition::new(vec![3, 2, 1, 0]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_partitions() -> Vec<Partition> {
+        example_3_2_partitions()
+    }
+
+    #[test]
+    fn multiplicity() {
+        let ps = example_partitions();
+        assert_eq!(ps[0].multiplicity(), 4);
+        assert_eq!(ps[2].multiplicity(), 3);
+        assert_eq!(ps[6].multiplicity(), 2);
+    }
+
+    #[test]
+    fn psc_sets_match_figure_4a() {
+        let ps = example_partitions();
+        assert_eq!(ps[2].psc_sets(), vec![vec![0, 3]]);
+        assert_eq!(ps[3].psc_sets(), vec![vec![1, 3]]);
+        assert_eq!(ps[4].psc_sets(), vec![vec![1, 3]]);
+        assert_eq!(ps[5].psc_sets(), vec![vec![0, 2]]);
+        assert_eq!(ps[6].psc_sets(), vec![vec![1, 2, 3]]);
+        assert_eq!(ps[7].psc_sets(), vec![vec![0, 1, 3]]);
+        assert_eq!(ps[8].psc_sets(), vec![vec![0, 2], vec![1, 3]]);
+        assert!(ps[0].psc_sets().is_empty());
+        assert!(ps[1].psc_sets().is_empty());
+        assert!(ps[9].psc_sets().is_empty());
+    }
+
+    #[test]
+    fn shared_psc_match_figure_4b() {
+        let ps = example_partitions();
+        let shared = shared_psc_sets(&ps);
+        // Expected: p1p3 -> {3,4,6,7,8}; p0p3 -> {2,7}; p0p2 -> {5,8}.
+        assert_eq!(shared.len(), 3);
+        assert_eq!(shared[0].positions, vec![1, 3]);
+        assert_eq!(shared[0].partitions, vec![3, 4, 6, 7, 8]);
+        let mut rest: Vec<(Vec<usize>, Vec<usize>)> = shared[1..]
+            .iter()
+            .map(|s| (s.positions.clone(), s.partitions.clone()))
+            .collect();
+        rest.sort();
+        assert_eq!(
+            rest,
+            vec![(vec![0, 2], vec![5, 8]), (vec![0, 3], vec![2, 7])]
+        );
+    }
+
+    #[test]
+    fn conjunction_examples_from_figure_4b() {
+        let ps = example_partitions();
+        // Πc of {Π2, Π7} has same content in p0,p3.
+        let c = Partition::conjunction(&[&ps[2], &ps[7]]);
+        assert_eq!(c.psc_sets(), vec![vec![0, 3]]);
+        // Πc of {Π3,Π4,Π6,Π7,Π8} has same content in p1,p3.
+        let c = Partition::conjunction(&[&ps[3], &ps[4], &ps[6], &ps[7], &ps[8]]);
+        assert_eq!(c.psc_sets(), vec![vec![1, 3]]);
+        // Πc of {Π5, Π8} has same content in p0,p2.
+        let c = Partition::conjunction(&[&ps[5], &ps[8]]);
+        assert_eq!(c.psc_sets(), vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn disjunction_concatenates_global_symbols() {
+        let a = Partition::new(vec![0, 1]);
+        let b = Partition::new(vec![1, 2]);
+        let d = Partition::disjunction(&[&a, &b]);
+        assert_eq!(d.symbols(), &[0, 1, 1, 2]);
+        assert_eq!(d.multiplicity(), 3);
+    }
+
+    #[test]
+    fn conjunction_multiplicity_bounds() {
+        let ps = example_partitions();
+        for i in 0..ps.len() {
+            for j in 0..ps.len() {
+                let c = Partition::conjunction(&[&ps[i], &ps[j]]);
+                assert!(c.multiplicity() >= ps[i].multiplicity().max(ps[j].multiplicity()));
+                assert!(c.multiplicity() <= ps[i].multiplicity() * ps[j].multiplicity());
+            }
+        }
+    }
+
+    #[test]
+    fn containment_definition_4_6() {
+        // A refined partition contains a coarser one.
+        let coarse = Partition::new(vec![0, 0, 1, 1]);
+        let fine = Partition::new(vec![0, 1, 2, 3]);
+        assert!(coarse.is_contained_by(&fine));
+        assert!(!fine.is_contained_by(&coarse));
+        // Every partition contains itself.
+        assert!(coarse.is_contained_by(&coarse));
+    }
+
+    #[test]
+    fn containment_example_4_2() {
+        let p0 = Partition::new(vec![0, 0, 1, 0, 1, 2, 2, 0, 3, 2, 0, 0, 0, 0, 0, 2]);
+        let p1 = Partition::new(vec![0, 1, 2, 0, 2, 3, 3, 2, 4, 3, 0, 2, 1, 5, 1, 3]);
+        let p2 = Partition::new(vec![0, 1, 1, 0, 1, 2, 2, 3, 3, 2, 0, 3, 1, 4, 5, 2]);
+        // Symbols of Π1 and Π2 are local alphabets in the paper; rebuild
+        // Πc12 treating them as distinct patterns (offset Π2's symbols).
+        let p2_global = Partition::new(p2.symbols().iter().map(|&s| s + 100).collect());
+        let c12 = Partition::conjunction(&[&p1, &p2_global]);
+        let c012 = Partition::conjunction(&[&p0, &c12]);
+        assert_eq!(c12.multiplicity(), 8, "paper: multiplicity of Πc012 is 8");
+        assert_eq!(c012.multiplicity(), c12.multiplicity());
+        assert!(p0.is_contained_by(&c12));
+    }
+
+    #[test]
+    fn canonicalize_and_same_grouping() {
+        let a = Partition::new(vec![7, 7, 9]);
+        let b = Partition::new(vec![0, 0, 1]);
+        assert!(a.same_grouping(&b));
+        assert_eq!(a.canonicalize(), b);
+        let c = Partition::new(vec![0, 1, 1]);
+        assert!(!a.same_grouping(&c));
+    }
+
+    #[test]
+    fn display_format() {
+        let p = Partition::new(vec![0, 2, 1]);
+        assert_eq!(p.to_string(), "<0,2,1>");
+    }
+}

@@ -1,0 +1,159 @@
+//! Variable symmetry detection.
+//!
+//! Two inputs are *symmetric* in `f` when swapping them leaves the function
+//! unchanged. Symmetric variables are interchangeable inside bound sets, so
+//! λ-set selection only needs one representative per symmetry class — the
+//! pruning used by the bound-set selection literature the paper builds on
+//! (Shen et al. `[1]`). [`symmetry_classes`] powers
+//! [`crate::varpart::VariablePartitioner::best_bound_set_pruned`].
+
+use hyde_logic::TruthTable;
+
+/// Whether variables `a` and `b` are (non-skew) symmetric in `f`:
+/// `f(..a=0, b=1..) == f(..a=1, b=0..)`.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is out of range.
+pub fn symmetric(f: &TruthTable, a: usize, b: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    let f01 = f.cofactor(a, false).cofactor(b, true);
+    let f10 = f.cofactor(a, true).cofactor(b, false);
+    f01 == f10
+}
+
+/// Partitions the support of `f` into maximal symmetry classes.
+///
+/// Pairwise symmetry is transitive on a function's support, so the classes
+/// are well defined. Variables outside the support are omitted. Classes are
+/// sorted by their smallest member.
+///
+/// # Example
+///
+/// ```
+/// use hyde_core::symmetry::symmetry_classes;
+/// use hyde_logic::TruthTable;
+///
+/// // Majority of three inputs is totally symmetric.
+/// let maj = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+/// assert_eq!(symmetry_classes(&maj), vec![vec![0, 1, 2]]);
+/// ```
+pub fn symmetry_classes(f: &TruthTable) -> Vec<Vec<usize>> {
+    let support = f.support();
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for &v in &support {
+        match classes
+            .iter_mut()
+            .find(|class| symmetric(f, class[0], v))
+        {
+            Some(class) => class.push(v),
+            None => classes.push(vec![v]),
+        }
+    }
+    classes.sort_by_key(|c| c[0]);
+    classes
+}
+
+/// A compact signature of the symmetry structure: the sorted class sizes.
+/// Totally symmetric functions of `n` support variables report `[n]`.
+pub fn symmetry_profile(f: &TruthTable) -> Vec<usize> {
+    let mut sizes: Vec<usize> = symmetry_classes(f).iter().map(Vec::len).collect();
+    sizes.sort_unstable();
+    sizes
+}
+
+/// Canonicalizes a bound set under the symmetry classes of `f`: within each
+/// class only the *number* of chosen variables matters, so the canonical
+/// form takes the smallest members of each class. Two bound sets with the
+/// same canonical form yield identical compatible class counts.
+pub fn canonical_bound_set(f: &TruthTable, bound: &[usize]) -> Vec<usize> {
+    let classes = symmetry_classes(f);
+    let mut canon = Vec::with_capacity(bound.len());
+    let mut outside: Vec<usize> = bound.to_vec();
+    for class in &classes {
+        let picked = bound.iter().filter(|v| class.contains(v)).count();
+        canon.extend(class.iter().take(picked).copied());
+        outside.retain(|v| !class.contains(v));
+    }
+    // Variables outside the support (vacuous) keep their identity.
+    canon.extend(outside);
+    canon.sort_unstable();
+    canon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::class_count;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parity_is_totally_symmetric() {
+        let f = TruthTable::from_fn(6, |m| m.count_ones() % 2 == 1);
+        assert_eq!(symmetry_classes(&f), vec![vec![0, 1, 2, 3, 4, 5]]);
+        assert_eq!(symmetry_profile(&f), vec![6]);
+    }
+
+    #[test]
+    fn mixed_symmetry() {
+        // f = (a ^ b) & c: {a,b} symmetric, c separate.
+        let f = (TruthTable::var(3, 0) ^ TruthTable::var(3, 1)) & TruthTable::var(3, 2);
+        assert_eq!(symmetry_classes(&f), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn asymmetric_function() {
+        // f = a & !b is not symmetric in (a, b).
+        let f = TruthTable::var(2, 0) & !TruthTable::var(2, 1);
+        assert!(!symmetric(&f, 0, 1));
+        assert_eq!(symmetry_classes(&f).len(), 2);
+    }
+
+    #[test]
+    fn vacuous_vars_excluded() {
+        let f = TruthTable::var(4, 1) ^ TruthTable::var(4, 3);
+        let classes = symmetry_classes(&f);
+        assert_eq!(classes, vec![vec![1, 3]]);
+    }
+
+    #[test]
+    fn symmetric_is_reflexive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let f = TruthTable::random(5, &mut rng);
+        for v in 0..5 {
+            assert!(symmetric(&f, v, v));
+        }
+    }
+
+    #[test]
+    fn canonical_bound_sets_preserve_class_count() {
+        // For 9sym (totally symmetric), every 4-subset has the same count
+        // as the canonical {0,1,2,3}.
+        let f = TruthTable::from_fn(9, |m| (3..=6).contains(&m.count_ones()));
+        let canon = canonical_bound_set(&f, &[2, 4, 6, 8]);
+        assert_eq!(canon, vec![0, 1, 2, 3]);
+        assert_eq!(
+            class_count(&f, &[2, 4, 6, 8]).unwrap(),
+            class_count(&f, &canon).unwrap()
+        );
+    }
+
+    #[test]
+    fn canonicalization_respects_partial_symmetry() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        for _ in 0..10 {
+            let f = TruthTable::random(6, &mut rng);
+            for bound in [[0usize, 1, 2], [1, 3, 5], [0, 2, 4]] {
+                let canon = canonical_bound_set(&f, &bound);
+                assert_eq!(canon.len(), bound.len());
+                assert_eq!(
+                    class_count(&f, &bound).unwrap(),
+                    class_count(&f, &canon).unwrap(),
+                    "bound {bound:?} -> canon {canon:?}"
+                );
+            }
+        }
+    }
+}

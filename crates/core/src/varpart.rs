@@ -1,0 +1,422 @@
+//! λ-set (bound set) selection — Problem 1 of the paper.
+//!
+//! HYDE adopts the BDD-based variable partitioning of Jiang et al.
+//! (ASP-DAC 1997, reference `[2]`): among candidate bound sets of the target
+//! size, pick the one minimizing the number of compatible classes. Small
+//! functions are searched exhaustively on truth-table charts; larger ones
+//! switch to BDD cut counting and, beyond a candidate budget, seeded
+//! sampling.
+
+use crate::chart::class_count;
+use crate::CoreError;
+use hyde_logic::TruthTable;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Search strategy for bound-set candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Enumerate every size-`k` subset of the support.
+    Exhaustive,
+    /// Evaluate a fixed number of random subsets (seeded).
+    Sampled {
+        /// Number of candidate subsets.
+        candidates: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Enumerate exhaustively up to a candidate budget, then sample.
+    Auto {
+        /// Budget on the number of candidates before switching to sampling.
+        budget: usize,
+        /// RNG seed for the sampled fallback.
+        seed: u64,
+    },
+}
+
+/// λ-set selector.
+///
+/// # Example
+///
+/// ```
+/// use hyde_core::varpart::VariablePartitioner;
+/// use hyde_logic::TruthTable;
+///
+/// // (a&b)|(c&d): bound {a,b} (or {c,d}) yields only 2 classes.
+/// let f = (TruthTable::var(4, 0) & TruthTable::var(4, 1))
+///     | (TruthTable::var(4, 2) & TruthTable::var(4, 3));
+/// let vp = VariablePartitioner::default();
+/// let (bound, classes) = vp.best_bound_set(&f, 2).unwrap();
+/// assert_eq!(classes, 2);
+/// assert!(bound == vec![0, 1] || bound == vec![2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VariablePartitioner {
+    strategy: SearchStrategy,
+    /// Use BDD cut counting instead of chart hashing above this support
+    /// size (BDD restricts are cheaper than materializing wide charts).
+    bdd_threshold: usize,
+}
+
+impl Default for VariablePartitioner {
+    fn default() -> Self {
+        VariablePartitioner {
+            strategy: SearchStrategy::Auto {
+                budget: 1200,
+                seed: 0x9D5E_C0DE,
+            },
+            bdd_threshold: 12,
+        }
+    }
+}
+
+impl VariablePartitioner {
+    /// Creates a partitioner with an explicit strategy.
+    pub fn new(strategy: SearchStrategy) -> Self {
+        VariablePartitioner {
+            strategy,
+            ..Self::default()
+        }
+    }
+
+    /// Finds the bound set of size `k` (over the support of `f`) with the
+    /// fewest compatible classes. Returns `(bound, class_count)`.
+    ///
+    /// Ties are broken toward the lexicographically smallest bound set so
+    /// runs are reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBoundSet`] if `k` is zero or not smaller
+    /// than the support size.
+    pub fn best_bound_set(&self, f: &TruthTable, k: usize) -> Result<(Vec<usize>, usize), CoreError> {
+        let support = f.support();
+        if k == 0 || k >= support.len() {
+            return Err(CoreError::InvalidBoundSet(format!(
+                "bound size {k} invalid for support of {} variables",
+                support.len()
+            )));
+        }
+        let candidates = self.candidates(&support, k);
+        let use_bdd = f.vars() > self.bdd_threshold;
+        let mut bdd = if use_bdd {
+            let mut b = hyde_bdd::Bdd::new(f.vars());
+            let root = b.from_fn(|m| f.eval(m));
+            Some((b, root))
+        } else {
+            None
+        };
+        let mut best: Option<(Vec<usize>, usize)> = None;
+        for cand in candidates {
+            let count = match &mut bdd {
+                Some((b, root)) => b.compatible_class_count(*root, &cand),
+                None => class_count(f, &cand)?,
+            };
+            let better = match &best {
+                None => true,
+                Some((bb, bc)) => count < *bc || (count == *bc && cand < *bb),
+            };
+            if better {
+                best = Some((cand, count));
+            }
+        }
+        best.ok_or_else(|| CoreError::InvalidBoundSet("no candidate bound sets".into()))
+    }
+
+    /// Like [`Self::best_bound_set`], but prunes candidates through the
+    /// symmetry classes of `f` first: bound sets that are permutations of
+    /// each other within a symmetry class give identical class counts, so
+    /// only one canonical representative is evaluated. On symmetric
+    /// functions (parity, counters, `9sym`) this collapses the search
+    /// dramatically.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::best_bound_set`].
+    pub fn best_bound_set_pruned(
+        &self,
+        f: &TruthTable,
+        k: usize,
+    ) -> Result<(Vec<usize>, usize), CoreError> {
+        let support = f.support();
+        if k == 0 || k >= support.len() {
+            return Err(CoreError::InvalidBoundSet(format!(
+                "bound size {k} invalid for support of {} variables",
+                support.len()
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut pruned = Vec::new();
+        for cand in self.candidates(&support, k) {
+            let canon = crate::symmetry::canonical_bound_set(f, &cand);
+            if seen.insert(canon.clone()) {
+                pruned.push(canon);
+            }
+        }
+        let mut best: Option<(Vec<usize>, usize)> = None;
+        for cand in pruned {
+            let count = class_count(f, &cand)?;
+            let better = match &best {
+                None => true,
+                Some((bb, bc)) => count < *bc || (count == *bc && cand < *bb),
+            };
+            if better {
+                best = Some((cand, count));
+            }
+        }
+        best.ok_or_else(|| CoreError::InvalidBoundSet("no candidate bound sets".into()))
+    }
+
+    /// Like [`Self::best_bound_set`], but candidates are drawn only from
+    /// `allowed` (intersected with the support). Used by hyper-function
+    /// decomposition to keep pseudo primary inputs in the μ set
+    /// (Section 4.3 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBoundSet`] if fewer than `k` allowed
+    /// support variables exist or `k` is zero / not smaller than the
+    /// support size.
+    pub fn best_bound_set_among(
+        &self,
+        f: &TruthTable,
+        k: usize,
+        allowed: &[usize],
+    ) -> Result<(Vec<usize>, usize), CoreError> {
+        let support = f.support();
+        let pool: Vec<usize> = support
+            .iter()
+            .copied()
+            .filter(|v| allowed.contains(v))
+            .collect();
+        if k == 0 || k >= support.len() || pool.len() < k {
+            return Err(CoreError::InvalidBoundSet(format!(
+                "bound size {k} invalid for {} allowed support variables (support {})",
+                pool.len(),
+                support.len()
+            )));
+        }
+        let candidates = self.candidates(&pool, k);
+        let use_bdd = f.vars() > self.bdd_threshold;
+        let mut bdd = if use_bdd {
+            let mut b = hyde_bdd::Bdd::new(f.vars());
+            let root = b.from_fn(|m| f.eval(m));
+            Some((b, root))
+        } else {
+            None
+        };
+        let mut best: Option<(Vec<usize>, usize)> = None;
+        for cand in candidates {
+            let count = match &mut bdd {
+                Some((b, root)) => b.compatible_class_count(*root, &cand),
+                None => class_count(f, &cand)?,
+            };
+            let better = match &best {
+                None => true,
+                Some((bb, bc)) => count < *bc || (count == *bc && cand < *bb),
+            };
+            if better {
+                best = Some((cand, count));
+            }
+        }
+        best.ok_or_else(|| CoreError::InvalidBoundSet("no candidate bound sets".into()))
+    }
+
+    /// Like [`Self::best_bound_set`] but only counts classes for one given
+    /// bound set (convenience for evaluation loops).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chart construction errors.
+    pub fn count_classes(&self, f: &TruthTable, bound: &[usize]) -> Result<usize, CoreError> {
+        class_count(f, bound)
+    }
+
+    fn candidates(&self, support: &[usize], k: usize) -> Vec<Vec<usize>> {
+        let total = binomial(support.len(), k);
+        match self.strategy {
+            SearchStrategy::Exhaustive => combinations(support, k),
+            SearchStrategy::Sampled { candidates, seed } => {
+                sample_subsets(support, k, candidates, seed)
+            }
+            SearchStrategy::Auto { budget, seed } => {
+                if total <= budget as u128 {
+                    combinations(support, k)
+                } else {
+                    sample_subsets(support, k, budget, seed)
+                }
+            }
+        }
+    }
+}
+
+fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let mut r: u128 = 1;
+    for i in 0..k.min(n - k) {
+        r = r * (n - i) as u128 / (i + 1) as u128;
+    }
+    r
+}
+
+fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    let n = items.len();
+    loop {
+        out.push(idx.iter().map(|&i| items[i]).collect());
+        // Advance the combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+        }
+        if idx[i] == i + n - k {
+            return out;
+        }
+        idx[i] += 1;
+        for j in (i + 1)..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+fn sample_subsets(items: &[usize], k: usize, count: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < count * 8 {
+        attempts += 1;
+        let mut pick: Vec<usize> = items.to_vec();
+        pick.shuffle(&mut rng);
+        pick.truncate(k);
+        pick.sort_unstable();
+        if seen.insert(pick.clone()) {
+            out.push(pick);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(16, 5), 4368);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(7, 0), 1);
+    }
+
+    #[test]
+    fn combinations_enumerate_all() {
+        let c = combinations(&[10, 20, 30, 40], 2);
+        assert_eq!(c.len(), 6);
+        assert!(c.contains(&vec![10, 40]));
+        assert!(c.contains(&vec![20, 30]));
+    }
+
+    #[test]
+    fn finds_the_decomposable_bound() {
+        let f = (TruthTable::var(6, 0) & TruthTable::var(6, 1) & TruthTable::var(6, 2))
+            | (TruthTable::var(6, 3) & TruthTable::var(6, 4) & TruthTable::var(6, 5));
+        let vp = VariablePartitioner::new(SearchStrategy::Exhaustive);
+        let (bound, classes) = vp.best_bound_set(&f, 3).unwrap();
+        assert_eq!(classes, 2);
+        assert!(bound == vec![0, 1, 2] || bound == vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn sampled_strategy_is_deterministic() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = TruthTable::random(10, &mut rng);
+        let vp = VariablePartitioner::new(SearchStrategy::Sampled {
+            candidates: 30,
+            seed: 11,
+        });
+        let a = vp.best_bound_set(&f, 4).unwrap();
+        let b = vp.best_bound_set(&f, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn auto_matches_exhaustive_when_small() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(6);
+        let f = TruthTable::random(7, &mut rng);
+        let auto = VariablePartitioner::default().best_bound_set(&f, 3).unwrap();
+        let exh = VariablePartitioner::new(SearchStrategy::Exhaustive)
+            .best_bound_set(&f, 3)
+            .unwrap();
+        assert_eq!(auto, exh);
+    }
+
+    #[test]
+    fn bdd_path_agrees_with_chart_path() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let f = TruthTable::random(9, &mut rng);
+        let chart_vp = VariablePartitioner {
+            strategy: SearchStrategy::Exhaustive,
+            bdd_threshold: 30,
+        };
+        let bdd_vp = VariablePartitioner {
+            strategy: SearchStrategy::Exhaustive,
+            bdd_threshold: 1,
+        };
+        let a = chart_vp.best_bound_set(&f, 3).unwrap();
+        let b = bdd_vp.best_bound_set(&f, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        let f = TruthTable::var(3, 0) & TruthTable::var(3, 1);
+        let vp = VariablePartitioner::default();
+        assert!(vp.best_bound_set(&f, 0).is_err());
+        assert!(vp.best_bound_set(&f, 2).is_err()); // support is only 2
+    }
+
+    #[test]
+    fn pruned_search_agrees_with_plain_search() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2024);
+        let vp = VariablePartitioner::new(SearchStrategy::Exhaustive);
+        for _ in 0..5 {
+            let f = TruthTable::random(7, &mut rng);
+            let plain = vp.best_bound_set(&f, 3).unwrap();
+            let pruned = vp.best_bound_set_pruned(&f, 3).unwrap();
+            assert_eq!(plain.1, pruned.1, "class counts must agree");
+        }
+        // Totally symmetric function: pruning is massive but the count is
+        // identical.
+        let sym = TruthTable::from_fn(9, |m| (3..=6).contains(&m.count_ones()));
+        let plain = vp.best_bound_set(&sym, 4).unwrap();
+        let pruned = vp.best_bound_set_pruned(&sym, 4).unwrap();
+        assert_eq!(plain.1, pruned.1);
+        assert_eq!(pruned.0, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ignores_vacuous_variables() {
+        // f over 6 vars but depends only on 0..4.
+        let f = (TruthTable::var(6, 0) & TruthTable::var(6, 1))
+            | (TruthTable::var(6, 2) & TruthTable::var(6, 3));
+        let vp = VariablePartitioner::new(SearchStrategy::Exhaustive);
+        let (bound, classes) = vp.best_bound_set(&f, 2).unwrap();
+        assert!(bound.iter().all(|&v| v < 4));
+        assert_eq!(classes, 2);
+    }
+}

@@ -1,0 +1,392 @@
+//! Maximum-cardinality matching in general graphs (Edmonds' blossom
+//! algorithm).
+//!
+//! The HYDE encoding procedure finds a *maximum-cardinality matching* of the
+//! row graph `Gr` (Step 7 of the encoding procedure, Fig. 3 of the paper) and
+//! the XC3000 CLB packer pairs 4-input LUTs with a maximum matching of the
+//! compatibility graph. Both graphs are general (non-bipartite), so an
+//! augmenting-path search with blossom contraction is required for exactness.
+//!
+//! The implementation follows Gabow's `O(V^3)` formulation: repeated BFS for
+//! augmenting paths with on-the-fly blossom contraction tracked through a
+//! `base` array.
+
+/// Computes a maximum-cardinality matching of an undirected graph.
+///
+/// `n` is the number of vertices (numbered `0..n`); `edges` lists undirected
+/// edges as vertex pairs. Self-loops and duplicate edges are tolerated
+/// (self-loops are ignored, duplicates are harmless).
+///
+/// Returns the matched pairs, each reported once with the smaller endpoint
+/// first, sorted.
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is `>= n`.
+///
+/// # Example
+///
+/// ```
+/// use hyde_graph::blossom::maximum_matching;
+///
+/// // Odd cycle (triangle) plus a pendant: maximum matching has 2 edges.
+/// let m = maximum_matching(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(m.len(), 2);
+/// ```
+pub fn maximum_matching(n: usize, edges: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mate = maximum_matching_mates(n, edges);
+    let mut out = Vec::new();
+    for v in 0..n {
+        if let Some(u) = mate[v] {
+            if v < u {
+                out.push((v, u));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Like [`maximum_matching`], but returns the raw mate array:
+/// `mate[v] == Some(u)` iff `v` is matched to `u`.
+pub fn maximum_matching_mates(n: usize, edges: &[(usize, usize)]) -> Vec<Option<usize>> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge endpoint out of range");
+        if u == v {
+            continue;
+        }
+        adj[u].push(v);
+        adj[v].push(u);
+    }
+    Matcher::new(adj).run()
+}
+
+struct Matcher {
+    adj: Vec<Vec<usize>>,
+    mate: Vec<Option<usize>>,
+    /// parent pointer in the alternating forest ("label" edge back)
+    parent: Vec<Option<usize>>,
+    /// base vertex of the blossom currently containing each vertex
+    base: Vec<usize>,
+    queue: Vec<usize>,
+    in_queue: Vec<bool>,
+    in_blossom: Vec<bool>,
+    in_path: Vec<bool>,
+}
+
+impl Matcher {
+    fn new(adj: Vec<Vec<usize>>) -> Self {
+        let n = adj.len();
+        Matcher {
+            adj,
+            mate: vec![None; n],
+            parent: vec![None; n],
+            base: (0..n).collect(),
+            queue: Vec::new(),
+            in_queue: vec![false; n],
+            in_blossom: vec![false; n],
+            in_path: vec![false; n],
+        }
+    }
+
+    fn run(mut self) -> Vec<Option<usize>> {
+        let n = self.adj.len();
+        // Greedy initialization speeds up the augmenting phase considerably.
+        for v in 0..n {
+            if self.mate[v].is_none() {
+                for i in 0..self.adj[v].len() {
+                    let u = self.adj[v][i];
+                    if self.mate[u].is_none() {
+                        self.mate[v] = Some(u);
+                        self.mate[u] = Some(v);
+                        break;
+                    }
+                }
+            }
+        }
+        for root in 0..n {
+            if self.mate[root].is_none() {
+                if let Some(leaf) = self.find_augmenting_path(root) {
+                    self.augment(leaf);
+                }
+            }
+        }
+        self.mate
+    }
+
+    /// Walks matched/parent pointers from the exposed leaf back to the root,
+    /// flipping matched edges along the way.
+    fn augment(&mut self, mut v: usize) {
+        while let Some(pv) = self.parent[v] {
+            let ppv = self.mate[pv];
+            self.mate[v] = Some(pv);
+            self.mate[pv] = Some(v);
+            match ppv {
+                Some(next) => v = next,
+                None => break,
+            }
+        }
+    }
+
+    /// Finds the lowest common ancestor of `u` and `v` in the alternating
+    /// forest, walking via blossom bases.
+    fn lca(&mut self, mut u: usize, mut v: usize) -> usize {
+        for f in self.in_path.iter_mut() {
+            *f = false;
+        }
+        loop {
+            u = self.base[u];
+            self.in_path[u] = true;
+            match self.mate[u] {
+                Some(m) => match self.parent[m] {
+                    Some(p) => u = p,
+                    None => break,
+                },
+                None => break,
+            }
+        }
+        loop {
+            v = self.base[v];
+            if self.in_path[v] {
+                return v;
+            }
+            let m = self.mate[v].expect("forest vertex below root must be matched");
+            v = self.parent[m].expect("matched forest vertex must have a parent");
+        }
+    }
+
+    /// Marks the path from `v` up to the blossom base `b`, re-parenting odd
+    /// vertices through `child` so they become usable even vertices.
+    fn mark_path(&mut self, mut v: usize, b: usize, mut child: usize) {
+        while self.base[v] != b {
+            let mv = self.mate[v].expect("blossom vertex must be matched");
+            self.in_blossom[self.base[v]] = true;
+            self.in_blossom[self.base[mv]] = true;
+            self.parent[v] = Some(child);
+            child = mv;
+            v = self.parent[mv].expect("blossom path must continue to base");
+        }
+    }
+
+    fn contract_blossom(&mut self, u: usize, v: usize) {
+        let b = self.lca(u, v);
+        for f in self.in_blossom.iter_mut() {
+            *f = false;
+        }
+        self.mark_path(u, b, v);
+        self.mark_path(v, b, u);
+        for w in 0..self.adj.len() {
+            if self.in_blossom[self.base[w]] {
+                self.base[w] = b;
+                if !self.in_queue[w] {
+                    self.in_queue[w] = true;
+                    self.queue.push(w);
+                }
+            }
+        }
+    }
+
+    /// BFS from an exposed `root`; returns the exposed vertex ending an
+    /// augmenting path, if one exists.
+    fn find_augmenting_path(&mut self, root: usize) -> Option<usize> {
+        let n = self.adj.len();
+        for v in 0..n {
+            self.parent[v] = None;
+            self.base[v] = v;
+            self.in_queue[v] = false;
+        }
+        self.queue.clear();
+        self.queue.push(root);
+        self.in_queue[root] = true;
+
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            for i in 0..self.adj[v].len() {
+                let u = self.adj[v][i];
+                if self.base[v] == self.base[u] || self.mate[v] == Some(u) {
+                    continue;
+                }
+                if u == root || self.mate[u].map(|mu| self.parent[mu].is_some()) == Some(true) {
+                    // `u` is an even vertex in the forest: odd cycle found.
+                    self.contract_blossom(v, u);
+                    head = head.min(self.queue.len());
+                } else if self.parent[u].is_none() {
+                    self.parent[u] = Some(v);
+                    match self.mate[u] {
+                        None => return Some(u), // augmenting path found
+                        Some(mu) => {
+                            if !self.in_queue[mu] {
+                                self.in_queue[mu] = true;
+                                self.queue.push(mu);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_max_matching(n: usize, edges: &[(usize, usize)]) -> usize {
+        // Exponential search over edge subsets; fine for tiny graphs.
+        fn rec(edges: &[(usize, usize)], used: &mut Vec<bool>, i: usize) -> usize {
+            if i == edges.len() {
+                return 0;
+            }
+            let mut best = rec(edges, used, i + 1);
+            let (u, v) = edges[i];
+            if !used[u] && !used[v] && u != v {
+                used[u] = true;
+                used[v] = true;
+                best = best.max(1 + rec(edges, used, i + 1));
+                used[u] = false;
+                used[v] = false;
+            }
+            best
+        }
+        rec(edges, &mut vec![false; n], 0)
+    }
+
+    fn check_valid(n: usize, edges: &[(usize, usize)], m: &[(usize, usize)]) {
+        let mut used = vec![false; n];
+        for &(u, v) in m {
+            assert!(
+                edges.iter().any(|&(a, b)| (a, b) == (u, v) || (b, a) == (u, v)),
+                "matched pair ({u},{v}) is not an edge"
+            );
+            assert!(!used[u] && !used[v], "vertex matched twice");
+            used[u] = true;
+            used[v] = true;
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(maximum_matching(0, &[]).is_empty());
+        assert!(maximum_matching(5, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        assert_eq!(maximum_matching(2, &[(0, 1)]), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn self_loop_ignored() {
+        assert!(maximum_matching(1, &[(0, 0)]).is_empty());
+    }
+
+    #[test]
+    fn path_graph() {
+        // 0-1-2-3-4: maximum matching 2.
+        let m = maximum_matching(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn triangle_needs_blossom_awareness() {
+        let edges = [(0, 1), (1, 2), (2, 0)];
+        let m = maximum_matching(3, &edges);
+        assert_eq!(m.len(), 1);
+        check_valid(3, &edges, &m);
+    }
+
+    #[test]
+    fn petersen_graph_has_perfect_matching() {
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0), // outer cycle
+            (5, 7),
+            (7, 9),
+            (9, 6),
+            (6, 8),
+            (8, 5), // inner star
+            (0, 5),
+            (1, 6),
+            (2, 7),
+            (3, 8),
+            (4, 9), // spokes
+        ];
+        let m = maximum_matching(10, &edges);
+        assert_eq!(m.len(), 5);
+        check_valid(10, &edges, &m);
+    }
+
+    #[test]
+    fn two_triangles_bridged() {
+        // Classic blossom test: two triangles joined by an edge.
+        let edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)];
+        let m = maximum_matching(6, &edges);
+        assert_eq!(m.len(), 3);
+        check_valid(6, &edges, &m);
+    }
+
+    #[test]
+    fn odd_cycle_with_tail() {
+        // 5-cycle 0..4 plus tail 4-5-6.
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (4, 5), (5, 6)];
+        let m = maximum_matching(7, &edges);
+        assert_eq!(m.len(), 3);
+        check_valid(7, &edges, &m);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xB105_50E3);
+        for trial in 0..200 {
+            let n = 2 + (trial % 8);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.45) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let m = maximum_matching(n, &edges);
+            check_valid(n, &edges, &m);
+            let best = brute_force_max_matching(n, &edges);
+            assert_eq!(m.len(), best, "n={n} edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn large_random_graph_is_consistent() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 200;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.03) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let m = maximum_matching(n, &edges);
+        check_valid(n, &edges, &m);
+        // A maximum matching is at least as large as any greedy maximal one.
+        let mut used = vec![false; n];
+        let mut greedy = 0;
+        for &(u, v) in &edges {
+            if !used[u] && !used[v] {
+                used[u] = true;
+                used[v] = true;
+                greedy += 1;
+            }
+        }
+        assert!(m.len() >= greedy);
+    }
+}

@@ -1,0 +1,278 @@
+//! Exact maximum-weight bipartite *b*-matching.
+//!
+//! Step 5 of the HYDE encoding procedure builds a bipartite *column graph*
+//! `Gc(Vc, Uc, Ec)`: one vertex per partition in `Vc`, one vertex per
+//! same-content position set (`Psc`) in `Uc`, and weighted edges between
+//! them. It then asks for a *b-matching of maximum weight* in which every
+//! `Vc` vertex has degree at most 1 and every `Uc` vertex degree at most
+//! `#R` (the paper cites Nemhauser & Wolsey for the b-matching machinery).
+//!
+//! We solve the problem exactly by reduction to min-cost max-flow with
+//! negated weights, taking the best answer over every achievable flow value
+//! (successive shortest paths produce the cheapest flow *per flow value*, so
+//! scanning prefix costs yields the maximum-weight — not maximum-cardinality
+//! — matching).
+
+use crate::mcmf::MinCostFlow;
+
+/// A maximum-weight bipartite b-matching problem.
+///
+/// Left vertices (`0..left`) have degree cap `left_cap[i]`; right vertices
+/// (`0..right`) have cap `right_cap[j]`. Edges carry integer weights; only
+/// edges with positive weight can improve the objective, but zero/negative
+/// weight edges are accepted and simply never selected.
+#[derive(Debug, Clone, Default)]
+pub struct BMatchingProblem {
+    left_cap: Vec<i64>,
+    right_cap: Vec<i64>,
+    edges: Vec<(usize, usize, i64)>,
+}
+
+impl BMatchingProblem {
+    /// Creates a problem with the given per-side degree capacities.
+    pub fn new(left_cap: Vec<i64>, right_cap: Vec<i64>) -> Self {
+        BMatchingProblem {
+            left_cap,
+            right_cap,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an edge between left vertex `l` and right vertex `r` with the
+    /// given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` or `r` is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize, weight: i64) {
+        assert!(l < self.left_cap.len(), "left vertex out of range");
+        assert!(r < self.right_cap.len(), "right vertex out of range");
+        self.edges.push((l, r, weight));
+    }
+
+    /// Solves the problem; see [`max_weight_b_matching`].
+    pub fn solve(&self) -> BMatching {
+        max_weight_b_matching(&self.left_cap, &self.right_cap, &self.edges)
+    }
+}
+
+/// Result of a b-matching solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BMatching {
+    /// Selected edges as `(left, right, weight)`.
+    pub edges: Vec<(usize, usize, i64)>,
+    /// Sum of selected edge weights.
+    pub weight: i64,
+}
+
+/// Computes an exact maximum-weight b-matching of a bipartite graph.
+///
+/// `left_cap[i]` / `right_cap[j]` bound the degree of each vertex in the
+/// matching. Edges with non-positive weight are never selected (selecting
+/// them cannot increase the weight, and the empty matching is feasible).
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is out of range or a capacity is negative.
+///
+/// # Example
+///
+/// ```
+/// use hyde_graph::max_weight_b_matching;
+///
+/// // One right vertex with capacity 2 can absorb both left vertices.
+/// let m = max_weight_b_matching(&[1, 1], &[2], &[(0, 0, 5), (1, 0, 7)]);
+/// assert_eq!(m.weight, 12);
+/// assert_eq!(m.edges.len(), 2);
+/// ```
+pub fn max_weight_b_matching(
+    left_cap: &[i64],
+    right_cap: &[i64],
+    edges: &[(usize, usize, i64)],
+) -> BMatching {
+    for &c in left_cap.iter().chain(right_cap) {
+        assert!(c >= 0, "capacities must be non-negative");
+    }
+    let nl = left_cap.len();
+    let nr = right_cap.len();
+    // Node layout: 0 = source, 1..=nl left, nl+1..=nl+nr right, last = sink.
+    let source = 0;
+    let sink = nl + nr + 1;
+    let mut net = MinCostFlow::new(nl + nr + 2);
+    for (i, &c) in left_cap.iter().enumerate() {
+        net.add_edge(source, 1 + i, c, 0);
+    }
+    for (j, &c) in right_cap.iter().enumerate() {
+        net.add_edge(nl + 1 + j, sink, c, 0);
+    }
+    let mut ids = Vec::with_capacity(edges.len());
+    for &(l, r, w) in edges {
+        assert!(l < nl && r < nr, "edge endpoint out of range");
+        if w <= 0 {
+            ids.push(None);
+            continue;
+        }
+        ids.push(Some(net.add_edge(1 + l, nl + 1 + r, 1, -w)));
+    }
+    // Successive shortest paths route the most negative (highest-weight)
+    // augmenting paths first, so once the marginal path cost becomes
+    // non-negative, additional flow can only reduce total weight. Stop there
+    // by probing one unit at a time.
+    let mut total_cost = 0i64;
+    loop {
+        let mut probe = net.clone();
+        let (f, c) = probe.run(source, sink, 1);
+        if f == 0 || c >= 0 {
+            break;
+        }
+        let (_, c2) = net.run(source, sink, 1);
+        debug_assert_eq!(c, c2);
+        total_cost += c2;
+    }
+    let mut selected = Vec::new();
+    for (k, id) in ids.iter().enumerate() {
+        if let Some(id) = id {
+            if net.flow_on(*id) > 0 {
+                selected.push(edges[k]);
+            }
+        }
+    }
+    BMatching {
+        edges: selected,
+        weight: -total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(left_cap: &[i64], right_cap: &[i64], edges: &[(usize, usize, i64)]) -> i64 {
+        let m = edges.len();
+        let mut best = 0i64;
+        for mask in 0u32..(1 << m) {
+            let mut ld = vec![0i64; left_cap.len()];
+            let mut rd = vec![0i64; right_cap.len()];
+            let mut w = 0i64;
+            let mut ok = true;
+            for (k, &(l, r, wt)) in edges.iter().enumerate() {
+                if mask >> k & 1 == 1 {
+                    ld[l] += 1;
+                    rd[r] += 1;
+                    w += wt;
+                    if ld[l] > left_cap[l] || rd[r] > right_cap[r] {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                best = best.max(w);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn empty_problem() {
+        let m = max_weight_b_matching(&[], &[], &[]);
+        assert_eq!(m.weight, 0);
+        assert!(m.edges.is_empty());
+    }
+
+    #[test]
+    fn single_best_edge_wins() {
+        let m = max_weight_b_matching(&[1], &[1, 1], &[(0, 0, 3), (0, 1, 9)]);
+        assert_eq!(m.weight, 9);
+        assert_eq!(m.edges, vec![(0, 1, 9)]);
+    }
+
+    #[test]
+    fn capacity_limits_selection() {
+        // Right cap 1: only the heavier of the two left edges is taken.
+        let m = max_weight_b_matching(&[1, 1], &[1], &[(0, 0, 5), (1, 0, 7)]);
+        assert_eq!(m.weight, 7);
+    }
+
+    #[test]
+    fn prefers_weight_over_cardinality() {
+        // Taking the single weight-10 edge beats two weight-4 edges.
+        let m = max_weight_b_matching(
+            &[1, 1, 1],
+            &[1, 1],
+            &[(0, 0, 10), (1, 0, 4), (2, 1, 4), (0, 1, 9)],
+        );
+        // Best: (0,0,10) + (2,1,4) = 14.
+        assert_eq!(m.weight, 14);
+    }
+
+    #[test]
+    fn zero_and_negative_weights_never_selected() {
+        let m = max_weight_b_matching(&[1, 1], &[2], &[(0, 0, 0), (1, 0, -5)]);
+        assert_eq!(m.weight, 0);
+        assert!(m.edges.is_empty());
+    }
+
+    #[test]
+    fn hyde_paper_column_graph_shape() {
+        // Mirror of Fig. 5: 10 partitions, Psc vertices with #R = 4 caps.
+        // Psc13 connects {3,4,6,7,8} (5 edges), Psc03 connects {2,7},
+        // Psc02 connects {5,8}. Weights = |Psc| + degree.
+        let left_cap = vec![1i64; 10];
+        let right_cap = vec![4i64; 3]; // u13, u03, u02
+        let mut edges = Vec::new();
+        for &p in &[3usize, 4, 6, 7, 8] {
+            edges.push((p, 0usize, 2 + 5i64)); // Psc13
+        }
+        for &p in &[2usize, 7] {
+            edges.push((p, 1usize, 2 + 2i64)); // Psc03
+        }
+        for &p in &[5usize, 8] {
+            edges.push((p, 2usize, 2 + 2i64)); // Psc02
+        }
+        let m = max_weight_b_matching(&left_cap, &right_cap, &edges);
+        let bf = brute_force(&left_cap, &right_cap, &edges);
+        assert_eq!(m.weight, bf);
+        // Degree constraints hold.
+        let mut deg = vec![0; 10];
+        for &(l, _, _) in &m.edges {
+            deg[l] += 1;
+            assert!(deg[l] <= 1);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..150 {
+            let nl = rng.gen_range(1..5usize);
+            let nr = rng.gen_range(1..4usize);
+            let left_cap: Vec<i64> = (0..nl).map(|_| rng.gen_range(0..3)).collect();
+            let right_cap: Vec<i64> = (0..nr).map(|_| rng.gen_range(0..4)).collect();
+            let mut edges = Vec::new();
+            for l in 0..nl {
+                for r in 0..nr {
+                    if rng.gen_bool(0.6) {
+                        edges.push((l, r, rng.gen_range(-3..10i64)));
+                    }
+                }
+            }
+            if edges.len() > 16 {
+                edges.truncate(16);
+            }
+            let m = max_weight_b_matching(&left_cap, &right_cap, &edges);
+            let bf = brute_force(&left_cap, &right_cap, &edges);
+            assert_eq!(m.weight, bf, "caps {left_cap:?}/{right_cap:?} edges {edges:?}");
+        }
+    }
+
+    #[test]
+    fn builder_api_roundtrip() {
+        let mut p = BMatchingProblem::new(vec![1, 1], vec![1]);
+        p.add_edge(0, 0, 2);
+        p.add_edge(1, 0, 3);
+        let m = p.solve();
+        assert_eq!(m.weight, 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! Clique partitioning heuristic for the don't-care assignment of Section
+//! 3.1 of the HYDE paper.
+//!
+//! Vertices are λ-set cells (chart columns); an edge connects two cells iff
+//! they can be made compatible under some don't-care assignment. HYDE wants
+//! the minimum number of cliques covering every vertex exactly once — each
+//! clique collapses into one compatible class. The problem is NP-complete,
+//! so, following the paper's citation of Gajski et al. (*High-Level
+//! Synthesis*), we use the Tseng–Siewiorek style polynomial heuristic:
+//! repeatedly merge the pair of compatible super-vertices with the largest
+//! number of common compatible neighbours.
+
+/// A partition of `0..n` into cliques of a compatibility graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliquePartition {
+    /// The cliques; every vertex appears in exactly one, each clique sorted.
+    pub cliques: Vec<Vec<usize>>,
+    /// `class_of[v]` = index into `cliques` containing `v`.
+    pub class_of: Vec<usize>,
+}
+
+impl CliquePartition {
+    /// Number of cliques (compatible classes after don't-care assignment).
+    pub fn len(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// Whether the partition is empty (zero vertices).
+    pub fn is_empty(&self) -> bool {
+        self.cliques.is_empty()
+    }
+}
+
+/// Partitions the vertices `0..n` of an undirected compatibility graph into
+/// a small number of cliques.
+///
+/// `compatible(u, v)` must be symmetric and is queried for `u != v`. The
+/// result covers every vertex exactly once and every returned group is a
+/// clique under `compatible`.
+///
+/// The heuristic runs in `O(n^3)` worst case: candidate super-vertex pairs
+/// are scored by their number of common mergeable neighbours (ties broken by
+/// smaller index for determinism), merged until no mergeable pair remains.
+///
+/// # Example
+///
+/// ```
+/// use hyde_graph::partition_into_cliques;
+///
+/// // 0-1-2 is a triangle, 3 is isolated: 2 cliques.
+/// let adj = [[false, true, true, false],
+///            [true, false, true, false],
+///            [true, true, false, false],
+///            [false, false, false, false]];
+/// let p = partition_into_cliques(4, |u, v| adj[u][v]);
+/// assert_eq!(p.len(), 2);
+/// ```
+pub fn partition_into_cliques<F>(n: usize, compatible: F) -> CliquePartition
+where
+    F: Fn(usize, usize) -> bool,
+{
+    // Super-vertices: groups of original vertices already merged.
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut alive: Vec<bool> = vec![true; n];
+
+    // Two super-vertices can merge iff every cross pair is compatible
+    // (cliques must stay cliques).
+    let mergeable = |groups: &Vec<Vec<usize>>, a: usize, b: usize| -> bool {
+        groups[a]
+            .iter()
+            .all(|&u| groups[b].iter().all(|&v| compatible(u, v)))
+    };
+
+    loop {
+        // Find the mergeable pair with the most common mergeable neighbours.
+        let mut best: Option<(usize, usize, usize)> = None; // (score, a, b)
+        let live: Vec<usize> = (0..groups.len()).filter(|&i| alive[i]).collect();
+        for (ia, &a) in live.iter().enumerate() {
+            for &b in &live[ia + 1..] {
+                if !mergeable(&groups, a, b) {
+                    continue;
+                }
+                let score = live
+                    .iter()
+                    .filter(|&&c| {
+                        c != a && c != b && mergeable(&groups, a, c) && mergeable(&groups, b, c)
+                    })
+                    .count();
+                let cand = (score, a, b);
+                best = Some(match best {
+                    None => cand,
+                    Some(prev) => {
+                        if cand.0 > prev.0 {
+                            cand
+                        } else {
+                            prev
+                        }
+                    }
+                });
+            }
+        }
+        match best {
+            None => break,
+            Some((_, a, b)) => {
+                let moved = std::mem::take(&mut groups[b]);
+                groups[a].extend(moved);
+                alive[b] = false;
+            }
+        }
+    }
+
+    let mut cliques: Vec<Vec<usize>> = groups
+        .into_iter()
+        .zip(alive)
+        .filter(|(_, live)| *live)
+        .map(|(mut g, _)| {
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    cliques.sort();
+    let mut class_of = vec![0usize; n];
+    for (i, c) in cliques.iter().enumerate() {
+        for &v in c {
+            class_of[v] = i;
+        }
+    }
+    CliquePartition { cliques, class_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(n: usize, p: &CliquePartition, compatible: impl Fn(usize, usize) -> bool) {
+        let mut seen = vec![false; n];
+        for c in &p.cliques {
+            for (i, &u) in c.iter().enumerate() {
+                assert!(!seen[u], "vertex {u} covered twice");
+                seen[u] = true;
+                for &v in &c[i + 1..] {
+                    assert!(compatible(u, v), "non-clique pair ({u},{v})");
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some vertex uncovered");
+        for (v, &cls) in p.class_of.iter().enumerate() {
+            assert!(p.cliques[cls].contains(&v));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let p = partition_into_cliques(0, |_, _| true);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn all_compatible_is_single_clique() {
+        let p = partition_into_cliques(6, |_, _| true);
+        assert_eq!(p.len(), 1);
+        check(6, &p, |_, _| true);
+    }
+
+    #[test]
+    fn no_edges_gives_singletons() {
+        let p = partition_into_cliques(5, |_, _| false);
+        assert_eq!(p.len(), 5);
+        check(5, &p, |_, _| false);
+    }
+
+    #[test]
+    fn two_disjoint_triangles() {
+        let compatible = |u: usize, v: usize| (u / 3) == (v / 3);
+        let p = partition_into_cliques(6, compatible);
+        assert_eq!(p.len(), 2);
+        check(6, &p, compatible);
+    }
+
+    #[test]
+    fn path_graph_needs_ceil_half() {
+        // Path 0-1-2-3: cliques are edges/vertices; optimum is 2.
+        let compatible = |u: usize, v: usize| u.abs_diff(v) == 1;
+        let p = partition_into_cliques(4, compatible);
+        assert_eq!(p.len(), 2);
+        check(4, &p, compatible);
+    }
+
+    #[test]
+    fn five_cycle() {
+        // C5: max clique size 2, optimum partition = 3 cliques.
+        let compatible = |u: usize, v: usize| (u + 1) % 5 == v || (v + 1) % 5 == u;
+        let p = partition_into_cliques(5, compatible);
+        assert_eq!(p.len(), 3);
+        check(5, &p, compatible);
+    }
+
+    #[test]
+    fn heuristic_not_fooled_by_star() {
+        // Star K1,4: center compatible with all leaves, leaves mutually not.
+        // Optimum: 4 cliques (center pairs with one leaf).
+        let compatible = |u: usize, v: usize| u == 0 || v == 0;
+        let p = partition_into_cliques(5, compatible);
+        assert_eq!(p.len(), 4);
+        check(5, &p, compatible);
+    }
+
+    #[test]
+    fn random_graphs_always_valid() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..12usize);
+            let mut adj = vec![vec![false; n]; n];
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let e = rng.gen_bool(0.5);
+                    adj[u][v] = e;
+                    adj[v][u] = e;
+                }
+            }
+            let p = partition_into_cliques(n, |u, v| adj[u][v]);
+            check(n, &p, |u, v| adj[u][v]);
+            assert!(p.len() <= n);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Exact maximum-weight matching on small graphs by bitmask dynamic
+//! programming.
+//!
+//! The encoding procedure's row matching is heuristic (greedy weight order
+//! over a maximum-cardinality matching, as the paper prescribes); this
+//! exact `O(2^n · n)` solver bounds how much that heuristic gives up and
+//! serves as the test oracle for the other matching engines. Practical up
+//! to ~22 vertices.
+
+/// Computes an exact maximum-weight matching.
+///
+/// Only edges with positive weight are used (a maximum-weight matching
+/// never benefits from non-positive edges). Returns the selected edges and
+/// the total weight.
+///
+/// # Panics
+///
+/// Panics if `n > 24` (the DP table would be too large) or an endpoint is
+/// out of range.
+///
+/// # Example
+///
+/// ```
+/// use hyde_graph::exact::max_weight_matching_exact;
+///
+/// let (edges, w) = max_weight_matching_exact(4, &[(0, 1, 3), (1, 2, 5), (2, 3, 3)]);
+/// // Taking the two outer edges (3 + 3) beats the single middle edge (5).
+/// assert_eq!(w, 6);
+/// assert_eq!(edges.len(), 2);
+/// ```
+pub fn max_weight_matching_exact(
+    n: usize,
+    edges: &[(usize, usize, i64)],
+) -> (Vec<(usize, usize, i64)>, i64) {
+    assert!(n <= 24, "exact matching limited to 24 vertices");
+    let useful: Vec<(usize, usize, i64)> = edges
+        .iter()
+        .copied()
+        .filter(|&(u, v, w)| u != v && w > 0)
+        .collect();
+    for &(u, v, _) in &useful {
+        assert!(u < n && v < n, "edge endpoint out of range");
+    }
+    let full = 1usize << n;
+    // dp[mask] = best weight using only vertices in `mask`.
+    let mut dp = vec![0i64; full];
+    let mut choice: Vec<Option<usize>> = vec![None; full];
+    for mask in 1..full {
+        // Skip masks whose lowest vertex is unmatched (it either stays
+        // unmatched or pairs with someone).
+        let low = mask.trailing_zeros() as usize;
+        let without = mask & !(1 << low);
+        // Option 1: leave the lowest vertex unmatched.
+        dp[mask] = dp[without];
+        choice[mask] = None;
+        for (ei, &(u, v, w)) in useful.iter().enumerate() {
+            let (a, b) = (u.min(v), u.max(v));
+            if a != low || mask >> b & 1 == 0 {
+                continue;
+            }
+            let rest = mask & !(1 << a) & !(1 << b);
+            if dp[rest] + w > dp[mask] {
+                dp[mask] = dp[rest] + w;
+                choice[mask] = Some(ei);
+            }
+        }
+    }
+    // Reconstruct.
+    let mut mask = full - 1;
+    let mut selected = Vec::new();
+    while mask != 0 {
+        let low = mask.trailing_zeros() as usize;
+        match choice[mask] {
+            Some(ei) => {
+                let (u, v, w) = useful[ei];
+                selected.push((u.min(v), u.max(v), w));
+                mask &= !(1 << u) & !(1 << v);
+            }
+            None => {
+                mask &= !(1 << low);
+            }
+        }
+    }
+    selected.sort_unstable();
+    (selected, dp[full - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted::greedy_weighted_matching;
+
+    #[test]
+    fn empty_and_trivial() {
+        assert_eq!(max_weight_matching_exact(0, &[]).1, 0);
+        assert_eq!(max_weight_matching_exact(3, &[]).1, 0);
+        let (m, w) = max_weight_matching_exact(2, &[(0, 1, 7)]);
+        assert_eq!(w, 7);
+        assert_eq!(m, vec![(0, 1, 7)]);
+    }
+
+    #[test]
+    fn beats_single_heavy_edge_when_pair_sums_higher() {
+        let (_, w) = max_weight_matching_exact(4, &[(0, 1, 3), (1, 2, 5), (2, 3, 3)]);
+        assert_eq!(w, 6);
+    }
+
+    #[test]
+    fn ignores_non_positive_edges() {
+        let (m, w) = max_weight_matching_exact(4, &[(0, 1, -5), (2, 3, 0)]);
+        assert_eq!(w, 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn exact_dominates_greedy() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..60 {
+            let n = rng.gen_range(2..10usize);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.5) {
+                        edges.push((u, v, rng.gen_range(1..20i64)));
+                    }
+                }
+            }
+            let (exact_m, exact_w) = max_weight_matching_exact(n, &edges);
+            let greedy_w: i64 = greedy_weighted_matching(n, &edges)
+                .iter()
+                .map(|e| e.2)
+                .sum();
+            assert!(exact_w >= greedy_w, "exact below greedy");
+            assert!(2 * greedy_w >= exact_w, "greedy below half of optimum");
+            // Validity of the exact matching.
+            let mut used = vec![false; n];
+            let mut total = 0;
+            for &(u, v, w) in &exact_m {
+                assert!(!used[u] && !used[v]);
+                used[u] = true;
+                used[v] = true;
+                total += w;
+            }
+            assert_eq!(total, exact_w);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        use rand::{Rng, SeedableRng};
+        fn brute(edges: &[(usize, usize, i64)], used: &mut Vec<bool>, i: usize) -> i64 {
+            if i == edges.len() {
+                return 0;
+            }
+            let mut best = brute(edges, used, i + 1);
+            let (u, v, w) = edges[i];
+            if w > 0 && !used[u] && !used[v] && u != v {
+                used[u] = true;
+                used[v] = true;
+                best = best.max(w + brute(edges, used, i + 1));
+                used[u] = false;
+                used[v] = false;
+            }
+            best
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..7usize);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.6) {
+                        edges.push((u, v, rng.gen_range(-3..15i64)));
+                    }
+                }
+            }
+            let (_, w) = max_weight_matching_exact(n, &edges);
+            assert_eq!(w, brute(&edges, &mut vec![false; n], 0));
+        }
+    }
+}

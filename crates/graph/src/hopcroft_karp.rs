@@ -1,0 +1,162 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! Used where HYDE needs plain (uncapacitated, unweighted) bipartite
+//! matchings — e.g. assigning leftover compatible classes to free encoding
+//! chart cells — and as a cross-check oracle for the heavier engines.
+
+/// Computes a maximum matching of a bipartite graph.
+///
+/// `adj[l]` lists the right-side neighbours of left vertex `l`; right
+/// vertices are `0..n_right`. Returns `mate_left` where `mate_left[l]` is
+/// the matched right vertex, if any.
+///
+/// Runs in `O(E sqrt(V))`.
+///
+/// # Panics
+///
+/// Panics if a neighbour index is `>= n_right`.
+///
+/// # Example
+///
+/// ```
+/// use hyde_graph::max_bipartite_matching;
+///
+/// let adj = vec![vec![0, 1], vec![0]];
+/// let mates = max_bipartite_matching(&adj, 2);
+/// assert_eq!(mates.iter().filter(|m| m.is_some()).count(), 2);
+/// ```
+pub fn max_bipartite_matching(adj: &[Vec<usize>], n_right: usize) -> Vec<Option<usize>> {
+    let nl = adj.len();
+    for nbrs in adj {
+        for &r in nbrs {
+            assert!(r < n_right, "right vertex out of range");
+        }
+    }
+    const INF: u32 = u32::MAX;
+    let mut mate_l: Vec<Option<usize>> = vec![None; nl];
+    let mut mate_r: Vec<Option<usize>> = vec![None; n_right];
+    let mut dist = vec![INF; nl];
+
+    loop {
+        // BFS layering from free left vertices.
+        let mut queue = std::collections::VecDeque::new();
+        for l in 0..nl {
+            if mate_l[l].is_none() {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found_free = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &adj[l] {
+                match mate_r[r] {
+                    None => found_free = true,
+                    Some(l2) => {
+                        if dist[l2] == INF {
+                            dist[l2] = dist[l] + 1;
+                            queue.push_back(l2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_free {
+            break;
+        }
+        // DFS along layered graph.
+        fn dfs(
+            l: usize,
+            adj: &[Vec<usize>],
+            dist: &mut [u32],
+            mate_l: &mut [Option<usize>],
+            mate_r: &mut [Option<usize>],
+        ) -> bool {
+            for &r in &adj[l] {
+                let next = mate_r[r];
+                let ok = match next {
+                    None => true,
+                    Some(l2) => {
+                        dist[l2] == dist[l].saturating_add(1)
+                            && dfs(l2, adj, dist, mate_l, mate_r)
+                    }
+                };
+                if ok {
+                    mate_l[l] = Some(r);
+                    mate_r[r] = Some(l);
+                    return true;
+                }
+            }
+            dist[l] = u32::MAX;
+            false
+        }
+        for l in 0..nl {
+            if mate_l[l].is_none() {
+                dfs(l, adj, &mut dist, &mut mate_l, &mut mate_r);
+            }
+        }
+    }
+    mate_l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size(m: &[Option<usize>]) -> usize {
+        m.iter().filter(|x| x.is_some()).count()
+    }
+
+    #[test]
+    fn empty() {
+        assert!(max_bipartite_matching(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn perfect_matching_identity() {
+        let adj: Vec<Vec<usize>> = (0..4).map(|i| vec![i]).collect();
+        let m = max_bipartite_matching(&adj, 4);
+        assert_eq!(size(&m), 4);
+    }
+
+    #[test]
+    fn requires_augmentation() {
+        // l0 -> {r0, r1}, l1 -> {r0}: greedy may need to reroute l0.
+        let adj = vec![vec![0, 1], vec![0]];
+        let m = max_bipartite_matching(&adj, 2);
+        assert_eq!(size(&m), 2);
+        assert_eq!(m[1], Some(0));
+        assert_eq!(m[0], Some(1));
+    }
+
+    #[test]
+    fn hall_violation_limits_size() {
+        // Three left vertices all pointing to one right vertex.
+        let adj = vec![vec![0], vec![0], vec![0]];
+        let m = max_bipartite_matching(&adj, 1);
+        assert_eq!(size(&m), 1);
+    }
+
+    #[test]
+    fn distinct_mates() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let nl = rng.gen_range(1..10);
+            let nr = rng.gen_range(1..10);
+            let adj: Vec<Vec<usize>> = (0..nl)
+                .map(|_| (0..nr).filter(|_| rng.gen_bool(0.4)).collect())
+                .collect();
+            let m = max_bipartite_matching(&adj, nr);
+            let mut used = vec![false; nr];
+            for (l, mr) in m.iter().enumerate() {
+                if let Some(r) = mr {
+                    assert!(adj[l].contains(r));
+                    assert!(!used[*r]);
+                    used[*r] = true;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Greedy maximal weighted matching on general graphs.
+//!
+//! Step 7 of the HYDE encoding procedure computes a matching of the
+//! benefit-weighted row graph and then consumes its edges "with benefits
+//! from high to low". A greedy maximal matching over edges sorted by
+//! descending weight is the natural realization of that consumption order
+//! and is a 1/2-approximation of the maximum-weight matching; the exact
+//! cardinality engine lives in [`crate::blossom`].
+
+/// Computes a maximal matching greedily by descending edge weight.
+///
+/// Ties are broken by `(u, v)` lexicographic order so the result is
+/// deterministic. Edges with endpoints already matched are skipped; edges
+/// are returned in the order they were selected (i.e. descending weight).
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is `>= n`.
+///
+/// # Example
+///
+/// ```
+/// use hyde_graph::greedy_weighted_matching;
+///
+/// let m = greedy_weighted_matching(4, &[(0, 1, 10), (1, 2, 100), (2, 3, 10)]);
+/// // The heavy middle edge is taken first and blocks the two light ones.
+/// assert_eq!(m, vec![(1, 2, 100)]);
+/// ```
+pub fn greedy_weighted_matching(
+    n: usize,
+    edges: &[(usize, usize, i64)],
+) -> Vec<(usize, usize, i64)> {
+    let mut sorted: Vec<(usize, usize, i64)> = edges
+        .iter()
+        .filter(|&&(u, v, _)| u != v)
+        .map(|&(u, v, w)| if u < v { (u, v, w) } else { (v, u, w) })
+        .collect();
+    sorted.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    let mut used = vec![false; n];
+    let mut out = Vec::new();
+    for (u, v, w) in sorted {
+        assert!(u < n && v < n, "edge endpoint out of range");
+        if !used[u] && !used[v] {
+            used[u] = true;
+            used[v] = true;
+            out.push((u, v, w));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert!(greedy_weighted_matching(0, &[]).is_empty());
+    }
+
+    #[test]
+    fn picks_heaviest_first() {
+        let m = greedy_weighted_matching(3, &[(0, 1, 1), (1, 2, 5)]);
+        assert_eq!(m, vec![(1, 2, 5)]);
+    }
+
+    #[test]
+    fn result_is_maximal() {
+        let edges = [(0, 1, 1), (2, 3, 1), (1, 2, 1)];
+        let m = greedy_weighted_matching(4, &edges);
+        // Every unmatched edge must share an endpoint with a matched one.
+        let mut used = vec![false; 4];
+        for &(u, v, _) in &m {
+            used[u] = true;
+            used[v] = true;
+        }
+        for &(u, v, _) in &edges {
+            assert!(used[u] || used[v]);
+        }
+    }
+
+    #[test]
+    fn self_loops_skipped() {
+        let m = greedy_weighted_matching(2, &[(0, 0, 100), (0, 1, 1)]);
+        assert_eq!(m, vec![(0, 1, 1)]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let a = greedy_weighted_matching(4, &[(2, 3, 5), (0, 1, 5)]);
+        let b = greedy_weighted_matching(4, &[(0, 1, 5), (2, 3, 5)]);
+        assert_eq!(a, b);
+        assert_eq!(a[0], (0, 1, 5));
+    }
+
+    #[test]
+    fn negative_weights_still_matched() {
+        // Greedy matching is maximal, so negative edges are taken when
+        // nothing blocks them; callers filter beforehand if undesired.
+        let m = greedy_weighted_matching(2, &[(0, 1, -4)]);
+        assert_eq!(m, vec![(0, 1, -4)]);
+    }
+
+    #[test]
+    fn half_approximation_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..9usize);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.5) {
+                        edges.push((u, v, rng.gen_range(1..20i64)));
+                    }
+                }
+            }
+            let greedy: i64 = greedy_weighted_matching(n, &edges).iter().map(|e| e.2).sum();
+            // Brute-force maximum weight matching.
+            fn rec(edges: &[(usize, usize, i64)], used: &mut Vec<bool>, i: usize) -> i64 {
+                if i == edges.len() {
+                    return 0;
+                }
+                let mut best = rec(edges, used, i + 1);
+                let (u, v, w) = edges[i];
+                if !used[u] && !used[v] {
+                    used[u] = true;
+                    used[v] = true;
+                    best = best.max(w + rec(edges, used, i + 1));
+                    used[u] = false;
+                    used[v] = false;
+                }
+                best
+            }
+            let opt = rec(&edges, &mut vec![false; n], 0);
+            assert!(2 * greedy >= opt, "greedy {greedy} < opt/2 {opt}");
+        }
+    }
+}

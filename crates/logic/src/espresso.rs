@@ -1,0 +1,318 @@
+//! Two-level cover optimization in the espresso style.
+//!
+//! The paper's flow feeds two-level benchmark circuits (PLA form) to the
+//! mapper after SIS preprocessing. This module provides the classical
+//! EXPAND → IRREDUNDANT → REDUCE iteration on cube covers against an
+//! incompletely specified function: cubes grow into the don't-care space,
+//! redundant cubes are dropped, and cubes shrink to escape local minima.
+//! It is deliberately truth-table backed (exact containment checks) rather
+//! than the original's unate recursion — the benchmark sizes here make
+//! exactness affordable.
+
+use crate::cube::{Cube, Literal, SopCover};
+use crate::truthtable::{Isf, TruthTable};
+
+/// Result of a cover optimization run.
+#[derive(Debug, Clone)]
+pub struct MinimizedCover {
+    /// The optimized cover.
+    pub cover: SopCover,
+    /// Cube count before optimization.
+    pub initial_cubes: usize,
+    /// Number of EXPAND/IRREDUNDANT/REDUCE rounds executed.
+    pub rounds: usize,
+}
+
+/// Minimizes a cover of the incompletely specified function `f`.
+///
+/// The result covers the entire on-set, stays inside `on ∪ dc`, and is
+/// irredundant. Iterates EXPAND → IRREDUNDANT → REDUCE until the cube count
+/// stops improving (at most `max_rounds` rounds).
+///
+/// # Panics
+///
+/// Panics if `max_rounds` is zero.
+///
+/// # Example
+///
+/// ```
+/// use hyde_logic::espresso::minimize;
+/// use hyde_logic::{Isf, TruthTable};
+///
+/// // f = a | b with the 00 row as don't care: one full cube suffices.
+/// let on = TruthTable::from_fn(2, |m| m != 0);
+/// let dc = TruthTable::from_fn(2, |m| m == 0);
+/// let f = Isf::new(on, dc).unwrap();
+/// let result = minimize(&f, 4);
+/// assert_eq!(result.cover.cube_count(), 1);
+/// ```
+pub fn minimize(f: &Isf, max_rounds: usize) -> MinimizedCover {
+    assert!(max_rounds > 0, "at least one round required");
+    let upper = f.on_set() | f.dc_set();
+    let mut cover = SopCover::isop_between(f.on_set(), &upper);
+    let initial_cubes = cover.cube_count();
+    let mut rounds = 0;
+    let mut best = cover.cube_count();
+    for _ in 0..max_rounds {
+        rounds += 1;
+        cover = expand(&cover, &upper);
+        cover = irredundant(&cover, f.on_set());
+        let now = cover.cube_count();
+        if now >= best && rounds > 1 {
+            break;
+        }
+        best = best.min(now);
+        cover = reduce(&cover, f.on_set());
+    }
+    // Final clean-up: make sure we end expanded + irredundant.
+    cover = expand(&cover, &upper);
+    cover = irredundant(&cover, f.on_set());
+    debug_assert!(covers(&cover, f.on_set()));
+    debug_assert!(inside(&cover, &upper));
+    MinimizedCover {
+        cover,
+        initial_cubes,
+        rounds,
+    }
+}
+
+/// EXPAND: enlarge each cube literal-by-literal while it stays inside
+/// `upper`; larger cubes subsume more of the cover.
+pub fn expand(cover: &SopCover, upper: &TruthTable) -> SopCover {
+    let vars = upper.vars();
+    let mut out: Vec<Cube> = Vec::with_capacity(cover.cube_count());
+    for cube in cover.iter() {
+        let mut c = cube.clone();
+        for v in 0..vars {
+            if matches!(c.literal(v), Literal::DontCare) {
+                continue;
+            }
+            let widened = c.with(v, Literal::DontCare);
+            if contained_in(&widened, upper) {
+                c = widened;
+            }
+        }
+        // Skip cubes already subsumed by an accepted one.
+        if !out.iter().any(|prev| subsumes(prev, &c)) {
+            out.retain(|prev| !subsumes(&c, prev));
+            out.push(c);
+        }
+    }
+    SopCover::from_cubes(out)
+}
+
+/// IRREDUNDANT: drop cubes whose on-set contribution is covered by the
+/// rest. Processes cubes in descending literal count so specific cubes are
+/// discarded before general ones.
+pub fn irredundant(cover: &SopCover, on: &TruthTable) -> SopCover {
+    let vars = on.vars();
+    let mut cubes: Vec<Cube> = cover.iter().cloned().collect();
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.literal_count()));
+    let mut keep: Vec<bool> = vec![true; cubes.len()];
+    for i in 0..cubes.len() {
+        keep[i] = false;
+        let rest = union_of(&cubes, &keep, vars);
+        // Removing cube i must not expose uncovered on-set minterms.
+        let lost = &(on & &cubes[i].to_truth_table()) & &!&rest;
+        if !lost.is_zero() {
+            keep[i] = true;
+        }
+    }
+    SopCover::from_cubes(
+        cubes
+            .into_iter()
+            .zip(keep)
+            .filter(|(_, k)| *k)
+            .map(|(c, _)| c)
+            .collect(),
+    )
+}
+
+/// REDUCE: shrink each cube to the smallest cube still covering its unique
+/// on-set minterms, giving the next EXPAND room to move.
+pub fn reduce(cover: &SopCover, on: &TruthTable) -> SopCover {
+    let vars = on.vars();
+    let cubes: Vec<Cube> = cover.iter().cloned().collect();
+    let mut out: Vec<Cube> = Vec::with_capacity(cubes.len());
+    for (i, cube) in cubes.iter().enumerate() {
+        // Minterms only this cube is responsible for, against the *current*
+        // cover state: cubes before `i` are already reduced, later ones are
+        // still original. Sequential processing keeps shared minterms
+        // covered by at least one cube (REDUCE is order-dependent).
+        let mut others = TruthTable::zero(vars);
+        for c in out.iter().chain(cubes.iter().skip(i + 1)) {
+            others = &others | &c.to_truth_table();
+        }
+        let unique = &(on & &cube.to_truth_table()) & &!&others;
+        if unique.is_zero() {
+            out.push(cube.clone());
+            continue;
+        }
+        // Smallest cube containing `unique`: fix every variable that is
+        // constant across the unique minterms.
+        let mut c = cube.clone();
+        for v in 0..vars {
+            if !matches!(c.literal(v), Literal::DontCare) {
+                continue;
+            }
+            let ones = &unique & &TruthTable::var(vars, v);
+            let zeros = &unique & &!&TruthTable::var(vars, v);
+            if ones.is_zero() {
+                c = c.with(v, Literal::Negative);
+            } else if zeros.is_zero() {
+                c = c.with(v, Literal::Positive);
+            }
+        }
+        out.push(c);
+    }
+    SopCover::from_cubes(out)
+}
+
+fn union_of(cubes: &[Cube], keep: &[bool], vars: usize) -> TruthTable {
+    let mut t = TruthTable::zero(vars);
+    for (c, &k) in cubes.iter().zip(keep) {
+        if k {
+            t = &t | &c.to_truth_table();
+        }
+    }
+    t
+}
+
+fn contained_in(cube: &Cube, upper: &TruthTable) -> bool {
+    (&cube.to_truth_table() & &!upper).is_zero()
+}
+
+fn subsumes(a: &Cube, b: &Cube) -> bool {
+    // a subsumes b iff every minterm of b lies in a.
+    (0..a.vars()).all(|v| match (a.literal(v), b.literal(v)) {
+        (Literal::DontCare, _) => true,
+        (x, y) => x == y,
+    })
+}
+
+fn covers(cover: &SopCover, on: &TruthTable) -> bool {
+    (on & &!&cover.to_truth_table(on.vars())).is_zero()
+}
+
+fn inside(cover: &SopCover, upper: &TruthTable) -> bool {
+    (&cover.to_truth_table(upper.vars()) & &!upper).is_zero()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn check_valid(f: &Isf, cover: &SopCover) {
+        let t = cover.to_truth_table(f.vars());
+        assert!((f.on_set() & &!&t).is_zero(), "on-set not covered");
+        let upper = f.on_set() | f.dc_set();
+        assert!((&t & &!&upper).is_zero(), "cover exceeds on+dc");
+    }
+
+    #[test]
+    fn exploits_dont_cares() {
+        // on = {11}, dc = rest: single universal cube.
+        let on = TruthTable::from_minterms(2, &[3]);
+        let dc = !&on;
+        let f = Isf::new(on, dc).unwrap();
+        let r = minimize(&f, 4);
+        assert_eq!(r.cover.cube_count(), 1);
+        assert_eq!(r.cover.cubes()[0].literal_count(), 0);
+        check_valid(&f, &r.cover);
+    }
+
+    #[test]
+    fn completely_specified_functions_stay_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let on = TruthTable::random(5, &mut rng);
+            let f = Isf::completely_specified(on.clone());
+            let r = minimize(&f, 4);
+            assert_eq!(r.cover.to_truth_table(5), on);
+        }
+    }
+
+    #[test]
+    fn never_worse_than_isop() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let on = TruthTable::random(6, &mut rng);
+            let dc = &TruthTable::random(6, &mut rng) & &!&on;
+            let f = Isf::new(on, dc).unwrap();
+            let isop = SopCover::isop_between(f.on_set(), &(f.on_set() | f.dc_set()));
+            let r = minimize(&f, 5);
+            assert!(
+                r.cover.cube_count() <= isop.cube_count(),
+                "minimize {} > isop {}",
+                r.cover.cube_count(),
+                isop.cube_count()
+            );
+            check_valid(&f, &r.cover);
+        }
+    }
+
+    #[test]
+    fn irredundant_result() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let on = TruthTable::random(5, &mut rng);
+        let f = Isf::completely_specified(on.clone());
+        let r = minimize(&f, 4);
+        for skip in 0..r.cover.cube_count() {
+            let rest: SopCover = r
+                .cover
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, c)| c.clone())
+                .collect();
+            assert!(
+                !(on.clone() & !rest.to_truth_table(5)).is_zero(),
+                "cube {skip} redundant"
+            );
+        }
+    }
+
+    #[test]
+    fn expand_grows_into_dc_space() {
+        // Cover "11" with dc everywhere else expands to the full cube.
+        let upper = TruthTable::one(2);
+        let cover = SopCover::from_cubes(vec!["11".parse().unwrap()]);
+        let e = expand(&cover, &upper);
+        assert_eq!(e.cube_count(), 1);
+        assert_eq!(e.cubes()[0].literal_count(), 0);
+    }
+
+    #[test]
+    fn expand_subsumption() {
+        // Two cubes where one expansion subsumes the other.
+        let upper = TruthTable::from_fn(3, |m| m & 1 == 1); // x0
+        let cover = SopCover::from_cubes(vec!["110".parse().unwrap(), "101".parse().unwrap()]);
+        let e = expand(&cover, &upper);
+        assert_eq!(e.cube_count(), 1);
+        assert_eq!(e.cubes()[0].to_string(), "1--");
+    }
+
+    #[test]
+    fn reduce_shrinks_overlap() {
+        // Overlapping cubes: reduce shrinks them to unique responsibilities.
+        let on = TruthTable::from_fn(2, |m| m != 0); // a | b
+        let cover = SopCover::from_cubes(vec!["1-".parse().unwrap(), "-1".parse().unwrap()]);
+        let r = reduce(&cover, &on);
+        // Each reduced cube must still exist and the union covers on.
+        assert_eq!(r.cube_count(), 2);
+        let mut t = TruthTable::zero(2);
+        for c in r.iter() {
+            t = &t | &c.to_truth_table();
+        }
+        assert!((on & !t).is_zero());
+    }
+
+    #[test]
+    fn rounds_reported() {
+        let f = Isf::completely_specified(TruthTable::from_minterms(3, &[1, 3, 5, 7]));
+        let r = minimize(&f, 6);
+        assert!(r.rounds >= 1 && r.rounds <= 6);
+        assert!(r.initial_cubes >= r.cover.cube_count());
+    }
+}

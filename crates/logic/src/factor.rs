@@ -1,0 +1,346 @@
+//! Algebraic factoring of SOP covers (SIS-style).
+//!
+//! The paper prepares multi-level circuits with the SIS algebraic script
+//! before decomposition; this module supplies the core of that step:
+//! algebraic division, kernel/co-kernel extraction, and recursive
+//! factoring of a cover into a factor tree whose literal count is the
+//! classical quality metric.
+
+use crate::cube::{Cube, Literal, SopCover};
+use std::collections::BTreeSet;
+
+/// A factored form: literals combined by AND/OR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Factor {
+    /// A single literal (variable, positive?).
+    Literal(usize, bool),
+    /// Conjunction of factors.
+    And(Vec<Factor>),
+    /// Disjunction of factors.
+    Or(Vec<Factor>),
+    /// Constant (true/false) — only for degenerate covers.
+    Const(bool),
+}
+
+impl Factor {
+    /// Number of literals in the factored form — the SIS quality metric.
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Factor::Literal(..) => 1,
+            Factor::And(fs) | Factor::Or(fs) => fs.iter().map(Factor::literal_count).sum(),
+            Factor::Const(_) => 0,
+        }
+    }
+
+    /// Evaluates the factored form on a minterm.
+    pub fn eval(&self, m: u32) -> bool {
+        match self {
+            Factor::Literal(v, pos) => (m >> v & 1 == 1) == *pos,
+            Factor::And(fs) => fs.iter().all(|f| f.eval(m)),
+            Factor::Or(fs) => fs.iter().any(|f| f.eval(m)),
+            Factor::Const(b) => *b,
+        }
+    }
+}
+
+impl std::fmt::Display for Factor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Factor::Literal(v, true) => write!(f, "x{v}"),
+            Factor::Literal(v, false) => write!(f, "!x{v}"),
+            Factor::And(fs) => {
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "·")?;
+                    }
+                    if matches!(x, Factor::Or(_)) {
+                        write!(f, "({x})")?;
+                    } else {
+                        write!(f, "{x}")?;
+                    }
+                }
+                Ok(())
+            }
+            Factor::Or(fs) => {
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                Ok(())
+            }
+            Factor::Const(true) => write!(f, "1"),
+            Factor::Const(false) => write!(f, "0"),
+        }
+    }
+}
+
+/// One signed literal as `(variable, positive?)`.
+pub type SignedLit = (usize, bool);
+
+fn cube_literals(c: &Cube) -> BTreeSet<SignedLit> {
+    (0..c.vars())
+        .filter_map(|v| match c.literal(v) {
+            Literal::DontCare => None,
+            Literal::Positive => Some((v, true)),
+            Literal::Negative => Some((v, false)),
+        })
+        .collect()
+}
+
+fn cube_from_literals(vars: usize, lits: &BTreeSet<SignedLit>) -> Cube {
+    let mut c = Cube::full(vars);
+    for &(v, pos) in lits {
+        c = c.with(v, if pos { Literal::Positive } else { Literal::Negative });
+    }
+    c
+}
+
+/// Algebraic division of `cover` by the cube `divisor`: returns
+/// `(quotient, remainder)` with `cover = divisor·quotient + remainder`.
+pub fn divide_by_cube(cover: &SopCover, divisor: &Cube, vars: usize) -> (SopCover, SopCover) {
+    let dlits = cube_literals(divisor);
+    let mut quotient = Vec::new();
+    let mut remainder = Vec::new();
+    for cube in cover.iter() {
+        let clits = cube_literals(cube);
+        if dlits.is_subset(&clits) {
+            let rest: BTreeSet<SignedLit> = clits.difference(&dlits).copied().collect();
+            quotient.push(cube_from_literals(vars, &rest));
+        } else {
+            remainder.push(cube.clone());
+        }
+    }
+    (SopCover::from_cubes(quotient), SopCover::from_cubes(remainder))
+}
+
+/// The most frequent signed literal of a cover (the `quick_factor` /
+/// literal-kernel heuristic), if any cube has at least one literal.
+pub fn best_literal(cover: &SopCover, vars: usize) -> Option<SignedLit> {
+    let mut counts: std::collections::HashMap<SignedLit, usize> = std::collections::HashMap::new();
+    for cube in cover.iter() {
+        for lit in cube_literals(cube) {
+            *counts.entry(lit).or_insert(0) += 1;
+        }
+    }
+    let _ = vars;
+    counts
+        .into_iter()
+        .filter(|&(_, n)| n >= 2)
+        .max_by_key(|&((v, pos), n)| (n, std::cmp::Reverse(v), pos))
+        .map(|(lit, _)| lit)
+}
+
+/// Level-0 kernels of a cover: cube-free quotients by co-kernel cubes.
+/// Returns `(co-kernel, kernel)` pairs; the trivial co-kernel (the full
+/// cube) is included when the cover itself is cube-free.
+pub fn kernels(cover: &SopCover, vars: usize) -> Vec<(Cube, SopCover)> {
+    let mut out: Vec<(Cube, SopCover)> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    // Candidate co-kernels: literals appearing in >= 2 cubes.
+    for v in 0..vars {
+        for pos in [true, false] {
+            let div = cube_from_literals(vars, &BTreeSet::from([(v, pos)]));
+            let (q, _) = divide_by_cube(cover, &div, vars);
+            if q.cube_count() < 2 {
+                continue;
+            }
+            let q = make_cube_free(&q, vars);
+            let key = format!("{q}");
+            if q.cube_count() >= 2 && seen.insert(key) {
+                out.push((div, q));
+            }
+        }
+    }
+    if is_cube_free(cover) && cover.cube_count() >= 2 {
+        out.push((Cube::full(vars), cover.clone()));
+    }
+    out
+}
+
+fn common_cube(cover: &SopCover) -> Option<BTreeSet<SignedLit>> {
+    let mut iter = cover.iter();
+    let first = cube_literals(iter.next()?);
+    let common = iter.fold(first, |acc, c| {
+        acc.intersection(&cube_literals(c)).copied().collect()
+    });
+    Some(common)
+}
+
+fn is_cube_free(cover: &SopCover) -> bool {
+    common_cube(cover).is_none_or(|c| c.is_empty())
+}
+
+fn make_cube_free(cover: &SopCover, vars: usize) -> SopCover {
+    match common_cube(cover) {
+        Some(common) if !common.is_empty() => {
+            let div = cube_from_literals(vars, &common);
+            divide_by_cube(cover, &div, vars).0
+        }
+        _ => cover.clone(),
+    }
+}
+
+/// Recursively factors a cover: `f = l·(f/l) + r`, dividing by the most
+/// frequent literal at each step (the classical quick-factor algorithm).
+///
+/// The result evaluates identically to the cover.
+pub fn factor(cover: &SopCover, vars: usize) -> Factor {
+    if cover.cube_count() == 0 {
+        return Factor::Const(false);
+    }
+    if cover.cube_count() == 1 {
+        let lits = cube_literals(&cover.cubes()[0]);
+        if lits.is_empty() {
+            return Factor::Const(true);
+        }
+        let fs: Vec<Factor> = lits.into_iter().map(|(v, p)| Factor::Literal(v, p)).collect();
+        return if fs.len() == 1 {
+            fs.into_iter().next().expect("one literal")
+        } else {
+            Factor::And(fs)
+        };
+    }
+    match best_literal(cover, vars) {
+        None => {
+            // No shared literal: plain OR of cube factors.
+            let fs: Vec<Factor> = cover
+                .iter()
+                .map(|c| factor(&SopCover::from_cubes(vec![c.clone()]), vars))
+                .collect();
+            Factor::Or(fs)
+        }
+        Some((v, pos)) => {
+            let div = cube_from_literals(vars, &BTreeSet::from([(v, pos)]));
+            let (q, r) = divide_by_cube(cover, &div, vars);
+            let mut terms = Vec::new();
+            let head = Factor::And(vec![Factor::Literal(v, pos), factor(&q, vars)]);
+            terms.push(flatten(head));
+            if r.cube_count() > 0 {
+                terms.push(factor(&r, vars));
+            }
+            if terms.len() == 1 {
+                terms.into_iter().next().expect("one term")
+            } else {
+                Factor::Or(terms)
+            }
+        }
+    }
+}
+
+fn flatten(f: Factor) -> Factor {
+    match f {
+        Factor::And(fs) => {
+            let mut out = Vec::new();
+            for x in fs {
+                match flatten(x) {
+                    Factor::And(inner) => out.extend(inner),
+                    Factor::Const(true) => {}
+                    other => out.push(other),
+                }
+            }
+            if out.len() == 1 {
+                out.into_iter().next().expect("one factor")
+            } else {
+                Factor::And(out)
+            }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truthtable::TruthTable;
+    use rand::SeedableRng;
+
+    #[test]
+    fn division_splits_cover() {
+        // f = a·b + a·c + d  divided by a -> q = b + c, r = d.
+        let cover = SopCover::from_cubes(vec![
+            "11--".parse().unwrap(),
+            "1-1-".parse().unwrap(),
+            "---1".parse().unwrap(),
+        ]);
+        let div: Cube = "1---".parse().unwrap();
+        let (q, r) = divide_by_cube(&cover, &div, 4);
+        assert_eq!(q.cube_count(), 2);
+        assert_eq!(r.cube_count(), 1);
+    }
+
+    #[test]
+    fn factoring_preserves_semantics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let f = TruthTable::random(6, &mut rng);
+            let cover = SopCover::isop(&f);
+            let fac = factor(&cover, 6);
+            for m in 0u32..64 {
+                assert_eq!(fac.eval(m), f.eval(m), "m={m} factor={fac}");
+            }
+        }
+    }
+
+    #[test]
+    fn factoring_reduces_literals() {
+        // f = a·b + a·c + a·d: 6 SOP literals, factored a·(b+c+d) = 4.
+        let cover = SopCover::from_cubes(vec![
+            "11--".parse().unwrap(),
+            "1-1-".parse().unwrap(),
+            "1--1".parse().unwrap(),
+        ]);
+        let fac = factor(&cover, 4);
+        assert!(fac.literal_count() < cover.literal_count());
+        assert_eq!(fac.literal_count(), 4);
+    }
+
+    #[test]
+    fn kernels_of_textbook_example() {
+        // f = a·b + a·c: kernel b + c with co-kernel a.
+        let cover = SopCover::from_cubes(vec!["11-".parse().unwrap(), "1-1".parse().unwrap()]);
+        let ks = kernels(&cover, 3);
+        assert!(!ks.is_empty());
+        let (co, k) = &ks[0];
+        assert_eq!(co.to_string(), "1--");
+        assert_eq!(k.cube_count(), 2);
+    }
+
+    #[test]
+    fn cube_free_detection() {
+        let free = SopCover::from_cubes(vec!["1-".parse().unwrap(), "-1".parse().unwrap()]);
+        assert!(is_cube_free(&free));
+        let not_free = SopCover::from_cubes(vec!["11".parse().unwrap(), "1-".parse().unwrap()]);
+        assert!(!is_cube_free(&not_free));
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(factor(&SopCover::new(), 3), Factor::Const(false));
+        let taut = SopCover::from_cubes(vec![Cube::full(3)]);
+        assert_eq!(factor(&taut, 3), Factor::Const(true));
+    }
+
+    #[test]
+    fn display_forms() {
+        let cover = SopCover::from_cubes(vec!["11".parse().unwrap(), "1-".parse().unwrap()]);
+        let fac = factor(&cover, 2);
+        let s = fac.to_string();
+        assert!(s.contains("x0"), "{s}");
+    }
+
+    #[test]
+    fn factored_literal_count_never_exceeds_sop() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        for _ in 0..20 {
+            let f = TruthTable::random(5, &mut rng);
+            let cover = SopCover::isop(&f);
+            let fac = factor(&cover, 5);
+            assert!(
+                fac.literal_count() <= cover.literal_count(),
+                "factoring must not add literals"
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Output clustering for hyper-function construction.
+//!
+//! Folding unrelated outputs into one hyper-function inflates its support
+//! (Definition 4.1: the hyper support is the union of ingredient supports
+//! plus the pseudo inputs), so the flow first groups outputs whose supports
+//! overlap. The greedy policy mirrors the paper's practice of partially
+//! collapsing circuits "such that several nodes can share the same
+//! supports".
+
+use hyde_logic::TruthTable;
+
+/// Greedily clusters output functions by support overlap.
+///
+/// Outputs are scanned in order; each joins the first cluster where (a) the
+/// cluster has fewer than `max_cluster` members, (b) the union support
+/// stays within `max_union_support`, and (c) it overlaps the cluster's
+/// support (unless the cluster is empty). Returns clusters of output
+/// indices, each sorted; order of first members is preserved.
+///
+/// Duplicate functions never share a cluster (hyper-functions require
+/// distinct ingredients); the duplicate opens its own cluster.
+///
+/// # Panics
+///
+/// Panics if `max_cluster == 0`.
+///
+/// # Example
+///
+/// ```
+/// use hyde_map::cluster_outputs;
+/// use hyde_logic::TruthTable;
+///
+/// let a = TruthTable::var(4, 0) & TruthTable::var(4, 1);
+/// let b = TruthTable::var(4, 0) | TruthTable::var(4, 1);
+/// let c = TruthTable::var(4, 2) & TruthTable::var(4, 3);
+/// let clusters = cluster_outputs(&[a, b, c], 4, 8);
+/// assert_eq!(clusters, vec![vec![0, 1], vec![2]]);
+/// ```
+pub fn cluster_outputs(
+    outputs: &[TruthTable],
+    max_cluster: usize,
+    max_union_support: usize,
+) -> Vec<Vec<usize>> {
+    assert!(max_cluster > 0, "cluster size must be positive");
+    let supports: Vec<Vec<usize>> = outputs.iter().map(|f| f.support()).collect();
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut cluster_support: Vec<std::collections::BTreeSet<usize>> = Vec::new();
+    for (o, sup) in supports.iter().enumerate() {
+        let sup_set: std::collections::BTreeSet<usize> = sup.iter().copied().collect();
+        let mut placed = false;
+        for (ci, cluster) in clusters.iter_mut().enumerate() {
+            if cluster.len() >= max_cluster {
+                continue;
+            }
+            if cluster.iter().any(|&m| outputs[m] == outputs[o]) {
+                continue; // ingredients must be distinct
+            }
+            let overlaps = !cluster_support[ci].is_disjoint(&sup_set)
+                || cluster_support[ci].is_empty()
+                || sup_set.is_empty();
+            if !overlaps {
+                continue;
+            }
+            let union: std::collections::BTreeSet<usize> =
+                cluster_support[ci].union(&sup_set).copied().collect();
+            if union.len() > max_union_support {
+                continue;
+            }
+            cluster.push(o);
+            cluster_support[ci] = union;
+            placed = true;
+            break;
+        }
+        if !placed {
+            clusters.push(vec![o]);
+            cluster_support.push(sup_set);
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(cluster_outputs(&[], 4, 8).is_empty());
+    }
+
+    #[test]
+    fn singletons_when_disjoint() {
+        let a = TruthTable::var(6, 0);
+        let b = TruthTable::var(6, 2);
+        let c = TruthTable::var(6, 4);
+        let clusters = cluster_outputs(&[a, b, c], 4, 8);
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn respects_max_cluster() {
+        let fns: Vec<TruthTable> = (0..5)
+            .map(|i| {
+                // All share var 0, differ in a second var.
+                TruthTable::var(6, 0) & TruthTable::var(6, 1 + i)
+            })
+            .collect();
+        let clusters = cluster_outputs(&fns, 2, 10);
+        assert!(clusters.iter().all(|c| c.len() <= 2));
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn respects_union_support_budget() {
+        let a = TruthTable::var(8, 0) & TruthTable::var(8, 1) & TruthTable::var(8, 2);
+        let b = TruthTable::var(8, 2) & TruthTable::var(8, 3) & TruthTable::var(8, 4);
+        // Union support would be 5 > 4, so they split.
+        let clusters = cluster_outputs(&[a, b], 4, 4);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_never_share_a_cluster() {
+        let a = TruthTable::var(4, 0) & TruthTable::var(4, 1);
+        let clusters = cluster_outputs(&[a.clone(), a], 4, 8);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn constants_form_their_own_cluster_path() {
+        let c = TruthTable::one(4);
+        let a = TruthTable::var(4, 0);
+        let clusters = cluster_outputs(&[c, a], 4, 8);
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Post-mapping LUT network compaction (the `xl_cover` step of the paper's
+//! SIS script).
+//!
+//! Decomposition emits one LUT per α function and image step, which can
+//! leave slack: a node whose function fits inside its single consumer
+//! (combined support ≤ κ) wastes a LUT. This pass greedily collapses such
+//! nodes until a fixpoint, keeping the network κ-feasible throughout.
+
+use hyde_logic::{Network, NodeId, NodeRole};
+use std::collections::HashSet;
+
+/// Collapses internal nodes into their consumers while every affected
+/// consumer stays within `k` fanins. Returns the number of LUTs removed.
+///
+/// Only nodes that do not drive a primary output are candidates (output
+/// drivers must survive). The pass runs to a fixpoint.
+///
+/// # Panics
+///
+/// Panics if the network is cyclic.
+pub fn compact(net: &mut Network, k: usize) -> usize {
+    let mut removed = 0;
+    loop {
+        let candidate = find_collapsible(net, k);
+        match candidate {
+            Some(id) => {
+                net.eliminate(id).expect("candidate is internal");
+                removed += 1;
+            }
+            None => break,
+        }
+    }
+    net.sweep();
+    removed
+}
+
+/// Finds one node whose elimination keeps every consumer ≤ `k` fanins.
+fn find_collapsible(net: &Network, k: usize) -> Option<NodeId> {
+    let output_drivers: HashSet<NodeId> = net.outputs().iter().map(|(_, id)| *id).collect();
+    for id in net.node_ids() {
+        if net.role(id) != NodeRole::Internal || output_drivers.contains(&id) {
+            continue;
+        }
+        let consumers: Vec<NodeId> = net
+            .node_ids()
+            .into_iter()
+            .filter(|&c| {
+                net.role(c) == NodeRole::Internal && net.fanins(c).contains(&id)
+            })
+            .collect();
+        if consumers.is_empty() {
+            continue; // dead, sweep handles it
+        }
+        let fits = consumers.iter().all(|&c| {
+            let mut union: HashSet<NodeId> = net.fanins(c).iter().copied().collect();
+            union.remove(&id);
+            union.extend(net.fanins(id).iter().copied());
+            union.len() <= k
+        });
+        if fits {
+            return Some(id);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyde_logic::TruthTable;
+
+    #[test]
+    fn collapses_redundant_buffer_chain() {
+        // inv -> inv -> out over one input: both collapse into the output
+        // driver's LUT.
+        let mut net = Network::new("c");
+        let a = net.add_input("a");
+        let inv = !TruthTable::var(1, 0);
+        let n1 = net.add_node("n1", vec![a], inv.clone()).unwrap();
+        let n2 = net.add_node("n2", vec![n1], inv.clone()).unwrap();
+        let n3 = net.add_node("n3", vec![n2], inv).unwrap();
+        net.mark_output("o", n3);
+        let removed = compact(&mut net, 5);
+        assert_eq!(removed, 2);
+        assert_eq!(net.internal_count(), 1);
+        assert_eq!(net.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn respects_k_budget() {
+        // Two 3-input nodes feeding a 2-input node: collapsing either
+        // would need 6 > 5 inputs if supports are disjoint.
+        let mut net = Network::new("b");
+        let inputs: Vec<NodeId> = (0..6).map(|i| net.add_input(&format!("i{i}"))).collect();
+        let par3 = TruthTable::from_fn(3, |m| m.count_ones() % 2 == 1);
+        let a = net.add_node("a", inputs[0..3].to_vec(), par3.clone()).unwrap();
+        let b = net.add_node("b", inputs[3..6].to_vec(), par3).unwrap();
+        let xor2 = TruthTable::var(2, 0) ^ TruthTable::var(2, 1);
+        let y = net.add_node("y", vec![a, b], xor2).unwrap();
+        net.mark_output("y", y);
+        // One collapse fits (3 + 1 = 4 <= 5), the second would need 6.
+        let removed = compact(&mut net, 5);
+        assert_eq!(removed, 1);
+        assert!(net.is_k_feasible(5));
+        for m in 0u32..64 {
+            let bits: Vec<bool> = (0..6).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(net.eval(&bits)[0], m.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn preserves_output_drivers() {
+        let mut net = Network::new("o");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let and2 = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+        let t = net.add_node("t", vec![a, b], and2.clone()).unwrap();
+        let y = net.add_node("y", vec![t, a], and2).unwrap();
+        net.mark_output("t", t); // t itself is an output
+        net.mark_output("y", y);
+        let removed = compact(&mut net, 5);
+        assert_eq!(removed, 0, "output drivers must survive");
+        assert_eq!(net.internal_count(), 2);
+    }
+
+    #[test]
+    fn multi_consumer_collapse_when_all_fit() {
+        // One shared 2-input node feeding two consumers, all within k.
+        let mut net = Network::new("m");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let and2 = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+        let or2 = TruthTable::var(2, 0) | TruthTable::var(2, 1);
+        let t = net.add_node("t", vec![a, b], and2).unwrap();
+        let y1 = net.add_node("y1", vec![t, c], or2.clone()).unwrap();
+        let y2 = net.add_node("y2", vec![t, c], !TruthTable::var(2, 0) & TruthTable::var(2, 1))
+            .unwrap();
+        net.mark_output("y1", y1);
+        net.mark_output("y2", y2);
+        let removed = compact(&mut net, 5);
+        assert_eq!(removed, 1);
+        for m in 0u32..8 {
+            let bits = [m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1];
+            let t = bits[0] && bits[1];
+            assert_eq!(net.eval(&bits), vec![t || bits[2], !t && bits[2]], "m={m}");
+        }
+    }
+}

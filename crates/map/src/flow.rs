@@ -1,0 +1,574 @@
+//! End-to-end mapping flows.
+//!
+//! Four flows reproduce the comparison points of the paper's evaluation:
+//!
+//! * [`FlowKind::PerOutput`] — each output decomposed independently, no
+//!   sharing (the "`[8]` without resubstitution" column of Table 2);
+//! * [`FlowKind::SharedAlpha`] — per-output decomposition followed by
+//!   structural sharing of identical LUTs (the resubstitution-style
+//!   baselines);
+//! * [`FlowKind::ColumnEncoding`] — FGSyn-style multi-output Roth–Karp
+//!   decomposition: one joint chart per step, α functions shared across
+//!   outputs. The paper shows this is the special case of hyper-function
+//!   decomposition where pseudo inputs never enter a bound set (§4.3);
+//! * [`FlowKind::Hyper`] — the HYDE flow: outputs clustered into
+//!   hyper-functions, each decomposed as a single-output function with
+//!   compatible class encoding, ingredients recovered by pseudo-input
+//!   collapse with everything outside the duplication cone shared.
+
+use crate::cluster::cluster_outputs;
+use crate::report::MappingReport;
+use crate::xc3000::pack_clbs;
+use hyde_core::decompose::{DecomposeStats, Decomposer};
+use hyde_core::encoding::{ceil_log2, CodeAssignment, EncoderKind};
+use hyde_core::hyper::HyperFunction;
+use hyde_core::multichart::{joint_class_count, MultiChart};
+use hyde_core::varpart::VariablePartitioner;
+use hyde_core::CoreError;
+use hyde_logic::network::{project_to_support, structural_merge};
+use hyde_logic::{Network, NodeId, TruthTable};
+use std::time::Instant;
+
+/// Which flow to run.
+#[derive(Debug, Clone)]
+pub enum FlowKind {
+    /// Independent per-output decomposition (no sharing).
+    PerOutput {
+        /// Compatible class encoder for every step.
+        encoder: EncoderKind,
+    },
+    /// Per-output decomposition plus structural sharing of identical LUTs.
+    SharedAlpha {
+        /// Compatible class encoder for every step.
+        encoder: EncoderKind,
+    },
+    /// FGSyn-style column encoding: joint multi-output charts with shared
+    /// α functions.
+    ColumnEncoding {
+        /// Encoder for the joint classes.
+        encoder: EncoderKind,
+    },
+    /// The HYDE hyper-function flow.
+    Hyper {
+        /// Encoder for classes and ingredients.
+        encoder: EncoderKind,
+        /// Maximum ingredients per hyper-function.
+        max_cluster: usize,
+        /// Maximum union support of a cluster.
+        max_union: usize,
+    },
+}
+
+impl FlowKind {
+    /// The full HYDE configuration used by the tables.
+    pub fn hyde(seed: u64) -> Self {
+        FlowKind::Hyper {
+            encoder: EncoderKind::Hyde { seed },
+            max_cluster: 4,
+            max_union: 16,
+        }
+    }
+
+    /// IMODEC-like baseline: rigid strict per-output encoding with
+    /// structural sharing.
+    pub fn imodec_like() -> Self {
+        FlowKind::SharedAlpha {
+            encoder: EncoderKind::Lexicographic,
+        }
+    }
+
+    /// FGSyn-like baseline: column encoding.
+    pub fn fgsyn_like() -> Self {
+        FlowKind::ColumnEncoding {
+            encoder: EncoderKind::Lexicographic,
+        }
+    }
+
+    /// Short label for table printing.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlowKind::PerOutput { .. } => "per-output",
+            FlowKind::SharedAlpha { .. } => "shared-alpha",
+            FlowKind::ColumnEncoding { .. } => "column-enc",
+            FlowKind::Hyper { .. } => "hyde",
+        }
+    }
+}
+
+/// A configured mapping flow.
+#[derive(Debug, Clone)]
+pub struct MappingFlow {
+    k: usize,
+    kind: FlowKind,
+    /// Verification sample budget (exhaustive below this many minterms).
+    verify_samples: usize,
+}
+
+impl MappingFlow {
+    /// Creates a flow targeting `k`-input LUTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 3`.
+    pub fn new(k: usize, kind: FlowKind) -> Self {
+        assert!(k >= 3, "LUT size must be at least 3");
+        MappingFlow {
+            k,
+            kind,
+            verify_samples: 1 << 12,
+        }
+    }
+
+    /// Target LUT size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Maps a multi-output function vector (all outputs over the same
+    /// `n`-variable input space) to a κ-feasible LUT network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decomposition errors; a functional mismatch after mapping
+    /// surfaces as [`CoreError::Verification`].
+    pub fn map_outputs(&self, name: &str, outputs: &[TruthTable]) -> Result<MappingReport, CoreError> {
+        if outputs.is_empty() {
+            return Err(CoreError::InvalidBoundSet("no outputs to map".into()));
+        }
+        let n = outputs[0].vars();
+        if outputs.iter().any(|f| f.vars() != n) {
+            return Err(CoreError::InvalidBoundSet(
+                "outputs must share one input space".into(),
+            ));
+        }
+        let start = Instant::now();
+        let mut net = match &self.kind {
+            FlowKind::PerOutput { encoder } => self.per_output(outputs, encoder, false)?,
+            FlowKind::SharedAlpha { encoder } => self.per_output(outputs, encoder, true)?,
+            FlowKind::ColumnEncoding { encoder } => self.column_encoding(outputs, encoder)?,
+            FlowKind::Hyper {
+                encoder,
+                max_cluster,
+                max_union,
+            } => self.hyper_flow(outputs, encoder, *max_cluster, *max_union)?,
+        };
+        net.sweep();
+        // The xl_cover step of the paper's script: collapse LUTs that fit
+        // inside their consumers.
+        crate::cover::compact(&mut net, self.k);
+        self.verify(&net, outputs)?;
+        let luts = net.internal_count();
+        let depth = net.depth();
+        let clbs = if self.k == 5 {
+            Some(pack_clbs(&net).clb_count())
+        } else {
+            None
+        };
+        Ok(MappingReport {
+            name: name.to_owned(),
+            network: net,
+            luts,
+            clbs,
+            depth,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    fn fresh_net(&self, n: usize) -> (Network, Vec<NodeId>) {
+        let mut net = Network::new("mapped");
+        let inputs = (0..n).map(|i| net.add_input(&format!("x{i}"))).collect();
+        (net, inputs)
+    }
+
+    fn per_output(
+        &self,
+        outputs: &[TruthTable],
+        encoder: &EncoderKind,
+        share: bool,
+    ) -> Result<Network, CoreError> {
+        let n = outputs[0].vars();
+        let (mut net, inputs) = self.fresh_net(n);
+        let dec = Decomposer::new(self.k, encoder.clone());
+        let mut stats = DecomposeStats::default();
+        for (o, f) in outputs.iter().enumerate() {
+            let id = dec.decompose_onto(&mut net, f, &inputs, &format!("o{o}"), &mut stats)?;
+            net.mark_output(&format!("o{o}"), id);
+        }
+        if share {
+            net = structural_merge("mapped", &[&net]);
+        }
+        Ok(net)
+    }
+
+    /// FGSyn-style multi-output decomposition: one joint chart, shared α.
+    fn column_encoding(
+        &self,
+        outputs: &[TruthTable],
+        encoder: &EncoderKind,
+    ) -> Result<Network, CoreError> {
+        let n = outputs[0].vars();
+        let (mut net, inputs) = self.fresh_net(n);
+        let out_ids =
+            self.column_decompose(&mut net, outputs.to_vec(), &inputs, "m", encoder, 0)?;
+        for (o, id) in out_ids.into_iter().enumerate() {
+            net.mark_output(&format!("o{o}"), id);
+        }
+        Ok(structural_merge("mapped", &[&net]))
+    }
+
+    fn column_decompose(
+        &self,
+        net: &mut Network,
+        fs: Vec<TruthTable>,
+        signals: &[NodeId],
+        prefix: &str,
+        encoder: &EncoderKind,
+        depth: usize,
+    ) -> Result<Vec<NodeId>, CoreError> {
+        let dec = Decomposer::new(self.k, encoder.clone());
+        let mut stats = DecomposeStats::default();
+        // Union support.
+        let mut in_support = vec![false; signals.len()];
+        for f in &fs {
+            for v in f.support() {
+                in_support[v] = true;
+            }
+        }
+        let support: Vec<usize> = (0..signals.len()).filter(|&v| in_support[v]).collect();
+        if support.len() < signals.len() {
+            let reduced: Vec<TruthTable> =
+                fs.iter().map(|f| project_to_support(f, &support)).collect();
+            let sigs: Vec<NodeId> = support.iter().map(|&v| signals[v]).collect();
+            return self.column_decompose(net, reduced, &sigs, prefix, encoder, depth);
+        }
+        let n = signals.len();
+        // Base case: everything fits in single LUTs.
+        if n <= self.k || depth > 3 * n {
+            let mut out = Vec::with_capacity(fs.len());
+            for (i, f) in fs.iter().enumerate() {
+                out.push(dec.decompose_onto(
+                    net,
+                    f,
+                    signals,
+                    &format!("{prefix}_f{i}"),
+                    &mut stats,
+                )?);
+            }
+            return Ok(out);
+        }
+        // Joint bound selection: minimize the multiplicity of the stacked
+        // chart (distinct column tuples). Candidates are seeded with each
+        // output's own best bound set plus the leading variables.
+        let vp = VariablePartitioner::default();
+        let mut candidates: Vec<Vec<usize>> = Vec::new();
+        for f in &fs {
+            if f.support().len() > self.k {
+                if let Ok((b, _)) = vp.best_bound_set(f, self.k) {
+                    candidates.push(b);
+                }
+            }
+        }
+        candidates.push((0..self.k).collect());
+        candidates.sort();
+        candidates.dedup();
+        let (bound, classes) = candidates
+            .into_iter()
+            .map(|b| {
+                let c = joint_class_count(&fs, &b).unwrap_or(usize::MAX);
+                (b, c)
+            })
+            .min_by_key(|(b, c)| (*c, b.clone()))
+            .expect("at least one candidate");
+        let t = ceil_log2(classes);
+        if t >= self.k {
+            // Joint decomposition not gainful: fall back to per-output.
+            let mut out = Vec::with_capacity(fs.len());
+            for (i, f) in fs.iter().enumerate() {
+                out.push(dec.decompose_onto(
+                    net,
+                    f,
+                    signals,
+                    &format!("{prefix}_s{i}"),
+                    &mut stats,
+                )?);
+            }
+            return Ok(out);
+        }
+        // Shared α functions from the joint chart.
+        let chart = MultiChart::new(&fs, &bound)?;
+        // Encode the joint classes. The encoder sees each class's stacked
+        // pattern as a single pseudo class function over free + selector
+        // bits, so the class-count objective reflects the true structure.
+        let sel_bits = ceil_log2(fs.len());
+        let mu = chart.free().len();
+        let reps: Vec<usize> = (0..chart.class_count())
+            .map(|cls| {
+                chart
+                    .class_map()
+                    .iter()
+                    .position(|&x| x == cls)
+                    .expect("class has a column")
+            })
+            .collect();
+        let per_f: Vec<Vec<TruthTable>> = fs
+            .iter()
+            .map(|f| chart_columns(f, &bound, chart.free()))
+            .collect();
+        let stacked: Vec<TruthTable> = reps
+            .iter()
+            .map(|&c| {
+                TruthTable::from_fn(mu + sel_bits, |m| {
+                    let y = m & ((1u32 << mu) - 1);
+                    let which = (m >> mu) as usize;
+                    if which < fs.len() {
+                        per_f[which][c].eval(y)
+                    } else {
+                        false
+                    }
+                })
+            })
+            .collect();
+        let classes =
+            hyde_core::classes::CompatibleClasses::from_parts(chart.class_map().to_vec(), stacked);
+        let codes: CodeAssignment = encoder.build().encode(&classes, self.k)?;
+        let alphas = chart.alphas(&codes);
+        let bound_sigs: Vec<NodeId> = bound.iter().map(|&v| signals[v]).collect();
+        let mut g_sigs: Vec<NodeId> = Vec::new();
+        for (i, alpha) in alphas.iter().enumerate() {
+            g_sigs.push(net.add_node(
+                &format!("{prefix}_a{i}"),
+                bound_sigs.clone(),
+                alpha.clone(),
+            )?);
+        }
+        for &v in chart.free() {
+            g_sigs.push(signals[v]);
+        }
+        // Per-output images over (α bits, free vars).
+        let images: Vec<TruthTable> = (0..fs.len()).map(|fi| chart.image(fi, &codes)).collect();
+        self.column_decompose(net, images, &g_sigs, &format!("{prefix}_g"), encoder, depth + 1)
+    }
+
+    /// The HYDE hyper-function flow.
+    fn hyper_flow(
+        &self,
+        outputs: &[TruthTable],
+        encoder: &EncoderKind,
+        max_cluster: usize,
+        max_union: usize,
+    ) -> Result<Network, CoreError> {
+        let clusters = cluster_outputs(outputs, max_cluster, max_union);
+        let dec = Decomposer::new(self.k, encoder.clone());
+        let mut parts: Vec<Network> = Vec::new();
+        for cluster in &clusters {
+            if cluster.len() == 1 {
+                let o = cluster[0];
+                let mut stats = DecomposeStats::default();
+                let n = outputs[o].vars();
+                let (mut net, inputs) = self.fresh_net(n);
+                let id = dec.decompose_onto(
+                    &mut net,
+                    &outputs[o],
+                    &inputs,
+                    &format!("o{o}"),
+                    &mut stats,
+                )?;
+                net.mark_output(&format!("o{o}"), id);
+                parts.push(net);
+            } else {
+                let ingredients: Vec<TruthTable> =
+                    cluster.iter().map(|&o| outputs[o].clone()).collect();
+                // Candidate A: fold into a hyper-function and share.
+                let h = HyperFunction::new(ingredients.clone(), encoder, self.k)?;
+                let hn = h.decompose(&dec)?;
+                let mut hyper_net = hn.implement_ingredients()?;
+                // Candidate B: per-output decomposition with structural
+                // sharing. Hyper-functions are a sharing *opportunity*; the
+                // flow keeps whichever implementation is smaller, as the
+                // paper's SIS-embedded tool does through its script loop.
+                let n = ingredients[0].vars();
+                let (mut solo_net, inputs) = self.fresh_net(n);
+                let mut stats = DecomposeStats::default();
+                for (i, f) in ingredients.iter().enumerate() {
+                    let id =
+                        dec.decompose_onto(&mut solo_net, f, &inputs, &format!("f{i}"), &mut stats)?;
+                    solo_net.mark_output(&format!("f{i}"), id);
+                }
+                let mut solo_net = structural_merge("solo", &[&solo_net]);
+                solo_net.sweep();
+                hyper_net.sweep();
+                let mut best = if hyper_net.internal_count() <= solo_net.internal_count() {
+                    hyper_net
+                } else {
+                    solo_net
+                };
+                // Outputs are named f0.. in cluster order: map back.
+                let names: Vec<String> =
+                    cluster.iter().map(|&o| format!("o{o}")).collect();
+                let mut i = 0usize;
+                best.rename_outputs(|_| {
+                    let nm = names[i].clone();
+                    i += 1;
+                    nm
+                });
+                parts.push(best);
+            }
+        }
+        let refs: Vec<&Network> = parts.iter().collect();
+        let mut merged = structural_merge("mapped", &refs);
+        // Clustering permutes outputs: restore output-index order.
+        merged.sort_outputs_by_key(|name| {
+            name.strip_prefix('o')
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(usize::MAX)
+        });
+        Ok(merged)
+    }
+
+    /// Checks the mapped network against the specification on all minterms
+    /// (small spaces) or a stride sample.
+    fn verify(&self, net: &Network, outputs: &[TruthTable]) -> Result<(), CoreError> {
+        let n = outputs[0].vars();
+        if (1u64 << n) <= self.verify_samples as u64 {
+            return match hyde_logic::sim::check_against_tables(net, outputs) {
+                hyde_logic::sim::Equivalence::Equivalent { .. } => Ok(()),
+                hyde_logic::sim::Equivalence::Counterexample(bits) => Err(
+                    CoreError::Verification(format!("mapped network differs at input {bits:?}")),
+                ),
+            };
+        }
+        // Wide circuits: strided sample of the minterm space.
+        let pi_positions: Vec<usize> = net
+            .inputs()
+            .iter()
+            .map(|&id| {
+                net.node_name(id)
+                    .strip_prefix('x')
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .expect("flow inputs are named x<i>")
+            })
+            .collect();
+        let total = 1u64 << n;
+        let stride = (total / self.verify_samples as u64).max(1);
+        let mut m = 0u64;
+        while m < total {
+            let bits: Vec<bool> = pi_positions.iter().map(|&p| m >> p & 1 == 1).collect();
+            let got = net.eval(&bits);
+            for (o, f) in outputs.iter().enumerate() {
+                if got[o] != f.eval(m as u32) {
+                    return Err(CoreError::Verification(format!(
+                        "output {o} differs at minterm {m}"
+                    )));
+                }
+            }
+            m += stride;
+        }
+        Ok(())
+    }
+}
+
+/// Column patterns of `f` for an explicit bound/free split (free variables
+/// in ascending order).
+fn chart_columns(f: &TruthTable, bound: &[usize], free: &[usize]) -> Vec<TruthTable> {
+    let n_cols = 1usize << bound.len();
+    let mut out = Vec::with_capacity(n_cols);
+    for c in 0..n_cols {
+        let mut col = f.clone();
+        for (i, &v) in bound.iter().enumerate() {
+            col = col.cofactor(v, c >> i & 1 == 1);
+        }
+        out.push(project_to_support(&col, free));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn adder_outputs(bits: usize) -> Vec<TruthTable> {
+        // (a + b) over `bits`-bit operands: 2*bits inputs, bits+1 outputs.
+        let n = 2 * bits;
+        (0..=bits)
+            .map(|o| {
+                TruthTable::from_fn(n, |m| {
+                    let a = m & ((1 << bits) - 1);
+                    let b = m >> bits;
+                    ((a + b) >> o) & 1 == 1
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_flows_map_an_adder_correctly() {
+        let outputs = adder_outputs(3); // 6 inputs, 4 outputs
+        for kind in [
+            FlowKind::PerOutput {
+                encoder: EncoderKind::Lexicographic,
+            },
+            FlowKind::imodec_like(),
+            FlowKind::fgsyn_like(),
+            FlowKind::hyde(7),
+        ] {
+            let label = kind.label();
+            let flow = MappingFlow::new(5, kind);
+            let report = flow.map_outputs("add3", &outputs).unwrap();
+            assert!(report.network.is_k_feasible(5), "{label}");
+            assert!(report.luts > 0, "{label}");
+            assert!(report.clbs.is_some(), "{label}");
+        }
+    }
+
+    #[test]
+    fn shared_alpha_never_beats_per_output_count() {
+        let outputs = adder_outputs(3);
+        let per = MappingFlow::new(5, FlowKind::PerOutput {
+            encoder: EncoderKind::Lexicographic,
+        })
+        .map_outputs("a", &outputs)
+        .unwrap();
+        let shared = MappingFlow::new(5, FlowKind::imodec_like())
+            .map_outputs("a", &outputs)
+            .unwrap();
+        assert!(shared.luts <= per.luts);
+    }
+
+    #[test]
+    fn random_multi_output_all_flows() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let outputs: Vec<TruthTable> = (0..3).map(|_| TruthTable::random(7, &mut rng)).collect();
+        for kind in [
+            FlowKind::PerOutput {
+                encoder: EncoderKind::Random { seed: 5 },
+            },
+            FlowKind::fgsyn_like(),
+            FlowKind::hyde(5),
+        ] {
+            let label = kind.label();
+            let flow = MappingFlow::new(4, kind);
+            let report = flow.map_outputs("rnd", &outputs).unwrap();
+            assert!(report.network.is_k_feasible(4), "{label}");
+            assert!(report.clbs.is_none(), "k=4 has no CLB packing");
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_outputs() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(4, 0);
+        let flow = MappingFlow::new(5, FlowKind::fgsyn_like());
+        assert!(flow.map_outputs("bad", &[a, b]).is_err());
+        assert!(flow.map_outputs("empty", &[]).is_err());
+    }
+
+    #[test]
+    fn single_output_flows_agree_on_small_functions() {
+        let f = TruthTable::from_fn(4, |m| m.count_ones() >= 2);
+        for kind in [FlowKind::imodec_like(), FlowKind::fgsyn_like(), FlowKind::hyde(1)] {
+            let report = MappingFlow::new(5, kind).map_outputs("maj", &[f.clone()]).unwrap();
+            assert_eq!(report.luts, 1);
+        }
+    }
+}

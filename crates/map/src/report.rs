@@ -1,0 +1,68 @@
+//! Mapping result accounting.
+
+use hyde_logic::Network;
+use std::time::Duration;
+
+/// The outcome of mapping one circuit with one flow.
+#[derive(Debug, Clone)]
+pub struct MappingReport {
+    /// Circuit name.
+    pub name: String,
+    /// The mapped κ-feasible network.
+    pub network: Network,
+    /// Number of LUTs (internal nodes).
+    pub luts: usize,
+    /// Number of XC3000 CLBs after packing (only computed for k = 5).
+    pub clbs: Option<usize>,
+    /// Logic depth in LUT levels.
+    pub depth: usize,
+    /// Wall-clock mapping time.
+    pub elapsed: Duration,
+}
+
+impl MappingReport {
+    /// One-line summary for table printing.
+    pub fn summary(&self) -> String {
+        match self.clbs {
+            Some(clbs) => format!(
+                "{:<10} luts={:<4} clbs={:<4} depth={:<2} t={:.2}s",
+                self.name,
+                self.luts,
+                clbs,
+                self.depth,
+                self.elapsed.as_secs_f64()
+            ),
+            None => format!(
+                "{:<10} luts={:<4} depth={:<2} t={:.2}s",
+                self.name,
+                self.luts,
+                self.depth,
+                self.elapsed.as_secs_f64()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyde_logic::TruthTable;
+
+    #[test]
+    fn summary_formats() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let inv = !TruthTable::var(1, 0);
+        let n = net.add_node("n", vec![a], inv).unwrap();
+        net.mark_output("o", n);
+        let r = MappingReport {
+            name: "t".into(),
+            luts: 1,
+            clbs: Some(1),
+            depth: 1,
+            elapsed: Duration::from_millis(10),
+            network: net,
+        };
+        assert!(r.summary().contains("clbs=1"));
+    }
+}

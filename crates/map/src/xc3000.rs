@@ -1,0 +1,222 @@
+//! Xilinx XC3000 CLB packing.
+//!
+//! An XC3000 CLB computes either one function of up to 5 inputs or two
+//! functions of up to 4 inputs each, as long as the pair uses at most 5
+//! distinct input signals. Given a 5-feasible LUT network, packing is a
+//! maximum matching problem on the pairing graph (nodes with ≤4 fanins,
+//! edges between pairs whose fanin union is ≤5) — solved exactly with the
+//! blossom algorithm of [`hyde_graph::maximum_matching`].
+
+use hyde_logic::{Network, NodeId, NodeRole};
+use std::collections::BTreeSet;
+
+/// Result of packing a LUT network into XC3000 CLBs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClbPacking {
+    /// Node pairs sharing a CLB.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Nodes occupying a CLB alone.
+    pub singles: Vec<NodeId>,
+}
+
+impl ClbPacking {
+    /// Total CLBs used.
+    pub fn clb_count(&self) -> usize {
+        self.pairs.len() + self.singles.len()
+    }
+}
+
+/// Packs the internal nodes of a 5-feasible network into XC3000 CLBs.
+///
+/// # Panics
+///
+/// Panics if some internal node has more than 5 fanins (not 5-feasible).
+///
+/// # Example
+///
+/// ```
+/// use hyde_logic::{Network, TruthTable};
+/// use hyde_map::pack_clbs;
+///
+/// let mut net = Network::new("pair");
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let and2 = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+/// let x = net.add_node("x", vec![a, b], and2.clone()).unwrap();
+/// let y = net.add_node("y", vec![a, b], !and2).unwrap();
+/// net.mark_output("x", x);
+/// net.mark_output("y", y);
+/// // Both 2-input nodes share 2 distinct inputs: one CLB suffices.
+/// assert_eq!(pack_clbs(&net).clb_count(), 1);
+/// ```
+pub fn pack_clbs(net: &Network) -> ClbPacking {
+    let internal: Vec<NodeId> = net
+        .node_ids()
+        .into_iter()
+        .filter(|&id| net.role(id) == NodeRole::Internal)
+        .collect();
+    for &id in &internal {
+        assert!(
+            net.fanins(id).len() <= 5,
+            "node {id} has {} fanins; XC3000 packing needs a 5-feasible network",
+            net.fanins(id).len()
+        );
+    }
+    // Pairing candidates: nodes with <= 4 fanins.
+    let pairable: Vec<NodeId> = internal
+        .iter()
+        .copied()
+        .filter(|&id| net.fanins(id).len() <= 4)
+        .collect();
+    let index_of: std::collections::HashMap<NodeId, usize> = pairable
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (i, &a) in pairable.iter().enumerate() {
+        let fa: BTreeSet<NodeId> = net.fanins(a).iter().copied().collect();
+        for &b in &pairable[i + 1..] {
+            let mut union = fa.clone();
+            union.extend(net.fanins(b).iter().copied());
+            if union.len() <= 5 {
+                edges.push((i, index_of[&b]));
+            }
+        }
+    }
+    let matching = hyde_graph::maximum_matching(pairable.len(), &edges);
+    let mut paired = vec![false; pairable.len()];
+    let mut pairs = Vec::with_capacity(matching.len());
+    for (u, v) in matching {
+        paired[u] = true;
+        paired[v] = true;
+        pairs.push((pairable[u], pairable[v]));
+    }
+    let mut singles: Vec<NodeId> = pairable
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !paired[*i])
+        .map(|(_, &id)| id)
+        .collect();
+    singles.extend(internal.iter().copied().filter(|&id| net.fanins(id).len() == 5));
+    singles.sort_unstable();
+    ClbPacking { pairs, singles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyde_logic::TruthTable;
+
+    fn n_input_node(net: &mut Network, name: &str, inputs: &[NodeId]) -> NodeId {
+        let f = TruthTable::from_fn(inputs.len(), |m| m.count_ones() % 2 == 1);
+        net.add_node(name, inputs.to_vec(), f).unwrap()
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = Network::new("empty");
+        assert_eq!(pack_clbs(&net).clb_count(), 0);
+    }
+
+    #[test]
+    fn five_input_nodes_are_singles() {
+        let mut net = Network::new("five");
+        let inputs: Vec<NodeId> = (0..5).map(|i| net.add_input(&format!("i{i}"))).collect();
+        let a = n_input_node(&mut net, "a", &inputs);
+        let b = n_input_node(&mut net, "b", &inputs);
+        net.mark_output("a", a);
+        net.mark_output("b", b);
+        let p = pack_clbs(&net);
+        assert_eq!(p.pairs.len(), 0);
+        assert_eq!(p.clb_count(), 2);
+    }
+
+    #[test]
+    fn shared_input_pairs_pack_together() {
+        let mut net = Network::new("share");
+        let inputs: Vec<NodeId> = (0..5).map(|i| net.add_input(&format!("i{i}"))).collect();
+        // Four 3-input nodes over overlapping inputs: two CLBs.
+        let a = n_input_node(&mut net, "a", &inputs[0..3]);
+        let b = n_input_node(&mut net, "b", &inputs[2..5]);
+        let c = n_input_node(&mut net, "c", &inputs[0..3]);
+        let d = n_input_node(&mut net, "d", &inputs[2..5]);
+        for (nm, id) in [("a", a), ("b", b), ("c", c), ("d", d)] {
+            net.mark_output(nm, id);
+        }
+        let p = pack_clbs(&net);
+        assert_eq!(p.clb_count(), 2);
+        assert_eq!(p.pairs.len(), 2);
+    }
+
+    #[test]
+    fn input_budget_blocks_pairing() {
+        let mut net = Network::new("nopair");
+        let inputs: Vec<NodeId> = (0..8).map(|i| net.add_input(&format!("i{i}"))).collect();
+        // Two 4-input nodes with disjoint inputs: union 8 > 5.
+        let a = n_input_node(&mut net, "a", &inputs[0..4]);
+        let b = n_input_node(&mut net, "b", &inputs[4..8]);
+        net.mark_output("a", a);
+        net.mark_output("b", b);
+        let p = pack_clbs(&net);
+        assert_eq!(p.pairs.len(), 0);
+        assert_eq!(p.clb_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "5-feasible")]
+    fn rejects_wide_nodes() {
+        let mut net = Network::new("wide");
+        let inputs: Vec<NodeId> = (0..6).map(|i| net.add_input(&format!("i{i}"))).collect();
+        let a = n_input_node(&mut net, "a", &inputs);
+        net.mark_output("a", a);
+        let _ = pack_clbs(&net);
+    }
+
+    #[test]
+    fn matching_is_maximum_not_greedy() {
+        // Chain where greedy first-pair would strand a node:
+        // a-b compatible, b-c compatible, c-d compatible; a-b and c-d is 2
+        // pairs. Build with input sets making exactly those pairs legal.
+        let mut net = Network::new("chain");
+        let inputs: Vec<NodeId> = (0..11).map(|i| net.add_input(&format!("i{i}"))).collect();
+        // a: {0,1,2}, b: {2,3,4}, c: {4,5,6}, d: {6,7,8}
+        let a = n_input_node(&mut net, "a", &[inputs[0], inputs[1], inputs[2]]);
+        let b = n_input_node(&mut net, "b", &[inputs[2], inputs[3], inputs[4]]);
+        let c = n_input_node(&mut net, "c", &[inputs[4], inputs[5], inputs[6]]);
+        let d = n_input_node(&mut net, "d", &[inputs[6], inputs[7], inputs[8]]);
+        for (nm, id) in [("a", a), ("b", b), ("c", c), ("d", d)] {
+            net.mark_output(nm, id);
+        }
+        let p = pack_clbs(&net);
+        assert_eq!(p.clb_count(), 2);
+    }
+
+    #[test]
+    fn every_node_is_accounted_once() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut net = Network::new("rand");
+        let inputs: Vec<NodeId> = (0..10).map(|i| net.add_input(&format!("i{i}"))).collect();
+        let mut nodes = Vec::new();
+        for t in 0..12 {
+            let fanin_count = rng.gen_range(2..=5usize);
+            let mut fi = inputs.clone();
+            for _ in 0..(10 - fanin_count) {
+                fi.remove(rng.gen_range(0..fi.len()));
+            }
+            let id = n_input_node(&mut net, &format!("n{t}"), &fi);
+            nodes.push(id);
+            net.mark_output(&format!("n{t}"), id);
+        }
+        let p = pack_clbs(&net);
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in &p.pairs {
+            assert!(seen.insert(*a) && seen.insert(*b));
+        }
+        for s in &p.singles {
+            assert!(seen.insert(*s));
+        }
+        assert_eq!(seen.len(), nodes.len());
+    }
+}

@@ -1,0 +1,17 @@
+//! HYDE — a reproduction of *"Compatible Class Encoding in Hyper-Function
+//! Decomposition for FPGA Synthesis"* (Jiang, Jou, Huang, DAC 1998).
+//!
+//! This facade crate re-exports the whole workspace so examples and
+//! downstream users need a single dependency. See `README.md` for an
+//! architecture tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hyde_bdd as bdd;
+pub use hyde_circuits as circuits;
+pub use hyde_core as core;
+pub use hyde_graph as graph;
+pub use hyde_logic as logic;
+pub use hyde_map as map;

@@ -1,0 +1,103 @@
+//! Integration tests for partition containment and pliable sharing
+//! (Definition 4.6, Theorems 4.3/4.4, Example 4.2 / Figure 10).
+
+use hyde::core::containment::{function_partition, share_alphas, verify_shared};
+use hyde::core::encoding::ceil_log2;
+use hyde::core::partition::Partition;
+use hyde::logic::TruthTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Theorem 4.4 (soundness): whenever containment holds, sharing works.
+#[test]
+fn theorem_4_4_containment_implies_sharing() {
+    let mut rng = StdRng::seed_from_u64(0x44);
+    let bound = [0usize, 1, 2];
+    let mut checked = 0;
+    for _ in 0..60 {
+        let f_a = TruthTable::random(6, &mut rng);
+        let f_b = TruthTable::random(6, &mut rng);
+        let pa = function_partition(&f_a, &bound).unwrap();
+        let pb = function_partition(&f_b, &bound).unwrap();
+        let shared = share_alphas(&f_a, &f_b, &bound).unwrap();
+        if pa.is_contained_by(&pb) {
+            let s = shared.expect("containment implies sharing");
+            assert!(verify_shared(&f_a, &bound, &s));
+            checked += 1;
+        } else {
+            assert!(shared.is_none());
+        }
+    }
+    assert!(checked > 0, "at least one containment case must occur");
+}
+
+/// Theorem 4.3 (necessity direction): if sharing would mis-merge columns,
+/// containment must not hold. Exercised by constructing a violation.
+#[test]
+fn non_containment_rejected() {
+    // f_a distinguishes columns 0 and 1; f_b merges them.
+    let f_a = TruthTable::from_fn(4, |m| (m & 0b11) == 0 && (m >> 2) == 1);
+    let f_b = TruthTable::from_fn(4, |m| (m & 0b11) == 2 && (m >> 2) == 2);
+    let bound = [0usize, 1];
+    let pa = function_partition(&f_a, &bound).unwrap();
+    let pb = function_partition(&f_b, &bound).unwrap();
+    // f_b merges columns 0,1,3 (all zero pattern); f_a separates 0 from 1.
+    assert!(!pa.is_contained_by(&pb));
+    assert!(share_alphas(&f_a, &f_b, &bound).unwrap().is_none());
+}
+
+/// Example 4.2's arithmetic: the paper's partitions Pi0/Pi1/Pi2 show Pi0
+/// contained by the conjunction of Pi1, Pi2 with multiplicity 8.
+#[test]
+fn example_4_2_partitions() {
+    let p0 = Partition::new(vec![0, 0, 1, 0, 1, 2, 2, 0, 3, 2, 0, 0, 0, 0, 0, 2]);
+    let p1 = Partition::new(vec![0, 1, 2, 0, 2, 3, 3, 2, 4, 3, 0, 2, 1, 5, 1, 3]);
+    // Pi2's symbols live in its own alphabet: offset to keep them distinct.
+    let p2 = Partition::new(
+        vec![0, 1, 1, 0, 1, 2, 2, 3, 3, 2, 0, 3, 1, 4, 5, 2]
+            .into_iter()
+            .map(|s: u32| s + 100)
+            .collect(),
+    );
+    let c12 = Partition::conjunction(&[&p1, &p2]);
+    assert_eq!(c12.multiplicity(), 8);
+    let c012 = Partition::conjunction(&[&p0, &c12]);
+    assert_eq!(c012.multiplicity(), 8, "paper: same multiplicity");
+    assert!(p0.is_contained_by(&c12));
+    // Pi0 needs ceil(log2(4)) = 2 bits alone but may reuse the 3 shared
+    // decomposition functions (pliable encoding).
+    assert_eq!(p0.multiplicity(), 4);
+    assert_eq!(ceil_log2(p0.multiplicity()), 2);
+    assert_eq!(ceil_log2(c12.multiplicity()), 3);
+}
+
+/// Figure 10's LUT arithmetic: rigid re-encoding of f0's classes costs two
+/// extra alpha LUTs versus pliable reuse of the shared three.
+#[test]
+fn figure_10_lut_accounting() {
+    // With 4 classes and lambda size 4, rigid needs 2 new alpha functions
+    // (2 LUTs); pliable reuse costs 0 new LUTs. The delta the paper quotes
+    // is exactly 2.
+    let rigid_alphas = ceil_log2(4);
+    let pliable_new_alphas = 0;
+    assert_eq!(rigid_alphas - pliable_new_alphas, 2);
+}
+
+/// Containment is a preorder: reflexive and transitive on partitions.
+#[test]
+fn containment_is_a_preorder() {
+    let mut rng = StdRng::seed_from_u64(0x46);
+    for _ in 0..30 {
+        let fa = TruthTable::random(6, &mut rng);
+        let fb = TruthTable::random(6, &mut rng);
+        let fc = TruthTable::random(6, &mut rng);
+        let bound = [0usize, 1, 2];
+        let pa = function_partition(&fa, &bound).unwrap();
+        let pb = function_partition(&fb, &bound).unwrap();
+        let pc = function_partition(&fc, &bound).unwrap();
+        assert!(pa.is_contained_by(&pa));
+        if pa.is_contained_by(&pb) && pb.is_contained_by(&pc) {
+            assert!(pa.is_contained_by(&pc), "transitivity");
+        }
+    }
+}

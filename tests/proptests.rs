@@ -1,0 +1,160 @@
+//! Property-based tests over the core data structures and invariants.
+
+use hyde::core::chart::{class_count, DecompositionChart};
+use hyde::core::decompose::{decompose_step, Decomposer};
+use hyde::core::encoding::{build_image, ceil_log2, CodeAssignment, EncoderKind};
+use hyde::core::partition::Partition;
+use hyde::logic::{Isf, SopCover, TruthTable};
+use proptest::prelude::*;
+
+fn arb_table(vars: usize) -> impl Strategy<Value = TruthTable> {
+    proptest::collection::vec(any::<bool>(), 1 << vars).prop_map(move |bits| {
+        TruthTable::from_fn(vars, |m| bits[m as usize])
+    })
+}
+
+fn arb_partition(len: usize, symbols: u32) -> impl Strategy<Value = Partition> {
+    proptest::collection::vec(0..symbols, len).prop_map(Partition::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truth_table_double_negation(f in arb_table(6)) {
+        prop_assert_eq!(!&!&f, f);
+    }
+
+    #[test]
+    fn truth_table_de_morgan(f in arb_table(5), g in arb_table(5)) {
+        prop_assert_eq!(!&(&f & &g), &!&f | &!&g);
+        prop_assert_eq!(!&(&f | &g), &!&f & &!&g);
+    }
+
+    #[test]
+    fn cofactor_shannon_expansion(f in arb_table(6), v in 0usize..6) {
+        let x = TruthTable::var(6, v);
+        let expanded = &(&x & &f.cofactor(v, true)) | &(&!&x & &f.cofactor(v, false));
+        prop_assert_eq!(expanded, f);
+    }
+
+    #[test]
+    fn isop_is_exact(f in arb_table(6)) {
+        prop_assert_eq!(SopCover::isop(&f).to_truth_table(6), f);
+    }
+
+    #[test]
+    fn bdd_matches_truth_table(f in arb_table(6)) {
+        let mut bdd = hyde::bdd::Bdd::new(6);
+        let r = bdd.from_fn(|m| f.eval(m));
+        for m in 0u32..64 {
+            prop_assert_eq!(bdd.eval(r, m), f.eval(m));
+        }
+        prop_assert_eq!(bdd.sat_count(r), u128::from(f.count_ones() as u64));
+    }
+
+    #[test]
+    fn class_count_bounds(f in arb_table(7)) {
+        let cc = class_count(&f, &[0, 1, 2]).unwrap();
+        prop_assert!(cc >= 1);
+        prop_assert!(cc <= 8, "at most 2^|bound| classes");
+    }
+
+    #[test]
+    fn class_count_invariant_under_bound_order(f in arb_table(6)) {
+        let a = class_count(&f, &[0, 2, 4]).unwrap();
+        let b = class_count(&f, &[4, 0, 2]).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decomposition_recomposes(f in arb_table(7), seed in 0u64..1000) {
+        let d = decompose_step(&f, &[0, 1, 2], &EncoderKind::Random { seed }, 5).unwrap();
+        prop_assert!(d.verify(&f));
+        prop_assert!(d.codes.is_strict());
+        prop_assert!(d.codes.is_rigid());
+    }
+
+    #[test]
+    fn decomposer_networks_are_correct(f in arb_table(7)) {
+        let dec = Decomposer::new(4, EncoderKind::Lexicographic);
+        let (net, _) = dec.decompose_to_network(&f, "p").unwrap();
+        prop_assert!(net.is_k_feasible(4));
+        for m in (0u32..128).step_by(5) {
+            let bits: Vec<bool> = (0..7).map(|i| m >> i & 1 == 1).collect();
+            prop_assert_eq!(net.eval(&bits)[0], f.eval(m));
+        }
+    }
+
+    #[test]
+    fn image_dc_disjoint_from_on(f in arb_table(6)) {
+        let chart = DecompositionChart::new(&f, &[0, 1]).unwrap();
+        let classes = chart.classes().clone();
+        let t = ceil_log2(classes.len());
+        let codes = CodeAssignment::new((0..classes.len() as u32).collect(), t).unwrap();
+        let (on, dc) = build_image(&classes, &codes);
+        prop_assert!((&on & &dc).is_zero());
+    }
+
+    #[test]
+    fn partition_conjunction_is_finer(p in arb_partition(8, 4), q in arb_partition(8, 4)) {
+        let c = Partition::conjunction(&[&p, &q]);
+        prop_assert!(c.multiplicity() >= p.multiplicity());
+        prop_assert!(c.multiplicity() >= q.multiplicity());
+        prop_assert!(p.is_contained_by(&c));
+        prop_assert!(q.is_contained_by(&c));
+    }
+
+    #[test]
+    fn partition_conjunction_commutes(p in arb_partition(6, 4), q in arb_partition(6, 4)) {
+        let a = Partition::conjunction(&[&p, &q]);
+        let b = Partition::conjunction(&[&q, &p]);
+        prop_assert!(a.same_grouping(&b));
+    }
+
+    #[test]
+    fn containment_antisymmetric_up_to_grouping(
+        p in arb_partition(6, 3),
+        q in arb_partition(6, 3),
+    ) {
+        if p.is_contained_by(&q) && q.is_contained_by(&p) {
+            prop_assert!(p.same_grouping(&q));
+        }
+    }
+
+    #[test]
+    fn isf_completion_respects_care_set(on in arb_table(5), dc in arb_table(5)) {
+        let isf = Isf::new(on, dc).unwrap();
+        let a = hyde::core::dc_assign::assign_dont_cares(&isf, &[0, 1]).unwrap();
+        prop_assert!(isf.admits(&a.completed));
+        let plain = class_count(isf.on_set(), &[0, 1]).unwrap();
+        prop_assert!(a.classes.len() <= plain);
+    }
+
+    #[test]
+    fn blossom_matching_is_valid_and_maximal(
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..20),
+    ) {
+        let m = hyde::graph::maximum_matching(8, &edges);
+        let mut used = [false; 8];
+        for &(u, v) in &m {
+            prop_assert!(!used[u] && !used[v]);
+            used[u] = true;
+            used[v] = true;
+        }
+        // Maximality: no remaining edge with both endpoints free.
+        for &(u, v) in &edges {
+            if u != v {
+                prop_assert!(used[u] || used[v], "edge ({u},{v}) extendable");
+            }
+        }
+    }
+
+    #[test]
+    fn codes_strict_iff_distinct(codes in proptest::collection::vec(0u32..8, 1..8)) {
+        if let Ok(ca) = CodeAssignment::new(codes.clone(), 3) {
+            let distinct: std::collections::HashSet<u32> = codes.iter().copied().collect();
+            prop_assert_eq!(ca.is_strict(), distinct.len() == codes.len());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Cross-module tests of the two-level machinery: ISOP, espresso-style
+//! minimization, algebraic factoring, and their interaction with the
+//! mapping flows.
+
+use hyde::logic::espresso::minimize;
+use hyde::logic::factor::{factor, kernels};
+use hyde::logic::{Isf, SopCover, TruthTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn minimize_beats_or_matches_isop_with_dc() {
+    // The ISOP construction already works over the [on, on∪dc] interval, so
+    // the EXPAND/IRREDUNDANT/REDUCE iteration must never be worse and must
+    // always stay valid; strict improvement only happens when ISOP's
+    // variable-order heuristic leaves slack.
+    let mut rng = StdRng::seed_from_u64(0x2111);
+    for _ in 0..25 {
+        let on = TruthTable::random(7, &mut rng);
+        let mask = TruthTable::from_fn(7, |_| rng.gen_bool(0.35));
+        let dc = &mask & &!&on;
+        let f = Isf::new(on, dc).unwrap();
+        let upper = f.on_set() | f.dc_set();
+        let isop = SopCover::isop_between(f.on_set(), &upper);
+        let min = minimize(&f, 5);
+        assert!(min.cover.cube_count() <= isop.cube_count());
+        // Validity.
+        let t = min.cover.to_truth_table(7);
+        assert!((f.on_set() & &!&t).is_zero());
+        assert!((&t & &!&upper).is_zero());
+    }
+}
+
+#[test]
+fn factored_forms_of_suite_outputs() {
+    for circuit in [hyde::circuits::rd73(), hyde::circuits::misex1()] {
+        for (o, f) in circuit.outputs.iter().enumerate() {
+            let cover = SopCover::isop(f);
+            let fac = factor(&cover, circuit.inputs);
+            assert!(
+                fac.literal_count() <= cover.literal_count(),
+                "{} output {o}",
+                circuit.name
+            );
+            for m in (0..1u32 << circuit.inputs).step_by(7) {
+                assert_eq!(fac.eval(m), f.eval(m), "{} o{o} m={m}", circuit.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn kernels_exist_for_shareable_structures() {
+    // The multiplier's outputs have rich kernel structure.
+    let c = hyde::circuits::f51m();
+    let mut with_kernels = 0;
+    for f in &c.outputs {
+        let cover = SopCover::isop(f);
+        if !kernels(&cover, c.inputs).is_empty() {
+            with_kernels += 1;
+        }
+    }
+    assert!(with_kernels >= 4, "only {with_kernels} outputs had kernels");
+}
+
+#[test]
+fn espresso_then_map_pipeline() {
+    // Minimize with the full dc space of unused hyper codes, then map.
+    use hyde::map::flow::{FlowKind, MappingFlow};
+    let c = hyde::circuits::clip();
+    let minimized: Vec<TruthTable> = c
+        .outputs
+        .iter()
+        .map(|f| {
+            let r = minimize(&Isf::completely_specified(f.clone()), 3);
+            r.cover.to_truth_table(c.inputs)
+        })
+        .collect();
+    assert_eq!(minimized, c.outputs, "no dc: minimization is exact");
+    let report = MappingFlow::new(5, FlowKind::hyde(1))
+        .map_outputs("clip-min", &minimized)
+        .unwrap();
+    assert!(report.network.is_k_feasible(5));
+}
