@@ -88,6 +88,35 @@ impl Bdd {
         self.nodes.len() <= 2
     }
 
+    /// Iterates over the non-terminal nodes as `(index, var, lo, hi)`
+    /// triples, in allocation order.
+    ///
+    /// Exposed for the `hyde-verify` BDD audit (ordering invariant and
+    /// unique-table consistency); terminals (indices 0 and 1) are skipped.
+    pub fn node_triples(&self) -> impl Iterator<Item = (usize, usize, Ref, Ref)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .skip(2)
+            .map(|(i, n)| (i, n.var as usize, n.lo, n.hi))
+    }
+
+    /// Appends a node bypassing the unique table and the reduction rules.
+    ///
+    /// This deliberately corrupts the manager; it exists so the
+    /// `hyde-verify` mutation tests can exercise the BDD audit lints
+    /// (`HY301`/`HY302`). Never use it in flows.
+    #[doc(hidden)]
+    pub fn raw_push_node(&mut self, var: usize, lo: Ref, hi: Ref) -> Ref {
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            var: var as u32,
+            lo,
+            hi,
+        });
+        r
+    }
+
     /// The constant-false function.
     pub fn zero(&self) -> Ref {
         Ref::FALSE
@@ -340,7 +369,11 @@ impl Bdd {
                 Ref::TRUE => return true,
                 _ => {
                     let n = self.node(r);
-                    r = if minterm >> n.var & 1 == 1 { n.hi } else { n.lo };
+                    r = if minterm >> n.var & 1 == 1 {
+                        n.hi
+                    } else {
+                        n.lo
+                    };
                 }
             }
         }
@@ -509,8 +542,13 @@ impl Bdd {
     ///
     /// Panics if `num_vars > 24` (guard against huge enumerations).
     pub fn minterms(&self, f: Ref) -> Vec<u32> {
-        assert!(self.num_vars <= 24, "minterm enumeration limited to 24 vars");
-        (0..(1u32 << self.num_vars)).filter(|&m| self.eval(f, m)).collect()
+        assert!(
+            self.num_vars <= 24,
+            "minterm enumeration limited to 24 vars"
+        );
+        (0..(1u32 << self.num_vars))
+            .filter(|&m| self.eval(f, m))
+            .collect()
     }
 
     /// Emits a Graphviz `dot` description of the BDD rooted at `f`
@@ -686,7 +724,7 @@ mod tests {
         assert_eq!(bdd.compatible_class_count(f, &[0, 1]), 2);
         // Bound {0,2}: cofactors x1|x3... let's just check bounds.
         let n = bdd.compatible_class_count(f, &[0, 2]);
-        assert!(n >= 2 && n <= 4);
+        assert!((2..=4).contains(&n));
     }
 
     #[test]

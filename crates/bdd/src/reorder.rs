@@ -82,8 +82,7 @@ pub fn window_search(bdd: &mut Bdd, f: Ref, w: usize) -> Reordered {
             for perm in permutations(&in_window) {
                 let mut cand = position_of.clone();
                 // Assign window levels start.. to the permuted variables.
-                let mut levels: Vec<usize> =
-                    in_window.iter().map(|&v| position_of[v]).collect();
+                let mut levels: Vec<usize> = in_window.iter().map(|&v| position_of[v]).collect();
                 levels.sort_unstable();
                 for (lvl, &v) in levels.iter().zip(&perm) {
                     cand[v] = *lvl;
@@ -125,6 +124,27 @@ fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
     out
 }
 
+/// Moves variable `v` to level `target`, shifting the others while keeping
+/// their relative order.
+fn move_var(position_of: &[usize], v: usize, target: usize) -> Vec<usize> {
+    let cur = position_of[v];
+    position_of
+        .iter()
+        .enumerate()
+        .map(|(u, &p)| {
+            if u == v {
+                target
+            } else if cur < target && p > cur && p <= target {
+                p - 1
+            } else if target < cur && p >= target && p < cur {
+                p + 1
+            } else {
+                p
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,7 +169,11 @@ mod tests {
         let f = pairs_function(&mut bdd, &[0, 3, 1, 4, 2, 5]);
         let before = bdd.node_count(f);
         let r = sift(&mut bdd, f);
-        assert!(r.size < before, "sifting must shrink {before} -> {}", r.size);
+        assert!(
+            r.size < before,
+            "sifting must shrink {before} -> {}",
+            r.size
+        );
         assert_eq!(r.size, 6, "paired order is linear: 6 nodes");
         // Semantics preserved up to the reported renaming.
         for m in 0u32..64 {
@@ -195,25 +219,4 @@ mod tests {
         assert_eq!(permutations(&[1, 2, 3]).len(), 6);
         assert_eq!(permutations(&[]).len(), 1);
     }
-}
-
-/// Moves variable `v` to level `target`, shifting the others while keeping
-/// their relative order.
-fn move_var(position_of: &[usize], v: usize, target: usize) -> Vec<usize> {
-    let cur = position_of[v];
-    position_of
-        .iter()
-        .enumerate()
-        .map(|(u, &p)| {
-            if u == v {
-                target
-            } else if cur < target && p > cur && p <= target {
-                p - 1
-            } else if target < cur && p >= target && p < cur {
-                p + 1
-            } else {
-                p
-            }
-        })
-        .collect()
 }

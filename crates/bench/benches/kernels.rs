@@ -1,6 +1,10 @@
-//! Criterion micro-benchmarks for the algorithmic kernels (experiment P1).
+//! Micro-benchmarks for the algorithmic kernels (experiment P1).
+//!
+//! Criterion is unavailable in the offline build environment, so this is a
+//! plain `harness = false` timing loop: each kernel runs a warm-up pass and
+//! then a fixed iteration count, reporting mean wall-clock time per
+//! iteration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hyde_core::chart::class_count;
 use hyde_core::encoding::{combine_column_sets, combine_row_sets};
 use hyde_core::partition::example_3_2_partitions;
@@ -8,28 +12,34 @@ use hyde_core::varpart::VariablePartitioner;
 use hyde_logic::{SopCover, TruthTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
-fn bench_bdd_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bdd");
-    for vars in [10usize, 14] {
-        group.bench_with_input(BenchmarkId::new("build_parity", vars), &vars, |b, &v| {
-            b.iter(|| {
-                let mut bdd = hyde_bdd::Bdd::new(v);
-                let f = bdd.from_fn(|m| m.count_ones() % 2 == 1);
-                bdd.node_count(f)
-            })
-        });
+fn bench<F: FnMut() -> R, R>(name: &str, iters: u32, mut f: F) {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
     }
-    group.bench_function("cut_classes_parity16", |b| {
-        let mut bdd = hyde_bdd::Bdd::new(16);
-        let f = bdd.from_fn(|m| m.count_ones() % 2 == 1);
-        b.iter(|| bdd.compatible_class_count(f, &[0, 3, 5, 7, 9]))
-    });
-    group.finish();
+    let per = start.elapsed() / iters;
+    println!("{name:<36} {per:>12.2?}/iter  ({iters} iters)");
 }
 
-fn bench_matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matching");
+fn bench_bdd_ops() {
+    for vars in [10usize, 14] {
+        bench(&format!("bdd/build_parity/{vars}"), 20, || {
+            let mut bdd = hyde_bdd::Bdd::new(vars);
+            let f = bdd.from_fn(|m| m.count_ones() % 2 == 1);
+            bdd.node_count(f)
+        });
+    }
+    let mut bdd = hyde_bdd::Bdd::new(16);
+    let f = bdd.from_fn(|m| m.count_ones() % 2 == 1);
+    bench("bdd/cut_classes_parity16", 20, || {
+        bdd.compatible_class_count(f, &[0, 3, 5, 7, 9])
+    });
+}
+
+fn bench_matching() {
     let mut rng = StdRng::seed_from_u64(1);
     for n in [50usize, 150] {
         let mut edges = Vec::new();
@@ -40,78 +50,70 @@ fn bench_matching(c: &mut Criterion) {
                 }
             }
         }
-        group.bench_with_input(BenchmarkId::new("blossom", n), &n, |b, &n| {
-            b.iter(|| hyde_graph::maximum_matching(n, &edges))
+        bench(&format!("matching/blossom/{n}"), 10, || {
+            hyde_graph::maximum_matching(n, &edges)
         });
     }
-    group.bench_function("b_matching_column_graph", |b| {
-        let left_cap = vec![1i64; 40];
-        let right_cap = vec![4i64; 10];
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut edges = Vec::new();
-        for l in 0..40 {
-            for r in 0..10 {
-                if rng.gen_bool(0.3) {
-                    edges.push((l, r, rng.gen_range(1..12i64)));
-                }
+    let left_cap = vec![1i64; 40];
+    let right_cap = vec![4i64; 10];
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut edges = Vec::new();
+    for l in 0..40 {
+        for r in 0..10 {
+            if rng.gen_bool(0.3) {
+                edges.push((l, r, rng.gen_range(1..12i64)));
             }
         }
-        b.iter(|| hyde_graph::max_weight_b_matching(&left_cap, &right_cap, &edges))
-    });
-    group.finish();
-}
-
-fn bench_clique_partition(c: &mut Criterion) {
-    c.bench_function("clique_partition_32", |b| {
-        let mut rng = StdRng::seed_from_u64(3);
-        let n = 32;
-        let mut adj = vec![vec![false; n]; n];
-        for u in 0..n {
-            for v in (u + 1)..n {
-                let e = rng.gen_bool(0.5);
-                adj[u][v] = e;
-                adj[v][u] = e;
-            }
-        }
-        b.iter(|| hyde_graph::partition_into_cliques(n, |u, v| adj[u][v]))
+    }
+    bench("matching/b_matching_column_graph", 20, || {
+        hyde_graph::max_weight_b_matching(&left_cap, &right_cap, &edges)
     });
 }
 
-fn bench_encoding_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encoding");
+fn bench_clique_partition() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 32;
+    let mut adj = vec![vec![false; n]; n];
+    for (u, v) in (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))) {
+        let e = rng.gen_bool(0.5);
+        adj[u][v] = e;
+        adj[v][u] = e;
+    }
+    bench("clique_partition_32", 50, || {
+        hyde_graph::partition_into_cliques(n, |u, v| adj[u][v])
+    });
+}
+
+fn bench_encoding_steps() {
     let parts = example_3_2_partitions();
-    group.bench_function("column_sets_example_3_2", |b| {
-        b.iter(|| combine_column_sets(&parts, 4))
+    bench("encoding/column_sets_example_3_2", 100, || {
+        combine_column_sets(&parts, 4)
     });
-    group.bench_function("row_sets_example_3_2", |b| {
-        let col_sets = combine_column_sets(&parts, 4);
-        b.iter(|| combine_row_sets(&parts, &col_sets, 4, 4))
+    let col_sets = combine_column_sets(&parts, 4);
+    bench("encoding/row_sets_example_3_2", 100, || {
+        combine_row_sets(&parts, &col_sets, 4, 4)
     });
-    group.finish();
 }
 
-fn bench_chart_and_varpart(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decomp");
+fn bench_chart_and_varpart() {
     let mut rng = StdRng::seed_from_u64(4);
     let f10 = TruthTable::random(10, &mut rng);
-    group.bench_function("class_count_10v_bound5", |b| {
-        b.iter(|| class_count(&f10, &[0, 2, 4, 6, 8]).expect("valid"))
+    bench("decomp/class_count_10v_bound5", 50, || {
+        class_count(&f10, &[0, 2, 4, 6, 8]).expect("valid")
     });
-    group.bench_function("varpart_10v_k5", |b| {
-        let vp = VariablePartitioner::default();
-        b.iter(|| vp.best_bound_set(&f10, 5).expect("valid"))
+    let vp = VariablePartitioner::default();
+    bench("decomp/varpart_10v_k5", 5, || {
+        vp.best_bound_set(&f10, 5).expect("valid")
     });
     let f8 = TruthTable::random(8, &mut rng);
-    group.bench_function("isop_8v", |b| b.iter(|| SopCover::isop(&f8).cube_count()));
-    group.finish();
+    bench("decomp/isop_8v", 50, || SopCover::isop(&f8).cube_count());
 }
 
-criterion_group!(
-    benches,
-    bench_bdd_ops,
-    bench_matching,
-    bench_clique_partition,
-    bench_encoding_steps,
-    bench_chart_and_varpart
-);
-criterion_main!(benches);
+fn main() {
+    println!("kernel micro-benchmarks (manual harness)");
+    bench_bdd_ops();
+    bench_matching();
+    bench_clique_partition();
+    bench_encoding_steps();
+    bench_chart_and_varpart();
+}

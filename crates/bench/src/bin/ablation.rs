@@ -11,8 +11,8 @@
 use hyde_core::chart::{class_count, IsfChart};
 use hyde_core::dc_assign::assign_dont_cares;
 use hyde_core::encoding::EncoderKind;
-use hyde_map::flow::{FlowKind, MappingFlow};
 use hyde_logic::{Isf, TruthTable};
+use hyde_map::flow::{FlowKind, MappingFlow};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -27,6 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             path.display()
         );
     }
-    println!("{} circuits, {total_cubes} cubes total", hyde_circuits::suite().len());
+    println!(
+        "{} circuits, {total_cubes} cubes total",
+        hyde_circuits::suite().len()
+    );
     Ok(())
 }

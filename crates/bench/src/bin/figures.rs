@@ -9,8 +9,7 @@
 
 use hyde_core::chart::DecompositionChart;
 use hyde_core::encoding::{
-    build_image, ceil_log2, combine_column_sets, combine_row_sets,
-    CodeAssignment, EncoderKind,
+    build_image, ceil_log2, combine_column_sets, combine_row_sets, CodeAssignment, EncoderKind,
 };
 use hyde_core::hyper::HyperFunction;
 use hyde_core::partition::{example_3_2_partitions, shared_psc_sets};
@@ -169,7 +168,10 @@ fn figures_8_and_9() {
     let dec = Decomposer::new(5, EncoderKind::Hyde { seed: 0x41 });
     let hn = h.decompose(&dec).expect("decomposition succeeds");
     println!("decomposed network: {} LUTs", hn.network.internal_count());
-    println!("duplication source DS: {} nodes", hn.duplication_source().len());
+    println!(
+        "duplication source DS: {} nodes",
+        hn.duplication_source().len()
+    );
     println!("duplication cone DC: {} nodes", hn.duplication_cone().len());
     for m in 1..=h.pseudo_bits() {
         println!("  DSet_{m}: {} nodes", hn.dset(m).len());
@@ -180,7 +182,10 @@ fn figures_8_and_9() {
         hn.implemented_lut_count().expect("implementation succeeds")
     );
     hn.verify_ingredients().expect("all ingredients recovered");
-    println!("all {} ingredients verified after recovery\n", h.ingredients().len());
+    println!(
+        "all {} ingredients verified after recovery\n",
+        h.ingredients().len()
+    );
 }
 
 fn figure_10() {

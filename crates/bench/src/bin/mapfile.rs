@@ -94,7 +94,11 @@ fn run() -> Result<(), String> {
         "per-output" => FlowKind::PerOutput {
             encoder: EncoderKind::Lexicographic,
         },
-        other => return Err(format!("unknown flow {other:?} (hyde|imodec|fgsyn|per-output)")),
+        other => {
+            return Err(format!(
+                "unknown flow {other:?} (hyde|imodec|fgsyn|per-output)"
+            ))
+        }
     };
     let flow = MappingFlow::new(k, kind);
     let report = flow

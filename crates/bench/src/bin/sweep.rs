@@ -8,9 +8,11 @@
 use hyde_core::encoding::EncoderKind;
 use hyde_map::flow::{FlowKind, MappingFlow};
 
+type FlowFactory = fn() -> FlowKind;
+
 fn main() {
     let circuits = hyde_circuits::suite_small();
-    let flows: Vec<(&str, fn() -> FlowKind)> = vec![
+    let flows: Vec<(&str, FlowFactory)> = vec![
         ("per-output", || FlowKind::PerOutput {
             encoder: EncoderKind::Lexicographic,
         }),
@@ -18,10 +20,7 @@ fn main() {
         ("fgsyn", FlowKind::fgsyn_like),
         ("hyde", || FlowKind::hyde(0xDA98)),
     ];
-    println!(
-        "{:<12}{:>10}{:>10}{:>10}",
-        "flow", "k=4", "k=5", "k=6"
-    );
+    println!("{:<12}{:>10}{:>10}{:>10}", "flow", "k=4", "k=5", "k=6");
     for (label, mk) in &flows {
         let mut row = format!("{label:<12}");
         for k in [4usize, 5, 6] {

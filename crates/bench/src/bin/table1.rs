@@ -35,10 +35,6 @@ fn main() {
     );
     for &(name, imodec, fgsyn, hyde) in PAPER_TABLE1 {
         let fmt = |v: Option<u32>| v.map_or("-".to_string(), |x| x.to_string());
-        println!(
-            "{name:<10}{:>14}{:>14}{hyde:>14}",
-            fmt(imodec),
-            fmt(fgsyn)
-        );
+        println!("{name:<10}{:>14}{:>14}{hyde:>14}", fmt(imodec), fmt(fgsyn));
     }
 }

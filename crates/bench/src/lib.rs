@@ -40,9 +40,12 @@ pub const PAPER_TABLE1: &[(&str, Option<u32>, Option<u32>, u32)] = &[
     ("C880", Some(81), Some(87), 68),
 ];
 
-/// Paper numbers for Table 2 (5-input LUT counts): (circuit, `[8]` w/o
-/// resub, `[8]` w/ resub, `[8]` PO, HYDE). `None` marks a dash.
-pub const PAPER_TABLE2: &[(&str, Option<u32>, Option<u32>, Option<u32>, u32)] = &[
+/// One Table 2 row: (circuit, `[8]` w/o resub, `[8]` w/ resub, `[8]` PO,
+/// HYDE). `None` marks a dash.
+pub type Table2Row = (&'static str, Option<u32>, Option<u32>, Option<u32>, u32);
+
+/// Paper numbers for Table 2 (5-input LUT counts).
+pub const PAPER_TABLE2: &[Table2Row] = &[
     ("5xp1", Some(15), Some(11), Some(10), 13),
     ("9sym", Some(7), Some(7), Some(7), 6),
     ("alu2", Some(48), Some(48), Some(48), 50),

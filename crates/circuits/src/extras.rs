@@ -123,11 +123,7 @@ mod tests {
     #[test]
     fn gray_code_adjacent_codes_differ_by_one_bit() {
         let c = bin2gray8();
-        let gray = |m: u32| -> u32 {
-            (0..8)
-                .map(|b| u32::from(c.outputs[b].eval(m)) << b)
-                .sum()
-        };
+        let gray = |m: u32| -> u32 { (0..8).map(|b| u32::from(c.outputs[b].eval(m)) << b).sum() };
         for m in 0u32..255 {
             let diff = gray(m) ^ gray(m + 1);
             assert_eq!(diff.count_ones(), 1, "m={m}");

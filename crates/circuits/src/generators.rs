@@ -18,7 +18,14 @@ fn arith_outputs(inputs: usize, out_bits: usize, f: impl Fn(u32) -> u64) -> Vec<
 
 /// Seeded synthetic SOP circuit: each output is a disjunction of random
 /// cubes (used for benchmarks whose exact spec is not public).
-fn random_sop(name: &str, inputs: usize, outputs: usize, cubes: usize, lits: usize, seed: u64) -> Circuit {
+fn random_sop(
+    name: &str,
+    inputs: usize,
+    outputs: usize,
+    cubes: usize,
+    lits: usize,
+    seed: u64,
+) -> Circuit {
     let mut rng = StdRng::seed_from_u64(seed);
     let fns = (0..outputs)
         .map(|_| {
@@ -31,7 +38,11 @@ fn random_sop(name: &str, inputs: usize, outputs: usize, cubes: usize, lits: usi
                 }
                 for &v in &vars {
                     let lit = TruthTable::var(inputs, v);
-                    cube = if rng.gen_bool(0.5) { &cube & &lit } else { &cube & &!&lit };
+                    cube = if rng.gen_bool(0.5) {
+                        &cube & &lit
+                    } else {
+                        &cube & &!&lit
+                    };
                 }
                 f = &f | &cube;
             }
@@ -68,7 +79,7 @@ pub fn z4ml() -> Circuit {
         let b = m >> 2 & 0b11;
         let cin = m >> 4 & 1;
         let extra = m >> 5 & 0b11; // fold the remaining inputs in as a bias
-        (a + b + cin + (extra & 1) * 0) as u64 | ((u64::from(extra == 0b11)) << 3)
+        (a + b + cin) as u64 | ((u64::from(extra == 0b11)) << 3)
     });
     Circuit::new("z4ml", 7, outs, Origin::Substitute)
 }
@@ -175,11 +186,7 @@ pub fn alu4() -> Circuit {
 /// structure of the original.
 pub fn e64() -> Circuit {
     let outs: Vec<TruthTable> = (0..16)
-        .map(|i| {
-            TruthTable::from_fn(16, move |m| {
-                m >> i & 1 == 1 && (m & ((1u32 << i) - 1)) == 0
-            })
-        })
+        .map(|i| TruthTable::from_fn(16, move |m| m >> i & 1 == 1 && (m & ((1u32 << i) - 1)) == 0))
         .collect();
     Circuit::new("e64", 16, outs, Origin::Substitute)
 }
@@ -189,7 +196,7 @@ pub fn e64() -> Circuit {
 pub fn rot() -> Circuit {
     let outs = arith_outputs(11, 8, |m| {
         let data = (m & 0xFF) as u64;
-        let amt = (m >> 8 & 0b111) as u32;
+        let amt = m >> 8 & 0b111;
         ((data << amt) | (data >> (8 - amt % 8).min(8))) & 0xFF
     });
     Circuit::new("rot", 11, outs, Origin::Substitute)
@@ -331,7 +338,7 @@ pub fn duke2() -> Circuit {
 ///
 /// Panics if `n` is 0 or exceeds [`TruthTable::MAX_VARS`].
 pub fn parity(n: usize) -> Circuit {
-    assert!(n >= 1 && n <= TruthTable::MAX_VARS);
+    assert!((1..=TruthTable::MAX_VARS).contains(&n));
     let f = TruthTable::from_fn(n, |m| m.count_ones() % 2 == 1);
     Circuit::new(&format!("parity{n}"), n, vec![f], Origin::ExactSpec)
 }
@@ -430,7 +437,9 @@ mod tests {
         let v: u64 = (0..4).map(|b| u64::from(c.outputs[b].eval(0)) << b).sum();
         assert_eq!(v, 14);
         // S2(0) = 15.
-        let v: u64 = (0..4).map(|b| u64::from(c.outputs[4 + b].eval(0)) << b).sum();
+        let v: u64 = (0..4)
+            .map(|b| u64::from(c.outputs[4 + b].eval(0)) << b)
+            .sum();
         assert_eq!(v, 15);
     }
 

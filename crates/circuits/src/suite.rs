@@ -164,11 +164,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity")]
     fn circuit_validates_arity() {
-        let _ = Circuit::new(
-            "bad",
-            3,
-            vec![TruthTable::one(2)],
-            Origin::Substitute,
-        );
+        let _ = Circuit::new("bad", 3, vec![TruthTable::one(2)], Origin::Substitute);
     }
 }

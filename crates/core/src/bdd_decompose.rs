@@ -170,13 +170,7 @@ pub fn copy_into_mapped(src: &Bdd, f: Ref, dst: &mut Bdd, map: &[usize]) -> Ref 
     copy_rec(src, f, dst, map, &mut memo)
 }
 
-fn copy_rec(
-    src: &Bdd,
-    f: Ref,
-    dst: &mut Bdd,
-    map: &[usize],
-    memo: &mut HashMap<Ref, Ref>,
-) -> Ref {
+fn copy_rec(src: &Bdd, f: Ref, dst: &mut Bdd, map: &[usize], memo: &mut HashMap<Ref, Ref>) -> Ref {
     if f == Ref::FALSE {
         return dst.zero();
     }
@@ -262,7 +256,11 @@ mod tests {
         let f = bdd.from_fn(|m| tt.eval(m));
         let (d, _) = bdd_decompose(&mut bdd, f, &[1, 3, 5], None).unwrap();
         let chart_classes = crate::chart::class_count(&tt, &[1, 3, 5]).unwrap();
-        let bdd_classes = d.class_of.iter().collect::<std::collections::HashSet<_>>().len();
+        let bdd_classes = d
+            .class_of
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
         assert_eq!(chart_classes, bdd_classes);
     }
 
@@ -301,7 +299,11 @@ mod tests {
         let (d, gman) = bdd_decompose(&mut bdd, f, &[0, 1, 2, 3], None).unwrap();
         // Classes: pairs (x0&x1)|(x2&x3) has 2 classes: "already true" and
         // "not yet true".
-        let classes = d.class_of.iter().collect::<std::collections::HashSet<_>>().len();
+        let classes = d
+            .class_of
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
         assert_eq!(classes, 2);
         assert!(verify_bdd_decomposition(&bdd, f, &d, &gman, 0));
     }

@@ -113,11 +113,7 @@ pub(crate) fn split_bound_free(
 }
 
 /// Extracts the column patterns of `f` for an ordered bound set.
-pub(crate) fn column_patterns(
-    f: &TruthTable,
-    bound: &[usize],
-    free: &[usize],
-) -> Vec<TruthTable> {
+pub(crate) fn column_patterns(f: &TruthTable, bound: &[usize], free: &[usize]) -> Vec<TruthTable> {
     let n_cols = 1usize << bound.len();
     let mut out = Vec::with_capacity(n_cols);
     for c in 0..n_cols {

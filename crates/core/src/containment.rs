@@ -10,6 +10,7 @@
 use crate::chart::{column_patterns, split_bound_free};
 use crate::partition::Partition;
 use crate::CoreError;
+use hyde_logic::diag::{any_deny, Code, Diagnostic, Location};
 use hyde_logic::TruthTable;
 use std::collections::HashMap;
 
@@ -71,9 +72,7 @@ pub fn share_alphas(
     // Strict encoding of f_b's classes: class i -> code i.
     let t = crate::encoding::ceil_log2(pb.multiplicity());
     let alphas: Vec<TruthTable> = (0..t)
-        .map(|bit| {
-            TruthTable::from_fn(bound_v.len(), |c| pb.symbol(c as usize) >> bit & 1 == 1)
-        })
+        .map(|bit| TruthTable::from_fn(bound_v.len(), |c| pb.symbol(c as usize) >> bit & 1 == 1))
         .collect();
     // Image of f_a: code -> the (unique, by containment) column pattern of
     // f_a among columns with that code.
@@ -97,9 +96,33 @@ pub fn share_alphas(
 }
 
 /// Verifies that shared α functions recompose `f_a` exactly.
+///
+/// Thin wrapper over [`shared_diagnostics`]: true iff no deny-level
+/// diagnostic fires.
 pub fn verify_shared(f_a: &TruthTable, bound: &[usize], shared: &SharedAlphas) -> bool {
+    !any_deny(&shared_diagnostics(f_a, bound, shared))
+}
+
+/// Runs the structured invariant checks of a pliable α-sharing step.
+///
+/// Emits `HY104` when the shared α functions plus the rebuilt image fail
+/// to recompose `f_a` (first mismatching minterm reported), or when the
+/// bound set itself is malformed.
+pub fn shared_diagnostics(
+    f_a: &TruthTable,
+    bound: &[usize],
+    shared: &SharedAlphas,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
     let Ok((bound_v, free_v)) = split_bound_free(f_a.vars(), bound) else {
-        return false;
+        out.push(Diagnostic::new(
+            Code::EncodingRecomposition,
+            format!(
+                "bound set {bound:?} is invalid for a {}-variable function",
+                f_a.vars()
+            ),
+        ));
+        return out;
     };
     let t = shared.alphas.len();
     for m in 0..f_a.num_minterms() as u32 {
@@ -121,10 +144,17 @@ pub fn verify_shared(f_a: &TruthTable, bound: &[usize], shared: &SharedAlphas) -
             }
         }
         if shared.image.eval(g_in) != f_a.eval(m) {
-            return false;
+            out.push(
+                Diagnostic::new(
+                    Code::EncodingRecomposition,
+                    format!("shared α recomposition differs from f_a at minterm {m}"),
+                )
+                .at(Location::Minterm(m as usize)),
+            );
+            break;
         }
     }
-    true
+    out
 }
 
 #[cfg(test)]
@@ -201,7 +231,7 @@ mod tests {
             let p1 = function_partition(&f1, &bound).unwrap();
             let f0 = TruthTable::from_fn(6, |m| {
                 let c = (m & 0b1111) as usize;
-                (p1.symbol(c) % 2 == 0) && (m >> 4) == 0b01
+                p1.symbol(c).is_multiple_of(2) && (m >> 4) == 0b01
             });
             let p0 = function_partition(&f0, &bound).unwrap();
             if p0.multiplicity() < 2 {

@@ -134,7 +134,10 @@ mod tests {
                 a.classes.len()
             );
         }
-        assert!(reduced > 5, "dc assignment should usually help (helped {reduced}/20)");
+        assert!(
+            reduced > 5,
+            "dc assignment should usually help (helped {reduced}/20)"
+        );
     }
 
     #[test]

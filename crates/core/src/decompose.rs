@@ -11,6 +11,7 @@ use crate::chart::DecompositionChart;
 use crate::encoding::{build_alphas, build_image, ceil_log2, CodeAssignment, EncoderKind};
 use crate::varpart::VariablePartitioner;
 use crate::CoreError;
+use hyde_logic::diag::{any_deny, Code, Diagnostic, Location};
 use hyde_logic::network::project_to_support;
 use hyde_logic::{Network, NodeId, TruthTable};
 
@@ -40,7 +41,21 @@ impl Decomposition {
 
     /// Recomposes `g(α(x), y)` and checks equality with `f` on every
     /// minterm.
+    ///
+    /// Thin wrapper over [`Decomposition::diagnostics`]: true iff no
+    /// deny-level diagnostic fires.
     pub fn verify(&self, f: &TruthTable) -> bool {
+        !any_deny(&self.diagnostics(f))
+    }
+
+    /// Runs the structured invariant checks of one decomposition step.
+    ///
+    /// Emits `HY101` for non-injective codes, `HY102` (warn) for pliable
+    /// code widths, and `HY104` for every recomposition mismatch between
+    /// `g(α(x), y)` and `f` (first mismatching minterm reported).
+    pub fn diagnostics(&self, f: &TruthTable) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        crate::encoding::code_diagnostics(&self.codes, &mut out);
         let t = self.alphas.len();
         for m in 0..f.num_minterms() as u32 {
             let mut x = 0u32;
@@ -61,10 +76,17 @@ impl Decomposition {
                 }
             }
             if self.image.eval(g_in) != f.eval(m) {
-                return false;
+                out.push(
+                    Diagnostic::new(
+                        Code::EncodingRecomposition,
+                        format!("g(α(x), y) differs from f at minterm {m}"),
+                    )
+                    .at(Location::Minterm(m as usize)),
+                );
+                break;
             }
         }
-        true
+        out
     }
 }
 
@@ -94,7 +116,21 @@ pub fn decompose_step(
         image_dc,
         codes,
     };
-    debug_assert!(d.verify(f), "decomposition must recompose to f");
+    // Invariant gate at the Decomposer step boundary: in debug builds every
+    // step must lint clean (no deny-level diagnostic).
+    #[cfg(debug_assertions)]
+    {
+        let diags = d.diagnostics(f);
+        debug_assert!(
+            !any_deny(&diags),
+            "decompose_step invariant gate failed: {}",
+            diags
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
     Ok(d)
 }
 
@@ -171,7 +207,9 @@ impl Decomposer {
         name: &str,
     ) -> Result<(Network, DecomposeStats), CoreError> {
         let mut net = Network::new(name);
-        let inputs: Vec<NodeId> = (0..f.vars()).map(|i| net.add_input(&format!("x{i}"))).collect();
+        let inputs: Vec<NodeId> = (0..f.vars())
+            .map(|i| net.add_input(&format!("x{i}")))
+            .collect();
         let mut stats = DecomposeStats::default();
         let out = self.decompose_onto(&mut net, f, &inputs, name, &mut stats)?;
         net.mark_output(name, out);
@@ -192,7 +230,14 @@ impl Decomposer {
         prefix: &str,
         stats: &mut DecomposeStats,
     ) -> Result<NodeId, CoreError> {
-        self.decompose_onto_avoiding(net, f, signals, &std::collections::HashSet::new(), prefix, stats)
+        self.decompose_onto_avoiding(
+            net,
+            f,
+            signals,
+            &std::collections::HashSet::new(),
+            prefix,
+            stats,
+        )
     }
 
     /// Like [`Self::decompose_onto`], but treats the signals in `avoid` as
@@ -235,7 +280,9 @@ impl Decomposer {
             .filter(|&v| !avoid.contains(&signals[v]))
             .collect();
         let mut pick = if clean.len() >= self.k && !avoid.is_empty() {
-            self.partitioner.best_bound_set_among(f, self.k, &clean).ok()
+            self.partitioner
+                .best_bound_set_among(f, self.k, &clean)
+                .ok()
         } else {
             None
         };
@@ -263,10 +310,22 @@ impl Decomposer {
                 .unwrap_or(f.vars() - 1);
             let f0 = f.cofactor(var, false);
             let f1 = f.cofactor(var, true);
-            let n0 = self
-                .decompose_onto_avoiding(net, &f0, signals, avoid, &format!("{prefix}_lo"), stats)?;
-            let n1 = self
-                .decompose_onto_avoiding(net, &f1, signals, avoid, &format!("{prefix}_hi"), stats)?;
+            let n0 = self.decompose_onto_avoiding(
+                net,
+                &f0,
+                signals,
+                avoid,
+                &format!("{prefix}_lo"),
+                stats,
+            )?;
+            let n1 = self.decompose_onto_avoiding(
+                net,
+                &f1,
+                signals,
+                avoid,
+                &format!("{prefix}_hi"),
+                stats,
+            )?;
             // mux(s, a, b) = s ? b : a over vars (s, a, b).
             let mux = TruthTable::from_fn(3, |m| {
                 if m & 1 == 1 {
@@ -306,7 +365,14 @@ impl Decomposer {
             g_sigs.push(signals[v]);
         }
         // Recurse on the image.
-        self.decompose_onto_avoiding(net, &d.image, &g_sigs, &next_avoid, &format!("{prefix}_g"), stats)
+        self.decompose_onto_avoiding(
+            net,
+            &d.image,
+            &g_sigs,
+            &next_avoid,
+            &format!("{prefix}_g"),
+            stats,
+        )
     }
 }
 
@@ -412,8 +478,26 @@ fn bdd_rec(
         let var = support[0];
         let f0 = bdd.cofactor(f, var, false);
         let f1 = bdd.cofactor(f, var, true);
-        let n0 = bdd_rec(bdd, f0, k, net, signals, &format!("{prefix}_lo"), budget, depth + 1)?;
-        let n1 = bdd_rec(bdd, f1, k, net, signals, &format!("{prefix}_hi"), budget, depth + 1)?;
+        let n0 = bdd_rec(
+            bdd,
+            f0,
+            k,
+            net,
+            signals,
+            &format!("{prefix}_lo"),
+            budget,
+            depth + 1,
+        )?;
+        let n1 = bdd_rec(
+            bdd,
+            f1,
+            k,
+            net,
+            signals,
+            &format!("{prefix}_hi"),
+            budget,
+            depth + 1,
+        )?;
         let mux = TruthTable::from_fn(3, |m| {
             if m & 1 == 1 {
                 m >> 2 & 1 == 1
@@ -446,8 +530,7 @@ fn bdd_rec(
     }
     // Compact the image onto its support so managers do not grow without
     // bound across recursion levels, then recurse.
-    let (mut compacted, g, g_support) =
-        crate::bdd_decompose::compact_to_support(&gman, d.image);
+    let (mut compacted, g, g_support) = crate::bdd_decompose::compact_to_support(&gman, d.image);
     let compact_signals: Vec<NodeId> = g_support.iter().map(|&v| g_signals[v]).collect();
     drop(gman);
     bdd_rec(
@@ -481,8 +564,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         for seed in 0..5 {
             let f = TruthTable::random(7, &mut rng);
-            let d =
-                decompose_step(&f, &[0, 2, 4], &EncoderKind::Random { seed }, 5).unwrap();
+            let d = decompose_step(&f, &[0, 2, 4], &EncoderKind::Random { seed }, 5).unwrap();
             assert!(d.verify(&f), "seed {seed}");
             assert!(d.codes.is_strict());
         }
@@ -632,8 +714,12 @@ mod tests {
         let mut net = Network::new("two");
         let inputs: Vec<NodeId> = (0..7).map(|i| net.add_input(&format!("i{i}"))).collect();
         let mut stats = DecomposeStats::default();
-        let nf = dec.decompose_onto(&mut net, &f, &inputs, "f", &mut stats).unwrap();
-        let ng = dec.decompose_onto(&mut net, &g, &inputs, "g", &mut stats).unwrap();
+        let nf = dec
+            .decompose_onto(&mut net, &f, &inputs, "f", &mut stats)
+            .unwrap();
+        let ng = dec
+            .decompose_onto(&mut net, &g, &inputs, "g", &mut stats)
+            .unwrap();
         net.mark_output("f", nf);
         net.mark_output("g", ng);
         for m in (0u32..128).step_by(3) {

@@ -32,6 +32,7 @@ use crate::classes::CompatibleClasses;
 use crate::partition::{shared_psc_sets, Partition};
 use crate::varpart::VariablePartitioner;
 use crate::CoreError;
+use hyde_logic::diag::{Code, Diagnostic, Location};
 use hyde_logic::{SopCover, TruthTable};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -104,6 +105,39 @@ impl CodeAssignment {
     }
 }
 
+/// Structured invariant checks on a code assignment, appended to `out`.
+///
+/// Emits `HY101` (deny) for every class whose code collides with an
+/// earlier class (non-injective assignment) and `HY102` (warn) when the
+/// code width is not `⌈log₂ #classes⌉` (pliable encoding).
+pub fn code_diagnostics(codes: &CodeAssignment, out: &mut Vec<Diagnostic>) {
+    let mut first_with: HashMap<u32, usize> = HashMap::new();
+    for (cls, &code) in codes.codes().iter().enumerate() {
+        if let Some(&prev) = first_with.get(&code) {
+            out.push(
+                Diagnostic::new(
+                    Code::EncodingNonInjective,
+                    format!("classes {prev} and {cls} share code {code:#b}"),
+                )
+                .at(Location::Class(cls)),
+            );
+        } else {
+            first_with.insert(code, cls);
+        }
+    }
+    let want = ceil_log2(codes.len());
+    if codes.bits() != want {
+        out.push(Diagnostic::new(
+            Code::EncodingWidthMismatch,
+            format!(
+                "code width is {} bits but ⌈log₂ {}⌉ = {want} (pliable encoding)",
+                codes.bits(),
+                codes.len()
+            ),
+        ));
+    }
+}
+
 /// `⌈log₂ n⌉`, with `n == 0 or 1` giving 0.
 pub fn ceil_log2(n: usize) -> usize {
     if n <= 1 {
@@ -127,7 +161,10 @@ pub fn build_image(
     codes: &CodeAssignment,
 ) -> (TruthTable, TruthTable) {
     assert_eq!(codes.len(), classes.len(), "one code per class required");
-    assert!(codes.is_strict(), "image construction requires strict codes");
+    assert!(
+        codes.is_strict(),
+        "image construction requires strict codes"
+    );
     let t = codes.bits();
     let mu = if classes.is_empty() {
         0
@@ -161,7 +198,11 @@ pub fn build_image(
 /// # Panics
 ///
 /// Panics if `class_of.len() != 2^bound_vars`.
-pub fn build_alphas(class_of: &[usize], codes: &CodeAssignment, bound_vars: usize) -> Vec<TruthTable> {
+pub fn build_alphas(
+    class_of: &[usize],
+    codes: &CodeAssignment,
+    bound_vars: usize,
+) -> Vec<TruthTable> {
     assert_eq!(class_of.len(), 1 << bound_vars, "column map size mismatch");
     (0..codes.bits())
         .map(|bit| {
@@ -217,13 +258,17 @@ pub trait Encoder {
     ///
     /// Returns [`CoreError::CodeSpaceTooSmall`] when the classes cannot be
     /// encoded (only possible for constrained implementations).
-    fn encode(&mut self, classes: &CompatibleClasses, k: usize) -> Result<CodeAssignment, CoreError>;
+    fn encode(
+        &mut self,
+        classes: &CompatibleClasses,
+        k: usize,
+    ) -> Result<CodeAssignment, CoreError>;
 }
 
 impl EncoderKind {
     /// Instantiates the encoder.
     pub fn build(&self) -> Box<dyn Encoder> {
-        match self {
+        let inner: Box<dyn Encoder> = match self {
             EncoderKind::Lexicographic => Box::new(LexEncoder),
             EncoderKind::Random { seed } => Box::new(RandomEncoder { seed: *seed }),
             EncoderKind::CubeMin { seed, iters } => Box::new(CubeMinEncoder {
@@ -235,14 +280,59 @@ impl EncoderKind {
                 seed: *seed,
                 iters: *iters,
             }),
-        }
+        };
+        // Invariant gate at the encoder boundary: in debug builds every
+        // assignment leaving an encoder must lint clean.
+        #[cfg(debug_assertions)]
+        let inner: Box<dyn Encoder> = Box::new(CheckedEncoder { inner });
+        inner
+    }
+}
+
+/// Debug-build invariant gate wrapped around every encoder by
+/// [`EncoderKind::build`]: the returned assignment must code every class
+/// and produce no deny-level diagnostic (`HY101`).
+#[cfg(debug_assertions)]
+struct CheckedEncoder {
+    inner: Box<dyn Encoder>,
+}
+
+#[cfg(debug_assertions)]
+impl Encoder for CheckedEncoder {
+    fn encode(
+        &mut self,
+        classes: &CompatibleClasses,
+        k: usize,
+    ) -> Result<CodeAssignment, CoreError> {
+        let codes = self.inner.encode(classes, k)?;
+        debug_assert_eq!(
+            codes.len(),
+            classes.len(),
+            "encoder invariant gate: assignment must code every class"
+        );
+        let mut diags = Vec::new();
+        code_diagnostics(&codes, &mut diags);
+        debug_assert!(
+            !hyde_logic::diag::any_deny(&diags),
+            "encoder invariant gate failed: {}",
+            diags
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        Ok(codes)
     }
 }
 
 struct LexEncoder;
 
 impl Encoder for LexEncoder {
-    fn encode(&mut self, classes: &CompatibleClasses, _k: usize) -> Result<CodeAssignment, CoreError> {
+    fn encode(
+        &mut self,
+        classes: &CompatibleClasses,
+        _k: usize,
+    ) -> Result<CodeAssignment, CoreError> {
         let t = ceil_log2(classes.len());
         CodeAssignment::new((0..classes.len() as u32).collect(), t)
     }
@@ -253,7 +343,11 @@ struct RandomEncoder {
 }
 
 impl Encoder for RandomEncoder {
-    fn encode(&mut self, classes: &CompatibleClasses, _k: usize) -> Result<CodeAssignment, CoreError> {
+    fn encode(
+        &mut self,
+        classes: &CompatibleClasses,
+        _k: usize,
+    ) -> Result<CodeAssignment, CoreError> {
         let t = ceil_log2(classes.len());
         let mut rng = StdRng::seed_from_u64(self.seed);
         CodeAssignment::new(random_strict_codes(classes.len(), t, &mut rng), t)
@@ -273,7 +367,11 @@ struct CubeMinEncoder {
 }
 
 impl Encoder for CubeMinEncoder {
-    fn encode(&mut self, classes: &CompatibleClasses, _k: usize) -> Result<CodeAssignment, CoreError> {
+    fn encode(
+        &mut self,
+        classes: &CompatibleClasses,
+        _k: usize,
+    ) -> Result<CodeAssignment, CoreError> {
         let t = ceil_log2(classes.len());
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut codes = (0..classes.len() as u32).collect::<Vec<_>>();
@@ -312,7 +410,11 @@ struct SupportMinEncoder {
 }
 
 impl Encoder for SupportMinEncoder {
-    fn encode(&mut self, classes: &CompatibleClasses, _k: usize) -> Result<CodeAssignment, CoreError> {
+    fn encode(
+        &mut self,
+        classes: &CompatibleClasses,
+        _k: usize,
+    ) -> Result<CodeAssignment, CoreError> {
         let t = ceil_log2(classes.len());
         let class_of = classes.class_map();
         let n_cols = class_of.len();
@@ -366,7 +468,11 @@ struct HydeEncoder {
 }
 
 impl Encoder for HydeEncoder {
-    fn encode(&mut self, classes: &CompatibleClasses, k: usize) -> Result<CodeAssignment, CoreError> {
+    fn encode(
+        &mut self,
+        classes: &CompatibleClasses,
+        k: usize,
+    ) -> Result<CodeAssignment, CoreError> {
         let m = classes.len();
         let t = ceil_log2(m);
         let lex = CodeAssignment::new((0..m as u32).collect(), t)?;
@@ -416,9 +522,8 @@ impl Encoder for HydeEncoder {
         let row_sets = combine_row_sets(&partitions, &col_sets, n_rows, n_cols);
 
         // Placement + code readout.
-        let hyde_codes = place_and_encode(
-            m, &col_sets, &row_sets, &a_cols, &a_rows, n_rows, n_cols, t,
-        )?;
+        let hyde_codes =
+            place_and_encode(m, &col_sets, &row_sets, &a_cols, &a_rows, n_rows, n_cols, t)?;
 
         // Step 8: compare against a random encoding on the real objective.
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -615,7 +720,7 @@ pub fn combine_row_sets(
                 (w, u, v)
             })
             .collect();
-        weighted.sort_by(|a, b| b.0.cmp(&a.0));
+        weighted.sort_by_key(|&(w, _, _)| std::cmp::Reverse(w));
         if weighted.is_empty() {
             break;
         }
@@ -716,32 +821,35 @@ fn place_and_encode(
             col_hint.insert(p, ci);
         }
     }
-    let place =
-        |grid: &mut Vec<Vec<Option<usize>>>, placed: &mut Vec<Option<(usize, usize)>>, cls: usize, r: usize, want_col: Option<usize>| {
-            // Preferred column, else any free cell in this row, else any
-            // free cell anywhere (row sets larger than n_cols spill).
-            if let Some(c) = want_col {
-                if grid[r][c].is_none() {
-                    grid[r][c] = Some(cls);
-                    placed[cls] = Some((r, c));
-                    return;
-                }
-            }
-            if let Some(c) = (0..n_cols).find(|&c| grid[r][c].is_none()) {
+    let place = |grid: &mut Vec<Vec<Option<usize>>>,
+                 placed: &mut Vec<Option<(usize, usize)>>,
+                 cls: usize,
+                 r: usize,
+                 want_col: Option<usize>| {
+        // Preferred column, else any free cell in this row, else any
+        // free cell anywhere (row sets larger than n_cols spill).
+        if let Some(c) = want_col {
+            if grid[r][c].is_none() {
                 grid[r][c] = Some(cls);
                 placed[cls] = Some((r, c));
                 return;
             }
-            'outer: for rr in 0..n_rows {
-                for c in 0..n_cols {
-                    if grid[rr][c].is_none() {
-                        grid[rr][c] = Some(cls);
-                        placed[cls] = Some((rr, c));
-                        break 'outer;
-                    }
+        }
+        if let Some(c) = (0..n_cols).find(|&c| grid[r][c].is_none()) {
+            grid[r][c] = Some(cls);
+            placed[cls] = Some((r, c));
+            return;
+        }
+        'outer: for (rr, row) in grid.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                if cell.is_none() {
+                    *cell = Some(cls);
+                    placed[cls] = Some((rr, c));
+                    break 'outer;
                 }
             }
-        };
+        }
+    };
     for (r, set) in row_sets.iter().enumerate() {
         let r = r.min(n_rows - 1);
         for &cls in set {
@@ -851,7 +959,10 @@ mod tests {
             TruthTable::one(1),
             TruthTable::var(1, 0),
         ]);
-        let ca = EncoderKind::Lexicographic.build().encode(&classes, 5).unwrap();
+        let ca = EncoderKind::Lexicographic
+            .build()
+            .encode(&classes, 5)
+            .unwrap();
         assert_eq!(ca.codes(), &[0, 1, 2]);
         assert!(ca.is_strict() && ca.is_rigid());
     }
@@ -865,8 +976,14 @@ mod tests {
             TruthTable::var(2, 1),
             TruthTable::var(2, 0) ^ TruthTable::var(2, 1),
         ]);
-        let a = EncoderKind::Random { seed: 7 }.build().encode(&classes, 5).unwrap();
-        let b = EncoderKind::Random { seed: 7 }.build().encode(&classes, 5).unwrap();
+        let a = EncoderKind::Random { seed: 7 }
+            .build()
+            .encode(&classes, 5)
+            .unwrap();
+        let b = EncoderKind::Random { seed: 7 }
+            .build()
+            .encode(&classes, 5)
+            .unwrap();
         assert_eq!(a, b);
         assert!(a.is_strict());
         assert_eq!(a.bits(), 3);
@@ -880,7 +997,10 @@ mod tests {
             TruthTable::var(2, 0) ^ TruthTable::var(2, 1),
             TruthTable::zero(2),
         ]);
-        let lex = EncoderKind::Lexicographic.build().encode(&classes, 4).unwrap();
+        let lex = EncoderKind::Lexicographic
+            .build()
+            .encode(&classes, 4)
+            .unwrap();
         let opt = EncoderKind::CubeMin { seed: 3, iters: 40 }
             .build()
             .encode(&classes, 4)

@@ -79,20 +79,29 @@ impl HyperFunction {
             ));
         }
         // Ingredients as "compatible classes": reuse the encoder machinery.
-        let classes = CompatibleClasses::from_parts(
-            (0..ingredients.len()).collect(),
-            ingredients.clone(),
-        );
+        let classes =
+            CompatibleClasses::from_parts((0..ingredients.len()).collect(), ingredients.clone());
         let codes = encoder.build().encode(&classes, k)?;
         let (table, dc) = build_image(&classes, &codes);
-        Ok(HyperFunction {
+        let h = HyperFunction {
             ingredients,
             num_inputs: u,
             pseudo_bits: codes.bits(),
             codes,
             table,
             dc,
-        })
+        };
+        // Invariant gate (HY203): every ingredient must be recoverable by
+        // collapsing the pseudo inputs to its code.
+        #[cfg(debug_assertions)]
+        for i in 0..h.ingredients.len() {
+            debug_assert_eq!(
+                h.recover(i),
+                h.ingredients[i],
+                "HY203: ingredient {i} does not recover from the hyper-function"
+            );
+        }
+        Ok(h)
     }
 
     /// The ingredient functions.
@@ -124,6 +133,17 @@ impl HyperFunction {
     /// Don't-care set (pseudo-input codes assigned to no ingredient).
     pub fn dc_set(&self) -> &TruthTable {
         &self.dc
+    }
+
+    /// Flips one minterm of the hyper-function table.
+    ///
+    /// This deliberately breaks the recovery invariant; it exists so the
+    /// `hyde-verify` mutation tests can exercise the `HY203` lint. Never
+    /// use it in flows.
+    #[doc(hidden)]
+    pub fn corrupt_table_bit(&mut self, minterm: u32) {
+        let v = self.table.eval(minterm);
+        self.table.set(minterm, !v);
     }
 
     /// Recovers ingredient `idx` by cofactoring the pseudo inputs to its
@@ -287,6 +307,16 @@ impl HyperNetwork {
         let refs: Vec<&Network> = parts.iter().collect();
         let mut merged = structural_merge("ingredients", &refs);
         merged.sweep();
+        // Invariant gate (HY201): every pseudo input must have been
+        // collapsed away; none may survive into the merged implementation.
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            merged
+                .inputs()
+                .iter()
+                .all(|&id| !merged.node_name(id).starts_with("eta")),
+            "HY201: a pseudo primary input leaked into the implemented network"
+        );
         Ok(merged)
     }
 
@@ -342,9 +372,9 @@ impl HyperNetwork {
         for m in 0..(1u32 << u) {
             let bits: Vec<bool> = pi_positions.iter().map(|&p| m >> p & 1 == 1).collect();
             let got = merged.eval(&bits);
-            for o in 0..merged.outputs().len() {
+            for (o, &g) in got.iter().enumerate() {
                 let expect = self.hyper.ingredients()[o].eval(m);
-                if got[o] != expect {
+                if g != expect {
                     return Err(CoreError::Verification(format!(
                         "ingredient {o} differs at minterm {m}"
                     )));
@@ -443,7 +473,7 @@ mod tests {
         let h = HyperFunction::new(ing, &EncoderKind::Hyde { seed: 3 }, 5).unwrap();
         let dec = Decomposer::new(5, EncoderKind::Hyde { seed: 3 });
         let hn = h.decompose(&dec).unwrap();
-        assert!(hn.network.is_k_feasible(5 + 0) || hn.network.is_k_feasible(5));
+        assert!(hn.network.is_k_feasible(5) || hn.network.is_k_feasible(5));
         let ds = hn.duplication_source();
         let cone = hn.duplication_cone();
         // Every source node is in the cone.
@@ -510,8 +540,8 @@ mod tests {
     fn two_ingredients_single_pseudo_input() {
         let a = TruthTable::var(3, 0) & TruthTable::var(3, 1);
         let b = TruthTable::var(3, 0) ^ TruthTable::var(3, 2);
-        let h = HyperFunction::new(vec![a.clone(), b.clone()], &EncoderKind::Lexicographic, 4)
-            .unwrap();
+        let h =
+            HyperFunction::new(vec![a.clone(), b.clone()], &EncoderKind::Lexicographic, 4).unwrap();
         assert_eq!(h.pseudo_bits(), 1);
         // Hyper table: eta=0 -> a, eta=1 -> b (lexicographic codes).
         for m in 0u32..8 {

@@ -58,7 +58,7 @@ pub mod varpart;
 
 pub use chart::DecompositionChart;
 pub use classes::CompatibleClasses;
-pub use decompose::{Decomposition, Decomposer};
+pub use decompose::{Decomposer, Decomposition};
 pub use encoding::{CodeAssignment, Encoder, EncoderKind};
 pub use hyper::HyperFunction;
 pub use partition::Partition;

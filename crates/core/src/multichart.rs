@@ -8,8 +8,9 @@
 //! and each output keeps its own image function.
 
 use crate::chart::{column_patterns, split_bound_free};
-use crate::encoding::{build_alphas, ceil_log2, CodeAssignment};
+use crate::encoding::{build_alphas, ceil_log2, code_diagnostics, CodeAssignment};
 use crate::CoreError;
+use hyde_logic::diag::{any_deny, Code, Diagnostic, Location};
 use hyde_logic::TruthTable;
 use std::collections::HashMap;
 
@@ -135,7 +136,21 @@ impl MultiChart {
 
     /// Verifies that the shared α functions plus the per-output images
     /// recompose every output exactly.
+    ///
+    /// Thin wrapper over [`MultiChart::diagnostics`]: true iff no
+    /// deny-level diagnostic fires.
     pub fn verify(&self, outputs: &[TruthTable], codes: &CodeAssignment) -> bool {
+        !any_deny(&self.diagnostics(outputs, codes))
+    }
+
+    /// Runs the structured invariant checks of the joint decomposition.
+    ///
+    /// Emits `HY101`/`HY102` for the code assignment and `HY104` (with the
+    /// offending output as location) for every output whose shared-α
+    /// recomposition differs from the specification.
+    pub fn diagnostics(&self, outputs: &[TruthTable], codes: &CodeAssignment) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        code_diagnostics(codes, &mut out);
         let alphas = self.alphas(codes);
         let t = alphas.len();
         for (o, f) in outputs.iter().enumerate() {
@@ -159,11 +174,20 @@ impl MultiChart {
                     }
                 }
                 if image.eval(g_in) != f.eval(m) {
-                    return false;
+                    out.push(
+                        Diagnostic::new(
+                            Code::EncodingRecomposition,
+                            format!(
+                                "output {o} differs from its joint recomposition at minterm {m}"
+                            ),
+                        )
+                        .at(Location::Output(o)),
+                    );
+                    break;
                 }
             }
         }
-        true
+        out
     }
 }
 
@@ -219,14 +243,11 @@ mod tests {
     fn random_vectors_recompose() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(66);
         for _ in 0..10 {
-            let outs: Vec<TruthTable> =
-                (0..3).map(|_| TruthTable::random(6, &mut rng)).collect();
+            let outs: Vec<TruthTable> = (0..3).map(|_| TruthTable::random(6, &mut rng)).collect();
             let chart = MultiChart::new(&outs, &[0, 2, 4]).unwrap();
-            let codes = CodeAssignment::new(
-                (0..chart.class_count() as u32).collect(),
-                chart.code_bits(),
-            )
-            .unwrap();
+            let codes =
+                CodeAssignment::new((0..chart.class_count() as u32).collect(), chart.code_bits())
+                    .unwrap();
             assert!(chart.verify(&outs, &codes));
         }
     }

@@ -124,9 +124,7 @@ impl NonStrictAssignment {
         assert_eq!(self.column_code.len(), 1 << bound_vars, "column count");
         (0..self.bits)
             .map(|bit| {
-                TruthTable::from_fn(bound_vars, |c| {
-                    self.column_code[c as usize] >> bit & 1 == 1
-                })
+                TruthTable::from_fn(bound_vars, |c| self.column_code[c as usize] >> bit & 1 == 1)
             })
             .collect()
     }
@@ -159,12 +157,7 @@ impl NonStrictAssignment {
 
     /// Verifies the decomposition against `f` (chart semantics: bound
     /// variables in column-bit order, free variables ascending).
-    pub fn verify(
-        &self,
-        f: &TruthTable,
-        bound: &[usize],
-        classes: &CompatibleClasses,
-    ) -> bool {
+    pub fn verify(&self, f: &TruthTable, bound: &[usize], classes: &CompatibleClasses) -> bool {
         let alphas = self.alphas(bound.len());
         let (on, _) = self.build_image(classes);
         let free: Vec<usize> = (0..f.vars()).filter(|v| !bound.contains(v)).collect();
@@ -272,23 +265,13 @@ mod tests {
 
     #[test]
     fn rejects_overlapping_code_sets() {
-        let r = NonStrictAssignment::new(
-            vec![vec![0, 1], vec![1]],
-            vec![0, 1],
-            &[0, 1],
-            1,
-        );
+        let r = NonStrictAssignment::new(vec![vec![0, 1], vec![1]], vec![0, 1], &[0, 1], 1);
         assert!(r.is_err());
     }
 
     #[test]
     fn rejects_foreign_column_code() {
-        let r = NonStrictAssignment::new(
-            vec![vec![0], vec![1]],
-            vec![1, 1],
-            &[0, 1],
-            1,
-        );
+        let r = NonStrictAssignment::new(vec![vec![0], vec![1]], vec![1, 1], &[0, 1], 1);
         assert!(r.is_err());
     }
 

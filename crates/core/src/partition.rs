@@ -106,7 +106,10 @@ impl Partition {
     /// Panics if `parts` is empty.
     pub fn disjunction(parts: &[&Partition]) -> Partition {
         assert!(!parts.is_empty(), "disjunction of zero partitions");
-        let symbols: Vec<u32> = parts.iter().flat_map(|p| p.symbols.iter().copied()).collect();
+        let symbols: Vec<u32> = parts
+            .iter()
+            .flat_map(|p| p.symbols.iter().copied())
+            .collect();
         Partition { symbols }
     }
 
@@ -118,10 +121,7 @@ impl Partition {
         for (i, &s) in self.symbols.iter().enumerate() {
             groups.entry(s).or_default().push(i);
         }
-        let mut out: Vec<Vec<usize>> = groups
-            .into_values()
-            .filter(|g| g.len() >= 2)
-            .collect();
+        let mut out: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() >= 2).collect();
         out.sort_by_key(|g| g[0]);
         out
     }

@@ -44,10 +44,7 @@ pub fn symmetry_classes(f: &TruthTable) -> Vec<Vec<usize>> {
     let support = f.support();
     let mut classes: Vec<Vec<usize>> = Vec::new();
     for &v in &support {
-        match classes
-            .iter_mut()
-            .find(|class| symmetric(f, class[0], v))
-        {
+        match classes.iter_mut().find(|class| symmetric(f, class[0], v)) {
             Some(class) => class.push(v),
             None => classes.push(vec![v]),
         }

@@ -90,7 +90,11 @@ impl VariablePartitioner {
     ///
     /// Returns [`CoreError::InvalidBoundSet`] if `k` is zero or not smaller
     /// than the support size.
-    pub fn best_bound_set(&self, f: &TruthTable, k: usize) -> Result<(Vec<usize>, usize), CoreError> {
+    pub fn best_bound_set(
+        &self,
+        f: &TruthTable,
+        k: usize,
+    ) -> Result<(Vec<usize>, usize), CoreError> {
         let support = f.support();
         if k == 0 || k >= support.len() {
             return Err(CoreError::InvalidBoundSet(format!(
@@ -356,7 +360,9 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(6);
         let f = TruthTable::random(7, &mut rng);
-        let auto = VariablePartitioner::default().best_bound_set(&f, 3).unwrap();
+        let auto = VariablePartitioner::default()
+            .best_bound_set(&f, 3)
+            .unwrap();
         let exh = VariablePartitioner::new(SearchStrategy::Exhaustive)
             .best_bound_set(&f, 3)
             .unwrap();

@@ -36,8 +36,8 @@
 pub fn maximum_matching(n: usize, edges: &[(usize, usize)]) -> Vec<(usize, usize)> {
     let mate = maximum_matching_mates(n, edges);
     let mut out = Vec::new();
-    for v in 0..n {
-        if let Some(u) = mate[v] {
+    for (v, m) in mate.iter().enumerate() {
+        if let Some(u) = *m {
             if v < u {
                 out.push((v, u));
             }
@@ -259,7 +259,9 @@ mod tests {
         let mut used = vec![false; n];
         for &(u, v) in m {
             assert!(
-                edges.iter().any(|&(a, b)| (a, b) == (u, v) || (b, a) == (u, v)),
+                edges
+                    .iter()
+                    .any(|&(a, b)| (a, b) == (u, v) || (b, a) == (u, v)),
                 "matched pair ({u},{v}) is not an edge"
             );
             assert!(!used[u] && !used[v], "vertex matched twice");

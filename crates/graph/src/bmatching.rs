@@ -234,7 +234,7 @@ mod tests {
         let bf = brute_force(&left_cap, &right_cap, &edges);
         assert_eq!(m.weight, bf);
         // Degree constraints hold.
-        let mut deg = vec![0; 10];
+        let mut deg = [0; 10];
         for &(l, _, _) in &m.edges {
             deg[l] += 1;
             assert!(deg[l] <= 1);
@@ -263,7 +263,10 @@ mod tests {
             }
             let m = max_weight_b_matching(&left_cap, &right_cap, &edges);
             let bf = brute_force(&left_cap, &right_cap, &edges);
-            assert_eq!(m.weight, bf, "caps {left_cap:?}/{right_cap:?} edges {edges:?}");
+            assert_eq!(
+                m.weight, bf,
+                "caps {left_cap:?}/{right_cap:?} edges {edges:?}"
+            );
         }
     }
 

@@ -212,12 +212,10 @@ mod tests {
         for _ in 0..50 {
             let n = rng.gen_range(1..12usize);
             let mut adj = vec![vec![false; n]; n];
-            for u in 0..n {
-                for v in (u + 1)..n {
-                    let e = rng.gen_bool(0.5);
-                    adj[u][v] = e;
-                    adj[v][u] = e;
-                }
+            for (u, v) in (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))) {
+                let e = rng.gen_bool(0.5);
+                adj[u][v] = e;
+                adj[v][u] = e;
             }
             let p = partition_into_cliques(n, |u, v| adj[u][v]);
             check(n, &p, |u, v| adj[u][v]);

@@ -78,8 +78,7 @@ pub fn max_bipartite_matching(adj: &[Vec<usize>], n_right: usize) -> Vec<Option<
                 let ok = match next {
                     None => true,
                     Some(l2) => {
-                        dist[l2] == dist[l].saturating_add(1)
-                            && dfs(l2, adj, dist, mate_l, mate_r)
+                        dist[l2] == dist[l].saturating_add(1) && dfs(l2, adj, dist, mate_l, mate_r)
                     }
                 };
                 if ok {

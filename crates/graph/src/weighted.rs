@@ -69,7 +69,7 @@ mod tests {
         let edges = [(0, 1, 1), (2, 3, 1), (1, 2, 1)];
         let m = greedy_weighted_matching(4, &edges);
         // Every unmatched edge must share an endpoint with a matched one.
-        let mut used = vec![false; 4];
+        let mut used = [false; 4];
         for &(u, v, _) in &m {
             used[u] = true;
             used[v] = true;
@@ -115,7 +115,10 @@ mod tests {
                     }
                 }
             }
-            let greedy: i64 = greedy_weighted_matching(n, &edges).iter().map(|e| e.2).sum();
+            let greedy: i64 = greedy_weighted_matching(n, &edges)
+                .iter()
+                .map(|e| e.2)
+                .sum();
             // Brute-force maximum weight matching.
             fn rec(edges: &[(usize, usize, i64)], used: &mut Vec<bool>, i: usize) -> i64 {
                 if i == edges.len() {

@@ -106,9 +106,9 @@ pub fn parse(text: &str) -> Result<Network, LogicError> {
             ".end" => break,
             ".names" => {
                 let mut sigs: Vec<String> = parts.map(str::to_owned).collect();
-                let output = sigs.pop().ok_or_else(|| {
-                    err(*lineno, ".names needs at least an output".into())
-                })?;
+                let output = sigs
+                    .pop()
+                    .ok_or_else(|| err(*lineno, ".names needs at least an output".into()))?;
                 let mut rows = Vec::new();
                 while i < lines.len() {
                     let body = lines[i].1.trim().to_string();
@@ -145,9 +145,7 @@ pub fn parse(text: &str) -> Result<Network, LogicError> {
                     let polarity = match out_char.as_str() {
                         "1" => true,
                         "0" => false,
-                        other => {
-                            return Err(err(bl, format!("bad cover output {other:?}")))
-                        }
+                        other => return Err(err(bl, format!("bad cover output {other:?}"))),
                     };
                     rows.push((cube, polarity));
                 }
@@ -185,7 +183,7 @@ pub fn parse(text: &str) -> Result<Network, LogicError> {
                     let nv = fanins.len();
                     // Mixed polarities are not allowed in BLIF; use the
                     // first row's polarity (all rows must agree).
-                    let polarity = b.rows.first().map_or(true, |(_, p)| *p);
+                    let polarity = b.rows.first().is_none_or(|(_, p)| *p);
                     let mut t = TruthTable::zero(nv);
                     for (cube, _) in &b.rows {
                         t = &t | &cube.to_truth_table();

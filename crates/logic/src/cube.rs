@@ -236,13 +236,7 @@ impl SopCover {
             "lower bound must be contained in upper bound"
         );
         let mut cubes = Vec::new();
-        isop_rec(
-            lower,
-            upper,
-            0,
-            &Cube::full(lower.vars()),
-            &mut cubes,
-        );
+        isop_rec(lower, upper, 0, &Cube::full(lower.vars()), &mut cubes);
         SopCover { cubes }
     }
 }
@@ -315,10 +309,22 @@ fn isop_rec(
     // Cubes that must contain !var: needed in the 0-half but not allowed in
     // the 1-half.
     let lower0 = &l0 & &!&u1;
-    let c0 = isop_rec(&lower0, &u0, var + 1, &ctx.with(var, Literal::Negative), out);
+    let c0 = isop_rec(
+        &lower0,
+        &u0,
+        var + 1,
+        &ctx.with(var, Literal::Negative),
+        out,
+    );
     // Cubes that must contain var.
     let lower1 = &l1 & &!&u0;
-    let c1 = isop_rec(&lower1, &u1, var + 1, &ctx.with(var, Literal::Positive), out);
+    let c1 = isop_rec(
+        &lower1,
+        &u1,
+        var + 1,
+        &ctx.with(var, Literal::Positive),
+        out,
+    );
     // Remaining minterms can be covered by cubes independent of var.
     let rest = &(&l0 & &!&c0) | &(&l1 & &!&c1);
     let upper_star = &u0 & &u1;

@@ -92,7 +92,14 @@ fn cube_literals(c: &Cube) -> BTreeSet<SignedLit> {
 fn cube_from_literals(vars: usize, lits: &BTreeSet<SignedLit>) -> Cube {
     let mut c = Cube::full(vars);
     for &(v, pos) in lits {
-        c = c.with(v, if pos { Literal::Positive } else { Literal::Negative });
+        c = c.with(
+            v,
+            if pos {
+                Literal::Positive
+            } else {
+                Literal::Negative
+            },
+        );
     }
     c
 }
@@ -112,7 +119,10 @@ pub fn divide_by_cube(cover: &SopCover, divisor: &Cube, vars: usize) -> (SopCove
             remainder.push(cube.clone());
         }
     }
-    (SopCover::from_cubes(quotient), SopCover::from_cubes(remainder))
+    (
+        SopCover::from_cubes(quotient),
+        SopCover::from_cubes(remainder),
+    )
 }
 
 /// The most frequent signed literal of a cover (the `quick_factor` /
@@ -195,7 +205,10 @@ pub fn factor(cover: &SopCover, vars: usize) -> Factor {
         if lits.is_empty() {
             return Factor::Const(true);
         }
-        let fs: Vec<Factor> = lits.into_iter().map(|(v, p)| Factor::Literal(v, p)).collect();
+        let fs: Vec<Factor> = lits
+            .into_iter()
+            .map(|(v, p)| Factor::Literal(v, p))
+            .collect();
         return if fs.len() == 1 {
             fs.into_iter().next().expect("one literal")
         } else {

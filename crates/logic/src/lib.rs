@@ -35,6 +35,7 @@
 
 pub mod blif;
 pub mod cube;
+pub mod diag;
 pub mod espresso;
 pub mod factor;
 pub mod network;
@@ -43,6 +44,7 @@ pub mod sim;
 pub mod truthtable;
 
 pub use cube::{Cube, Literal, SopCover};
+pub use diag::{Diagnostic, Severity};
 pub use network::{Network, NodeId, NodeRole};
 pub use truthtable::{Isf, TruthTable};
 
@@ -81,7 +83,10 @@ impl std::fmt::Display for LogicError {
                 write!(f, "arity mismatch: {left} vs {right} variables")
             }
             LogicError::VarOutOfRange { var, arity } => {
-                write!(f, "variable {var} out of range for {arity}-variable function")
+                write!(
+                    f,
+                    "variable {var} out of range for {arity}-variable function"
+                )
             }
             LogicError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")

@@ -237,9 +237,7 @@ impl Network {
             )));
         }
         if function.vars() != fanins.len() {
-            return Err(LogicError::Network(format!(
-                "replace {id}: arity mismatch"
-            )));
+            return Err(LogicError::Network(format!("replace {id}: arity mismatch")));
         }
         let old = std::mem::take(&mut self.nodes[id.0].fanins);
         let old_fn = std::mem::replace(&mut self.nodes[id.0].function, function);
@@ -254,6 +252,29 @@ impl Network {
         }
         let _ = old_fn;
         Ok(())
+    }
+
+    /// Replaces fanins/function of an internal node *without* the cycle
+    /// check performed by [`Network::replace_node`].
+    ///
+    /// This deliberately allows constructing broken networks; it exists so
+    /// the `hyde-verify` mutation tests can exercise the lints that detect
+    /// such breakage (e.g. combinational cycles). Never use it in flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a primary input or the arity does not match.
+    #[doc(hidden)]
+    pub fn replace_node_unchecked(
+        &mut self,
+        id: NodeId,
+        fanins: Vec<NodeId>,
+        function: TruthTable,
+    ) {
+        assert_eq!(self.node(id).role, NodeRole::Internal, "must be internal");
+        assert_eq!(function.vars(), fanins.len(), "arity mismatch");
+        self.nodes[id.0].fanins = fanins;
+        self.nodes[id.0].function = function;
     }
 
     /// All live node ids in insertion order.
@@ -336,12 +357,7 @@ impl Network {
         let mut levels = HashMap::new();
         for id in order {
             let node = self.node(id);
-            let lvl = node
-                .fanins
-                .iter()
-                .map(|f| levels[f] + 1)
-                .max()
-                .unwrap_or(0);
+            let lvl = node.fanins.iter().map(|f| levels[f] + 1).max().unwrap_or(0);
             levels.insert(id, lvl);
         }
         levels
@@ -467,8 +483,7 @@ impl Network {
             }
             while let Some(pos) = self.nodes[i].fanins.iter().position(|&f| f == pi) {
                 let cof = self.nodes[i].function.cofactor(pos, value);
-                let (new_fn, new_fanins) =
-                    drop_fanin(&cof, &self.nodes[i].fanins, pos);
+                let (new_fn, new_fanins) = drop_fanin(&cof, &self.nodes[i].fanins, pos);
                 self.nodes[i].function = new_fn;
                 self.nodes[i].fanins = new_fanins;
             }
@@ -505,8 +520,7 @@ impl Network {
                 while v < self.nodes[i].fanins.len() {
                     if !self.nodes[i].function.depends_on(v) {
                         let cof = self.nodes[i].function.cofactor(v, false);
-                        let (new_fn, new_fanins) =
-                            drop_fanin(&cof, &self.nodes[i].fanins, v);
+                        let (new_fn, new_fanins) = drop_fanin(&cof, &self.nodes[i].fanins, v);
                         self.nodes[i].function = new_fn;
                         self.nodes[i].fanins = new_fanins;
                         changed = true;
@@ -598,9 +612,7 @@ impl Network {
         let victim_fanins = self.node(id).fanins.clone();
         let victim_fn = self.node(id).function.clone();
         for i in 0..self.nodes.len() {
-            if self.nodes[i].dead
-                || self.nodes[i].role == NodeRole::PrimaryInput
-                || NodeId(i) == id
+            if self.nodes[i].dead || self.nodes[i].role == NodeRole::PrimaryInput || NodeId(i) == id
             {
                 continue;
             }
@@ -684,11 +696,9 @@ impl Network {
                     && !self.outputs.iter().any(|(_, o)| *o == id)
                     && {
                         // Estimate the consumer's support after collapse.
-                        let consumer = self
-                            .node_ids()
-                            .into_iter()
-                            .find(|&c| self.role(c) == NodeRole::Internal
-                                && self.fanins(c).contains(&id));
+                        let consumer = self.node_ids().into_iter().find(|&c| {
+                            self.role(c) == NodeRole::Internal && self.fanins(c).contains(&id)
+                        });
                         match consumer {
                             Some(c) => {
                                 let mut union: std::collections::HashSet<NodeId> =
@@ -719,7 +729,11 @@ impl Network {
             outputs: self.outputs.len(),
             internal_nodes: self.internal_count(),
             max_fanin: self.max_fanin(),
-            depth: if self.outputs.is_empty() { 0 } else { self.depth() },
+            depth: if self.outputs.is_empty() {
+                0
+            } else {
+                self.depth()
+            },
         }
     }
 
@@ -786,11 +800,7 @@ impl std::fmt::Display for NetworkStats {
 
 /// Rebuilds `(function, fanins)` with the variable at `pos` removed; the
 /// function must not depend on that variable.
-fn drop_fanin(
-    function: &TruthTable,
-    fanins: &[NodeId],
-    pos: usize,
-) -> (TruthTable, Vec<NodeId>) {
+fn drop_fanin(function: &TruthTable, fanins: &[NodeId], pos: usize) -> (TruthTable, Vec<NodeId>) {
     let old_vars = fanins.len();
     debug_assert_eq!(function.vars(), old_vars);
     let map: Vec<usize> = (0..old_vars)
@@ -801,7 +811,12 @@ fn drop_fanin(
         })
         .collect();
     let new_fn = function
-        .permute(old_vars.saturating_sub(1).max(map.iter().copied().max().map_or(0, |m| m + 1)), &map)
+        .permute(
+            old_vars
+                .saturating_sub(1)
+                .max(map.iter().copied().max().map_or(0, |m| m + 1)),
+            &map,
+        )
         .unwrap_or_else(|_| {
             // Only possible for the degenerate 1-fanin case below.
             TruthTable::zero(0)
@@ -1022,9 +1037,7 @@ mod tests {
         let b = net.add_input("b");
         let inv = !TruthTable::var(1, 0);
         let _dead = net.add_node("dead", vec![b], inv.clone()).unwrap();
-        let buf = net
-            .add_node("buf", vec![a], TruthTable::var(1, 0))
-            .unwrap();
+        let buf = net.add_node("buf", vec![a], TruthTable::var(1, 0)).unwrap();
         let n = net.add_node("inv", vec![buf], inv).unwrap();
         net.mark_output("o", n);
         let removed = net.sweep();
@@ -1210,9 +1223,7 @@ mod tests {
     fn add_node_validates() {
         let mut net = Network::new("bad");
         let a = net.add_input("a");
-        assert!(net
-            .add_node("n", vec![a], TruthTable::zero(2))
-            .is_err());
+        assert!(net.add_node("n", vec![a], TruthTable::zero(2)).is_err());
         assert!(net
             .add_node("n", vec![NodeId(99)], TruthTable::zero(1))
             .is_err());

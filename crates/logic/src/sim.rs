@@ -135,9 +135,7 @@ pub fn check_against_tables(net: &Network, spec: &[TruthTable]) -> Equivalence {
         let got = net.eval(&bits);
         for (o, f) in spec.iter().enumerate() {
             if got[o] != f.eval(m) {
-                return Equivalence::Counterexample(
-                    (0..n).map(|i| m >> i & 1 == 1).collect(),
-                );
+                return Equivalence::Counterexample((0..n).map(|i| m >> i & 1 == 1).collect());
             }
         }
     }

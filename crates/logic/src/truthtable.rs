@@ -221,7 +221,11 @@ impl TruthTable {
             // Select the half of each var-block and duplicate it.
             let block = block_mask(var);
             for w in &mut out.words {
-                let half = if value { (*w >> shift) & block } else { *w & block };
+                let half = if value {
+                    (*w >> shift) & block
+                } else {
+                    *w & block
+                };
                 *w = half | (half << shift);
             }
         } else {
@@ -619,7 +623,11 @@ mod tests {
                     let c = t.cofactor(v, val);
                     for m in 0u32..(1 << vars) {
                         let forced = if val { m | (1 << v) } else { m & !(1 << v) };
-                        assert_eq!(c.eval(m), t.eval(forced), "vars={vars} v={v} val={val} m={m}");
+                        assert_eq!(
+                            c.eval(m),
+                            t.eval(forced),
+                            "vars={vars} v={v} val={val} m={m}"
+                        );
                     }
                     assert!(!c.depends_on(v));
                 }
@@ -735,8 +743,7 @@ mod tests {
         let on = TruthTable::random(4, &mut rng);
         let dc = TruthTable::random(4, &mut rng);
         let f = Isf::new(on, dc).unwrap();
-        let total =
-            f.on_set().count_ones() + f.dc_set().count_ones() + f.off_set().count_ones();
+        let total = f.on_set().count_ones() + f.dc_set().count_ones() + f.off_set().count_ones();
         assert_eq!(total, 16);
     }
 

@@ -44,9 +44,7 @@ fn find_collapsible(net: &Network, k: usize) -> Option<NodeId> {
         let consumers: Vec<NodeId> = net
             .node_ids()
             .into_iter()
-            .filter(|&c| {
-                net.role(c) == NodeRole::Internal && net.fanins(c).contains(&id)
-            })
+            .filter(|&c| net.role(c) == NodeRole::Internal && net.fanins(c).contains(&id))
             .collect();
         if consumers.is_empty() {
             continue; // dead, sweep handles it
@@ -93,7 +91,9 @@ mod tests {
         let mut net = Network::new("b");
         let inputs: Vec<NodeId> = (0..6).map(|i| net.add_input(&format!("i{i}"))).collect();
         let par3 = TruthTable::from_fn(3, |m| m.count_ones() % 2 == 1);
-        let a = net.add_node("a", inputs[0..3].to_vec(), par3.clone()).unwrap();
+        let a = net
+            .add_node("a", inputs[0..3].to_vec(), par3.clone())
+            .unwrap();
         let b = net.add_node("b", inputs[3..6].to_vec(), par3).unwrap();
         let xor2 = TruthTable::var(2, 0) ^ TruthTable::var(2, 1);
         let y = net.add_node("y", vec![a, b], xor2).unwrap();
@@ -134,7 +134,12 @@ mod tests {
         let or2 = TruthTable::var(2, 0) | TruthTable::var(2, 1);
         let t = net.add_node("t", vec![a, b], and2).unwrap();
         let y1 = net.add_node("y1", vec![t, c], or2.clone()).unwrap();
-        let y2 = net.add_node("y2", vec![t, c], !TruthTable::var(2, 0) & TruthTable::var(2, 1))
+        let y2 = net
+            .add_node(
+                "y2",
+                vec![t, c],
+                !TruthTable::var(2, 0) & TruthTable::var(2, 1),
+            )
             .unwrap();
         net.mark_output("y1", y1);
         net.mark_output("y2", y2);

@@ -134,7 +134,9 @@ mod tests {
         let inv = !TruthTable::var(1, 0);
         let mut cur = a;
         for i in 0..n {
-            cur = net.add_node(&format!("n{i}"), vec![cur], inv.clone()).unwrap();
+            cur = net
+                .add_node(&format!("n{i}"), vec![cur], inv.clone())
+                .unwrap();
         }
         net.mark_output("o", cur);
         net
@@ -146,7 +148,7 @@ mod tests {
         let t = analyze(&net);
         assert_eq!(t.depth, 4);
         assert_eq!(t.critical_path.len(), 5); // PI + 4 nodes
-        // Everything on a pure chain is critical.
+                                              // Everything on a pure chain is critical.
         for id in net.node_ids() {
             assert_eq!(t.slack(id), 0);
         }

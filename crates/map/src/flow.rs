@@ -25,6 +25,7 @@ use hyde_core::hyper::HyperFunction;
 use hyde_core::multichart::{joint_class_count, MultiChart};
 use hyde_core::varpart::VariablePartitioner;
 use hyde_core::CoreError;
+use hyde_logic::diag::{any_deny, Code, Diagnostic, Location};
 use hyde_logic::network::{project_to_support, structural_merge};
 use hyde_logic::{Network, NodeId, TruthTable};
 use std::time::Instant;
@@ -131,7 +132,11 @@ impl MappingFlow {
     ///
     /// Propagates decomposition errors; a functional mismatch after mapping
     /// surfaces as [`CoreError::Verification`].
-    pub fn map_outputs(&self, name: &str, outputs: &[TruthTable]) -> Result<MappingReport, CoreError> {
+    pub fn map_outputs(
+        &self,
+        name: &str,
+        outputs: &[TruthTable],
+    ) -> Result<MappingReport, CoreError> {
         if outputs.is_empty() {
             return Err(CoreError::InvalidBoundSet("no outputs to map".into()));
         }
@@ -346,7 +351,14 @@ impl MappingFlow {
         }
         // Per-output images over (α bits, free vars).
         let images: Vec<TruthTable> = (0..fs.len()).map(|fi| chart.image(fi, &codes)).collect();
-        self.column_decompose(net, images, &g_sigs, &format!("{prefix}_g"), encoder, depth + 1)
+        self.column_decompose(
+            net,
+            images,
+            &g_sigs,
+            &format!("{prefix}_g"),
+            encoder,
+            depth + 1,
+        )
     }
 
     /// The HYDE hyper-function flow.
@@ -390,8 +402,13 @@ impl MappingFlow {
                 let (mut solo_net, inputs) = self.fresh_net(n);
                 let mut stats = DecomposeStats::default();
                 for (i, f) in ingredients.iter().enumerate() {
-                    let id =
-                        dec.decompose_onto(&mut solo_net, f, &inputs, &format!("f{i}"), &mut stats)?;
+                    let id = dec.decompose_onto(
+                        &mut solo_net,
+                        f,
+                        &inputs,
+                        &format!("f{i}"),
+                        &mut stats,
+                    )?;
                     solo_net.mark_output(&format!("f{i}"), id);
                 }
                 let mut solo_net = structural_merge("solo", &[&solo_net]);
@@ -403,8 +420,7 @@ impl MappingFlow {
                     solo_net
                 };
                 // Outputs are named f0.. in cluster order: map back.
-                let names: Vec<String> =
-                    cluster.iter().map(|&o| format!("o{o}")).collect();
+                let names: Vec<String> = cluster.iter().map(|&o| format!("o{o}")).collect();
                 let mut i = 0usize;
                 best.rename_outputs(|_| {
                     let nm = names[i].clone();
@@ -425,17 +441,39 @@ impl MappingFlow {
         Ok(merged)
     }
 
-    /// Checks the mapped network against the specification on all minterms
-    /// (small spaces) or a stride sample.
-    fn verify(&self, net: &Network, outputs: &[TruthTable]) -> Result<(), CoreError> {
+    /// Runs the structured invariant checks on a mapped network: `HY005`
+    /// when simulation differs from the specification tables (exhaustive
+    /// on small input spaces, strided sample otherwise) and `HY002` when a
+    /// LUT exceeds the flow's fanin bound `k`.
+    pub fn diagnose(&self, net: &Network, outputs: &[TruthTable]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for id in net.node_ids() {
+            let fanin = net.fanins(id).len();
+            if net.role(id) == hyde_logic::NodeRole::Internal && fanin > self.k {
+                out.push(
+                    Diagnostic::new(
+                        Code::NetworkFaninExceedsK,
+                        format!(
+                            "LUT '{}' has {fanin} fanins but k = {}",
+                            net.node_name(id),
+                            self.k
+                        ),
+                    )
+                    .at(Location::Node(id.index())),
+                );
+            }
+        }
         let n = outputs[0].vars();
         if (1u64 << n) <= self.verify_samples as u64 {
-            return match hyde_logic::sim::check_against_tables(net, outputs) {
-                hyde_logic::sim::Equivalence::Equivalent { .. } => Ok(()),
-                hyde_logic::sim::Equivalence::Counterexample(bits) => Err(
-                    CoreError::Verification(format!("mapped network differs at input {bits:?}")),
-                ),
-            };
+            if let hyde_logic::sim::Equivalence::Counterexample(bits) =
+                hyde_logic::sim::check_against_tables(net, outputs)
+            {
+                out.push(Diagnostic::new(
+                    Code::NetworkSpecMismatch,
+                    format!("mapped network differs from its specification at input {bits:?}"),
+                ));
+            }
+            return out;
         }
         // Wide circuits: strided sample of the minterm space.
         let pi_positions: Vec<usize> = net
@@ -451,17 +489,40 @@ impl MappingFlow {
         let total = 1u64 << n;
         let stride = (total / self.verify_samples as u64).max(1);
         let mut m = 0u64;
-        while m < total {
+        'outer: while m < total {
             let bits: Vec<bool> = pi_positions.iter().map(|&p| m >> p & 1 == 1).collect();
             let got = net.eval(&bits);
             for (o, f) in outputs.iter().enumerate() {
                 if got[o] != f.eval(m as u32) {
-                    return Err(CoreError::Verification(format!(
-                        "output {o} differs at minterm {m}"
-                    )));
+                    out.push(
+                        Diagnostic::new(
+                            Code::NetworkSpecMismatch,
+                            format!("output {o} differs from its specification at minterm {m}"),
+                        )
+                        .at(Location::Output(o)),
+                    );
+                    break 'outer;
                 }
             }
             m += stride;
+        }
+        out
+    }
+
+    /// Checks the mapped network against the specification.
+    ///
+    /// Thin wrapper over [`MappingFlow::diagnose`]: fails on the first
+    /// deny-level diagnostic.
+    fn verify(&self, net: &Network, outputs: &[TruthTable]) -> Result<(), CoreError> {
+        let diags = self.diagnose(net, outputs);
+        if any_deny(&diags) {
+            let msg = diags
+                .iter()
+                .filter(|d| d.is_deny())
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(CoreError::Verification(msg));
         }
         Ok(())
     }
@@ -524,9 +585,12 @@ mod tests {
     #[test]
     fn shared_alpha_never_beats_per_output_count() {
         let outputs = adder_outputs(3);
-        let per = MappingFlow::new(5, FlowKind::PerOutput {
-            encoder: EncoderKind::Lexicographic,
-        })
+        let per = MappingFlow::new(
+            5,
+            FlowKind::PerOutput {
+                encoder: EncoderKind::Lexicographic,
+            },
+        )
         .map_outputs("a", &outputs)
         .unwrap();
         let shared = MappingFlow::new(5, FlowKind::imodec_like())
@@ -566,8 +630,14 @@ mod tests {
     #[test]
     fn single_output_flows_agree_on_small_functions() {
         let f = TruthTable::from_fn(4, |m| m.count_ones() >= 2);
-        for kind in [FlowKind::imodec_like(), FlowKind::fgsyn_like(), FlowKind::hyde(1)] {
-            let report = MappingFlow::new(5, kind).map_outputs("maj", &[f.clone()]).unwrap();
+        for kind in [
+            FlowKind::imodec_like(),
+            FlowKind::fgsyn_like(),
+            FlowKind::hyde(1),
+        ] {
+            let report = MappingFlow::new(5, kind)
+                .map_outputs("maj", std::slice::from_ref(&f))
+                .unwrap();
             assert_eq!(report.luts, 1);
         }
     }

@@ -98,7 +98,12 @@ pub fn pack_clbs(net: &Network) -> ClbPacking {
         .filter(|(i, _)| !paired[*i])
         .map(|(_, &id)| id)
         .collect();
-    singles.extend(internal.iter().copied().filter(|&id| net.fanins(id).len() == 5));
+    singles.extend(
+        internal
+            .iter()
+            .copied()
+            .filter(|&id| net.fanins(id).len() == 5),
+    );
     singles.sort_unstable();
     ClbPacking { pairs, singles }
 }

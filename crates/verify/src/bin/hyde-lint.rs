@@ -1,0 +1,249 @@
+//! `hyde-lint`: run the `hyde-verify` registry over BLIF/PLA files or the
+//! bundled circuit suite, print diagnostics, and exit non-zero when any
+//! deny-level finding fires.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hyde_core::decompose::Decomposer;
+use hyde_core::encoding::EncoderKind;
+use hyde_core::hyper::HyperFunction;
+use hyde_logic::diag::{Code, Diagnostic, Severity};
+use hyde_logic::{blif, pla::Pla, Network, TruthTable};
+use hyde_map::flow::{FlowKind, MappingFlow};
+use hyde_verify::{Artifact, Registry};
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hyde-lint: lint HYDE networks, encodings and hyper-functions
+
+Usage: hyde-lint [OPTIONS] [FILE...]
+
+Inputs are BLIF netlists (linted structurally) or espresso-style PLA
+files (each output becomes one LUT over all inputs, linted against its
+own table as specification; at most 16 inputs).
+
+Options:
+  -k <K>           fanin bound: report HY002 for LUTs with more than K fanins
+  --suite          lint the bundled circuit suite end-to-end
+                   (decompose -> encode -> hyper-recover, k = 5)
+  --deny-warnings  treat warn-level diagnostics as deny
+  --list-codes     print the diagnostic code table and exit
+  -h, --help       this message";
+
+/// Prints one line to stdout, ignoring broken-pipe errors so
+/// `hyde-lint ... | head` exits cleanly instead of panicking.
+fn out(line: &str) {
+    use std::io::Write;
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
+
+struct Options {
+    k: Option<usize>,
+    suite: bool,
+    deny_warnings: bool,
+    files: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        k: None,
+        suite: false,
+        deny_warnings: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                out(USAGE);
+                return Ok(None);
+            }
+            "--list-codes" => {
+                for code in Code::ALL {
+                    out(&format!(
+                        "{code}  default {:<4}",
+                        code.default_severity().to_string()
+                    ));
+                }
+                return Ok(None);
+            }
+            "-k" | "--k" => {
+                let v = it.next().ok_or("-k needs a value")?;
+                opts.k = Some(v.parse().map_err(|_| format!("bad -k value '{v}'"))?);
+            }
+            "--suite" => opts.suite = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}' (try --help)"));
+            }
+            file => opts.files.push(file.to_owned()),
+        }
+    }
+    if !opts.suite && opts.files.is_empty() {
+        return Err("no input files (try --help)".into());
+    }
+    Ok(Some(opts))
+}
+
+/// Builds a one-LUT-per-output network from PLA tables so the network
+/// lints (and the spec check) apply.
+fn network_from_tables(name: &str, tables: &[TruthTable]) -> Network {
+    let n = tables.first().map_or(0, TruthTable::vars);
+    let mut net = Network::new(name);
+    let inputs: Vec<_> = (0..n).map(|i| net.add_input(&format!("x{i}"))).collect();
+    for (o, t) in tables.iter().enumerate() {
+        let id = net
+            .add_node(&format!("f{o}"), inputs.clone(), t.clone())
+            .expect("fresh inputs cannot dangle");
+        net.mark_output(&format!("f{o}"), id);
+    }
+    net
+}
+
+fn lint_file(path: &str, opts: &Options, registry: &Registry) -> Result<Vec<Diagnostic>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let is_pla = path.ends_with(".pla")
+        || (!path.ends_with(".blif") && text.lines().any(|l| l.trim_start().starts_with(".i ")));
+    if is_pla {
+        let pla = Pla::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        if pla.inputs > 16 {
+            return Err(format!(
+                "{path}: {} inputs is too wide to materialize truth tables (max 16)",
+                pla.inputs
+            ));
+        }
+        let tables = pla.output_tables();
+        let net = network_from_tables(path, &tables);
+        Ok(registry.run(&Artifact::Network {
+            net: &net,
+            k: opts.k,
+            spec: Some(&tables),
+        }))
+    } else {
+        let net = blif::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        Ok(registry.run(&Artifact::Network {
+            net: &net,
+            k: opts.k,
+            spec: None,
+        }))
+    }
+}
+
+/// Lints the bundled circuit suite end-to-end: every circuit is mapped
+/// with the HYDE flow and the result linted against its specification;
+/// multi-output circuits additionally go through explicit hyper-function
+/// decomposition and ingredient recovery.
+fn lint_suite(opts: &Options, registry: &Registry) -> Vec<(String, Vec<Diagnostic>)> {
+    let k = opts.k.unwrap_or(5);
+    let flow = MappingFlow::new(k, FlowKind::hyde(0xDA98));
+    let mut results = Vec::new();
+    for circuit in hyde_circuits::suite() {
+        let mut diags = Vec::new();
+        match flow.map_outputs(&circuit.name, &circuit.outputs) {
+            Ok(report) => {
+                diags.extend(registry.run(&Artifact::Network {
+                    net: &report.network,
+                    k: Some(k),
+                    spec: Some(&circuit.outputs),
+                }));
+            }
+            Err(e) => diags.push(Diagnostic::new(
+                Code::NetworkSpecMismatch,
+                format!("mapping failed: {e}"),
+            )),
+        }
+        // Hyper-function path: fold distinct outputs, decompose, recover.
+        let mut distinct: Vec<TruthTable> = Vec::new();
+        let mut seen: HashSet<TruthTable> = HashSet::new();
+        for t in &circuit.outputs {
+            if seen.insert(t.clone()) {
+                distinct.push(t.clone());
+            }
+            if distinct.len() == 4 {
+                break;
+            }
+        }
+        if distinct.len() >= 2 {
+            match HyperFunction::new(distinct, &EncoderKind::Hyde { seed: 0xDA98 }, k) {
+                Ok(h) => {
+                    diags.extend(registry.run(&Artifact::HyperFn(&h)));
+                    let dec = Decomposer::new(k, EncoderKind::Hyde { seed: 0xDA98 });
+                    match h.decompose(&dec) {
+                        Ok(hn) => {
+                            diags.extend(registry.run(&Artifact::Hyper(&hn)));
+                            match hn.implement_ingredients() {
+                                Ok(merged) => diags.extend(registry.run(&Artifact::Recovery {
+                                    hyper: &hn,
+                                    implemented: &merged,
+                                })),
+                                Err(e) => diags.push(Diagnostic::new(
+                                    Code::HyperRecoveryMismatch,
+                                    format!("ingredient implementation failed: {e}"),
+                                )),
+                            }
+                        }
+                        Err(e) => diags.push(Diagnostic::new(
+                            Code::HyperRecoveryMismatch,
+                            format!("hyper decomposition failed: {e}"),
+                        )),
+                    }
+                }
+                Err(e) => diags.push(Diagnostic::new(
+                    Code::HyperRecoveryMismatch,
+                    format!("hyper-function construction failed: {e}"),
+                )),
+            }
+        }
+        results.push((circuit.name.clone(), diags));
+    }
+    results
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let registry = Registry::with_defaults();
+    let mut groups: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+    if opts.suite {
+        groups.extend(lint_suite(&opts, &registry));
+    }
+    for path in &opts.files {
+        match lint_file(path, &opts, &registry) {
+            Ok(diags) => groups.push((path.clone(), diags)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut warns = 0usize;
+    let mut denies = 0usize;
+    for (name, diags) in &groups {
+        for d in diags {
+            out(&format!("{name}: {d}"));
+            match d.severity {
+                Severity::Deny => denies += 1,
+                Severity::Warn => warns += 1,
+                Severity::Note => {}
+            }
+        }
+    }
+    let checked = groups.len();
+    out(&format!(
+        "hyde-lint: {checked} artifact group(s), {denies} deny, {warns} warn"
+    ));
+    if denies > 0 || (opts.deny_warnings && warns > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,52 @@
+//! `hyde-verify`: the unified lint/diagnostics subsystem.
+//!
+//! The HYDE reproduction manipulates four kinds of artifacts — LUT
+//! [`hyde_logic::Network`]s, compatible-class
+//! [`hyde_core::encoding::CodeAssignment`]s, decomposed hyper-functions
+//! and [`hyde_bdd::Bdd`] managers — each with invariants that are
+//! easy to violate and expensive to debug after the fact. This crate
+//! packages those invariants as *lints*: small passes that inspect an
+//! [`Artifact`] and report violations as structured [`Diagnostic`]s with
+//! stable `HYxxx` codes (see [`Code`] for the full table).
+//!
+//! * [`registry`] — the [`Lint`] trait, the [`Artifact`] input enum, and
+//!   the [`Registry`] that runs every registered pass.
+//! * [`network`] — `HY0xx`: combinational cycles, fanin bounds, dangling
+//!   nodes, vacuous support, specification mismatches.
+//! * [`encoding`] — `HY1xx`: non-injective codes, pliable widths,
+//!   don't-care assignments merging incompatible columns, recomposition.
+//! * [`hyper`] — `HY2xx`: pseudo-input leaks, duplication-cone
+//!   bookkeeping, ingredient recovery.
+//! * [`bdd`] — `HY3xx`: ROBDD ordering/reduction and unique-table audits.
+//!
+//! The `hyde-lint` binary exposes the registry on BLIF/PLA files and on
+//! the bundled circuit suite.
+//!
+//! # Example
+//!
+//! ```
+//! use hyde_logic::TruthTable;
+//! use hyde_verify::{Artifact, Registry};
+//!
+//! let mut net = hyde_logic::Network::new("demo");
+//! let a = net.add_input("a");
+//! let b = net.add_input("b");
+//! let and = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+//! let g = net.add_node("g", vec![a, b], and).unwrap();
+//! net.mark_output("g", g);
+//!
+//! let diags = Registry::with_defaults().run(&Artifact::network(&net));
+//! assert!(diags.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdd;
+pub mod encoding;
+pub mod hyper;
+pub mod network;
+pub mod registry;
+
+pub use hyde_logic::diag::{any_deny, Code, Diagnostic, Location, Severity};
+pub use registry::{Artifact, Lint, Registry};

@@ -1,0 +1,153 @@
+//! The lint registry: the [`Artifact`] input enum, the [`Lint`] trait,
+//! and the [`Registry`] that fans an artifact out to every pass.
+
+use hyde_bdd::Bdd;
+use hyde_core::chart::IsfChart;
+use hyde_core::classes::CompatibleClasses;
+use hyde_core::decompose::Decomposition;
+use hyde_core::encoding::CodeAssignment;
+use hyde_core::hyper::{HyperFunction, HyperNetwork};
+use hyde_logic::diag::{Code, Diagnostic};
+use hyde_logic::{Network, TruthTable};
+
+/// Anything the registry can lint. Each variant bundles one artifact with
+/// the context its invariants are stated against; lints ignore variants
+/// they do not understand.
+#[derive(Clone, Copy)]
+pub enum Artifact<'a> {
+    /// A LUT network, optionally with a fanin bound `k` and a
+    /// specification (`spec[o]` is output `o` over the primary inputs in
+    /// declaration order).
+    Network {
+        /// The network under inspection.
+        net: &'a Network,
+        /// LUT fanin bound; `None` skips the `HY002` check.
+        k: Option<usize>,
+        /// Specification truth tables; `None` skips the `HY005` check.
+        spec: Option<&'a [TruthTable]>,
+    },
+    /// A compatible-class code assignment on its own.
+    Encoding {
+        /// The code assignment under inspection.
+        codes: &'a CodeAssignment,
+    },
+    /// A don't-care assignment: the ISF chart it was computed from plus
+    /// the resulting merged classes (`classes.class_of(c)` maps chart
+    /// column `c` to its class).
+    DcAssign {
+        /// The incompletely specified chart.
+        chart: &'a IsfChart,
+        /// The merged classes produced by the assignment.
+        classes: &'a CompatibleClasses,
+    },
+    /// One Roth–Karp decomposition step together with the function it
+    /// decomposed.
+    Decomposition {
+        /// The decomposition artifacts.
+        decomposition: &'a Decomposition,
+        /// The original function.
+        function: &'a TruthTable,
+    },
+    /// A hyper-function on its own (recovery invariants).
+    HyperFn(&'a HyperFunction),
+    /// A decomposed hyper-function network (duplication bookkeeping).
+    Hyper(&'a HyperNetwork),
+    /// A hyper network plus the merged per-ingredient implementation
+    /// produced from it (pseudo-input leak check).
+    Recovery {
+        /// The hyper network the implementation came from.
+        hyper: &'a HyperNetwork,
+        /// The merged per-ingredient network.
+        implemented: &'a Network,
+    },
+    /// A BDD manager.
+    Bdd(&'a Bdd),
+}
+
+impl<'a> Artifact<'a> {
+    /// A bare network artifact (no fanin bound, no specification).
+    pub fn network(net: &'a Network) -> Self {
+        Artifact::Network {
+            net,
+            k: None,
+            spec: None,
+        }
+    }
+}
+
+/// One verification pass. Implementations inspect the artifact and append
+/// zero or more diagnostics; a lint that does not understand the artifact
+/// variant appends nothing.
+pub trait Lint {
+    /// Short kebab-case name, e.g. `"network-cycle"`.
+    fn name(&self) -> &'static str;
+    /// The codes this lint can emit.
+    fn codes(&self) -> &'static [Code];
+    /// Appends findings on `artifact` to `out`.
+    fn check(&self, artifact: &Artifact<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of lints run as one pass.
+pub struct Registry {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Registry { lints: Vec::new() }
+    }
+
+    /// A registry with every lint shipped by this crate.
+    pub fn with_defaults() -> Self {
+        let mut r = Registry::empty();
+        r.register(Box::new(crate::network::CycleLint));
+        r.register(Box::new(crate::network::FaninLint));
+        r.register(Box::new(crate::network::DanglingLint));
+        r.register(Box::new(crate::network::SupportLint));
+        r.register(Box::new(crate::network::SpecLint));
+        r.register(Box::new(crate::encoding::CodesLint));
+        r.register(Box::new(crate::encoding::DcAssignLint));
+        r.register(Box::new(crate::encoding::RecompositionLint));
+        r.register(Box::new(crate::hyper::PseudoLeakLint));
+        r.register(Box::new(crate::hyper::ConeBookkeepingLint));
+        r.register(Box::new(crate::hyper::RecoveryLint));
+        r.register(Box::new(crate::bdd::BddAuditLint));
+        r
+    }
+
+    /// Adds a lint to the end of the pass order.
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.lints.push(lint);
+    }
+
+    /// Names of the registered lints, in pass order.
+    pub fn lint_names(&self) -> Vec<&'static str> {
+        self.lints.iter().map(|l| l.name()).collect()
+    }
+
+    /// Runs every lint on `artifact` and collects the diagnostics in pass
+    /// order.
+    pub fn run(&self, artifact: &Artifact<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for lint in &self.lints {
+            lint.check(artifact, &mut out);
+        }
+        out
+    }
+
+    /// Runs every lint on every artifact.
+    pub fn run_all(&self, artifacts: &[Artifact<'_>]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for a in artifacts {
+            out.extend(self.run(a));
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_defaults()
+    }
+}

@@ -1,0 +1,108 @@
+//! `cargo xtask`: the workspace CI driver.
+//!
+//! Subcommands mirror what CI runs, so `cargo xtask all` locally is the
+//! same bar a pull request has to clear:
+//!
+//! * `fmt` — `cargo fmt --check` over the workspace
+//! * `clippy` — `cargo clippy --workspace --all-targets -- -D warnings`
+//! * `test` — `cargo test -q` (tier-1) then `cargo test -q --workspace`
+//! * `lint-suite` — `hyde-lint --suite` over the bundled circuits
+//! * `all` — everything above, in that order
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn run(root: &Path, args: &[&str]) -> Result<(), String> {
+    println!("xtask: cargo {}", args.join(" "));
+    let status = Command::new("cargo")
+        .args(args)
+        .current_dir(root)
+        .status()
+        .map_err(|e| format!("failed to spawn cargo: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("`cargo {}` failed ({status})", args.join(" ")))
+    }
+}
+
+fn fmt(root: &Path) -> Result<(), String> {
+    run(root, &["fmt", "--all", "--check"])
+}
+
+fn clippy(root: &Path) -> Result<(), String> {
+    run(
+        root,
+        &[
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ],
+    )
+}
+
+fn test(root: &Path) -> Result<(), String> {
+    // Tier-1 first (root package only), then the full workspace.
+    run(root, &["test", "-q"])?;
+    run(root, &["test", "-q", "--workspace"])
+}
+
+fn lint_suite(root: &Path) -> Result<(), String> {
+    run(
+        root,
+        &[
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "hyde-verify",
+            "--bin",
+            "hyde-lint",
+            "--",
+            "--suite",
+        ],
+    )
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let task = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let result = match task.as_str() {
+        "fmt" => fmt(&root),
+        "clippy" => clippy(&root),
+        "test" => test(&root),
+        "lint-suite" => lint_suite(&root),
+        "all" => fmt(&root)
+            .and_then(|()| clippy(&root))
+            .and_then(|()| test(&root))
+            .and_then(|()| lint_suite(&root)),
+        other => Err(format!(
+            "unknown task '{other}' (expected fmt | clippy | test | lint-suite | all)"
+        )),
+    };
+    match result {
+        Ok(()) => {
+            println!("xtask: {task} ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -28,7 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let encoders: Vec<(&str, EncoderKind)> = vec![
         ("lexicographic", EncoderKind::Lexicographic),
         ("random", EncoderKind::Random { seed: 42 }),
-        ("cube-min (Murgai)", EncoderKind::CubeMin { seed: 42, iters: 60 }),
+        (
+            "cube-min (Murgai)",
+            EncoderKind::CubeMin {
+                seed: 42,
+                iters: 60,
+            },
+        ),
         ("hyde (class-count)", EncoderKind::Hyde { seed: 42 }),
     ];
     let vp = VariablePartitioner::default();

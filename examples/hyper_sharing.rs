@@ -32,10 +32,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Decompose as a single-output function.
     let dec = Decomposer::new(4, EncoderKind::Hyde { seed: 9 });
     let hn = h.decompose(&dec)?;
-    println!("decomposed hyper network: {} LUTs", hn.network.internal_count());
+    println!(
+        "decomposed hyper network: {} LUTs",
+        hn.network.internal_count()
+    );
 
     // Duplication analysis (Definitions 4.2-4.5).
-    println!("duplication source: {} nodes", hn.duplication_source().len());
+    println!(
+        "duplication source: {} nodes",
+        hn.duplication_source().len()
+    );
     println!("duplication cone:   {} nodes", hn.duplication_cone().len());
     for m in 1..=h.pseudo_bits() {
         println!("DSet_{m}: {} nodes", hn.dset(m).len());

@@ -11,7 +11,11 @@ use hyde::logic::TruthTable;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 9-input symmetric function (the 9sym benchmark).
     let f = TruthTable::from_fn(9, |m| (3..=6).contains(&m.count_ones()));
-    println!("f = 9sym: {} minterms over {} inputs", f.count_ones(), f.vars());
+    println!(
+        "f = 9sym: {} minterms over {} inputs",
+        f.count_ones(),
+        f.vars()
+    );
 
     // 1. Pick a bound (lambda) set: the variable partitioner searches for
     //    the subset with the fewest compatible classes.

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hn = h.decompose(&dec)?;
 
     println!("hyper-function of {} configurations:", configs.len());
-    println!("  spatial (duplicated) upper bound: {} LUTs", hn.predicted_lut_bound());
+    println!(
+        "  spatial (duplicated) upper bound: {} LUTs",
+        hn.predicted_lut_bound()
+    );
     println!(
         "  spatial (shared) implementation:  {} LUTs",
         hn.implemented_lut_count()?
@@ -42,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let bits: Vec<bool> = (0..8).map(|v| m >> v & 1 == 1).collect();
             assert_eq!(tm.eval_ingredient(i, &bits), f.eval(m));
         }
-        println!("  mode {:02b} -> configuration {i} verified", tm.codes.code(i));
+        println!(
+            "  mode {:02b} -> configuration {i} verified",
+            tm.codes.code(i)
+        );
     }
     Ok(())
 }

@@ -12,7 +12,10 @@ fn all_encoders() -> Vec<(&'static str, EncoderKind)> {
         ("lex", EncoderKind::Lexicographic),
         ("random", EncoderKind::Random { seed: 7 }),
         ("cube-min", EncoderKind::CubeMin { seed: 7, iters: 25 }),
-        ("support-min", EncoderKind::SupportMin { seed: 7, iters: 25 }),
+        (
+            "support-min",
+            EncoderKind::SupportMin { seed: 7, iters: 25 },
+        ),
         ("hyde", EncoderKind::Hyde { seed: 7 }),
     ]
 }
@@ -32,8 +35,7 @@ fn all_encoders_decompose_suite_functions() {
         let vp = VariablePartitioner::default();
         let (bound, _) = vp.best_bound_set(f, 5).unwrap();
         for (name, enc) in all_encoders() {
-            let d = decompose_step(f, &bound, &enc, 5)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let d = decompose_step(f, &bound, &enc, 5).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(d.verify(f), "{name} recomposition failed");
             assert!(d.codes.is_strict(), "{name} must be strict");
         }

@@ -67,7 +67,9 @@ fn k4_mapping_also_works() {
 fn xc3000_packing_never_exceeds_lut_count() {
     let c = hyde::circuits::rd84();
     for kind in [FlowKind::imodec_like(), FlowKind::hyde(2)] {
-        let report = MappingFlow::new(5, kind).map_outputs(&c.name, &c.outputs).unwrap();
+        let report = MappingFlow::new(5, kind)
+            .map_outputs(&c.name, &c.outputs)
+            .unwrap();
         let clbs = report.clbs.unwrap();
         assert!(clbs <= report.luts);
         assert!(clbs * 2 >= report.luts, "a CLB holds at most two LUTs");

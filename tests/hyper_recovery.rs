@@ -38,7 +38,11 @@ fn example_4_1_ingredients() -> Vec<TruthTable> {
 fn example_4_1_recovery_by_code_assignment() {
     let ing = example_4_1_ingredients();
     let h = HyperFunction::new(ing.clone(), &EncoderKind::Hyde { seed: 0x41 }, 5).unwrap();
-    assert_eq!(h.pseudo_bits(), 2, "four ingredients need two pseudo inputs");
+    assert_eq!(
+        h.pseudo_bits(),
+        2,
+        "four ingredients need two pseudo inputs"
+    );
     // Assigning each code to the pseudo inputs recovers each ingredient
     // (the (0,0) -> f0, (1,0) -> f1, ... step of Figure 9a).
     for (i, f) in ing.iter().enumerate() {

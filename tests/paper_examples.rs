@@ -2,9 +2,7 @@
 //! (Examples 3.1 and 3.2, Figures 1-7).
 
 use hyde::core::chart::{class_count, DecompositionChart};
-use hyde::core::encoding::{
-    build_image, combine_column_sets, combine_row_sets, CodeAssignment,
-};
+use hyde::core::encoding::{build_image, combine_column_sets, combine_row_sets, CodeAssignment};
 use hyde::core::partition::{example_3_2_partitions, shared_psc_sets, Partition};
 use hyde::logic::TruthTable;
 use rand::rngs::StdRng;
@@ -29,7 +27,9 @@ fn example_3_1_encoding_changes_g_class_count() {
         });
     };
     assert_eq!(
-        DecompositionChart::new(&f, &[0, 1, 2]).unwrap().class_count(),
+        DecompositionChart::new(&f, &[0, 1, 2])
+            .unwrap()
+            .class_count(),
         3
     );
     let chart = DecompositionChart::new(&f, &[0, 1, 2]).unwrap();
@@ -65,7 +65,7 @@ fn theorem_3_1_alphas_together_encoding_irrelevant() {
         let chart = DecompositionChart::new(&f, &[0, 1, 2]).unwrap();
         let classes = chart.classes().clone();
         let m = classes.len();
-        if m < 3 || m > 4 {
+        if !(3..=4).contains(&m) {
             continue;
         }
         let mut counts = std::collections::HashSet::new();
