@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cec;
 mod manager;
 pub mod reorder;
 

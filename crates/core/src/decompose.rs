@@ -48,6 +48,35 @@ impl Decomposition {
         !any_deny(&self.diagnostics(f))
     }
 
+    /// Proof hook: materializes `g(α(x), y)` as a truth table over the
+    /// original variable space, so independent oracles (exhaustive
+    /// simulation, SAT/BDD equivalence checks) can compare it against
+    /// `f` without re-deriving the recomposition arithmetic.
+    pub fn recomposed_table(&self) -> TruthTable {
+        let n = self.bound.len() + self.free.len();
+        let t = self.alphas.len();
+        TruthTable::from_fn(n, |m| {
+            let mut x = 0u32;
+            for (i, &v) in self.bound.iter().enumerate() {
+                if m >> v & 1 == 1 {
+                    x |= 1 << i;
+                }
+            }
+            let mut g_in = 0u32;
+            for (bit, alpha) in self.alphas.iter().enumerate() {
+                if alpha.eval(x) {
+                    g_in |= 1 << bit;
+                }
+            }
+            for (i, &v) in self.free.iter().enumerate() {
+                if m >> v & 1 == 1 {
+                    g_in |= 1 << (t + i);
+                }
+            }
+            self.image.eval(g_in)
+        })
+    }
+
     /// Runs the structured invariant checks of one decomposition step.
     ///
     /// Emits `HY101` for non-injective codes, `HY102` (warn) for pliable
@@ -116,12 +145,13 @@ pub fn decompose_step(
         image_dc,
         codes,
     };
-    // Invariant gate at the Decomposer step boundary: in debug builds every
-    // step must lint clean (no deny-level diagnostic).
-    #[cfg(debug_assertions)]
+    // Invariant gate at the Decomposer step boundary: in debug builds (or
+    // release builds with `strict-checks`) every step must lint clean (no
+    // deny-level diagnostic).
+    #[cfg(any(debug_assertions, feature = "strict-checks"))]
     {
         let diags = d.diagnostics(f);
-        debug_assert!(
+        assert!(
             !any_deny(&diags),
             "decompose_step invariant gate failed: {}",
             diags

@@ -281,23 +281,25 @@ impl EncoderKind {
                 iters: *iters,
             }),
         };
-        // Invariant gate at the encoder boundary: in debug builds every
-        // assignment leaving an encoder must lint clean.
-        #[cfg(debug_assertions)]
+        // Invariant gate at the encoder boundary: in debug builds (or
+        // release builds with `strict-checks`) every assignment leaving an
+        // encoder must lint clean.
+        #[cfg(any(debug_assertions, feature = "strict-checks"))]
         let inner: Box<dyn Encoder> = Box::new(CheckedEncoder { inner });
         inner
     }
 }
 
-/// Debug-build invariant gate wrapped around every encoder by
-/// [`EncoderKind::build`]: the returned assignment must code every class
-/// and produce no deny-level diagnostic (`HY101`).
-#[cfg(debug_assertions)]
+/// Invariant gate wrapped around every encoder by [`EncoderKind::build`]
+/// in debug builds (or release builds with `strict-checks`): the returned
+/// assignment must code every class and produce no deny-level diagnostic
+/// (`HY101`).
+#[cfg(any(debug_assertions, feature = "strict-checks"))]
 struct CheckedEncoder {
     inner: Box<dyn Encoder>,
 }
 
-#[cfg(debug_assertions)]
+#[cfg(any(debug_assertions, feature = "strict-checks"))]
 impl Encoder for CheckedEncoder {
     fn encode(
         &mut self,
@@ -305,14 +307,14 @@ impl Encoder for CheckedEncoder {
         k: usize,
     ) -> Result<CodeAssignment, CoreError> {
         let codes = self.inner.encode(classes, k)?;
-        debug_assert_eq!(
+        assert_eq!(
             codes.len(),
             classes.len(),
             "encoder invariant gate: assignment must code every class"
         );
         let mut diags = Vec::new();
         code_diagnostics(&codes, &mut diags);
-        debug_assert!(
+        assert!(
             !hyde_logic::diag::any_deny(&diags),
             "encoder invariant gate failed: {}",
             diags

@@ -92,10 +92,11 @@ impl HyperFunction {
             dc,
         };
         // Invariant gate (HY203): every ingredient must be recoverable by
-        // collapsing the pseudo inputs to its code.
-        #[cfg(debug_assertions)]
+        // collapsing the pseudo inputs to its code. Active in debug builds
+        // and in release builds with `strict-checks`.
+        #[cfg(any(debug_assertions, feature = "strict-checks"))]
         for i in 0..h.ingredients.len() {
-            debug_assert_eq!(
+            assert_eq!(
                 h.recover(i),
                 h.ingredients[i],
                 "HY203: ingredient {i} does not recover from the hyper-function"
@@ -144,6 +145,20 @@ impl HyperFunction {
     pub fn corrupt_table_bit(&mut self, minterm: u32) {
         let v = self.table.eval(minterm);
         self.table.set(minterm, !v);
+    }
+
+    /// Proof hook: ingredient `idx`'s code as `(pseudo_var, value)`
+    /// unit constraints over the hyper-table variable space, ready to be
+    /// asserted as SAT assumptions or BDD cofactors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn code_units(&self, idx: usize) -> Vec<(usize, bool)> {
+        let code = self.codes.code(idx);
+        (0..self.pseudo_bits)
+            .map(|bit| (bit, code >> bit & 1 == 1))
+            .collect()
     }
 
     /// Recovers ingredient `idx` by cofactoring the pseudo inputs to its
@@ -262,6 +277,23 @@ impl HyperNetwork {
         out
     }
 
+    /// Proof hook: ingredient `idx`'s code as `(pseudo_node, value)`
+    /// unit constraints over the decomposed network's pseudo primary
+    /// inputs. A constant-collapse proof asserts these units and checks
+    /// the hyper output against the implemented ingredient output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn ingredient_units(&self, idx: usize) -> Vec<(NodeId, bool)> {
+        let code = self.hyper.codes().code(idx);
+        self.pseudo_inputs
+            .iter()
+            .enumerate()
+            .map(|(bit, &eta)| (eta, code >> bit & 1 == 1))
+            .collect()
+    }
+
     /// Predicted number of LUTs after implementing every ingredient, using
     /// the paper's duplication arithmetic: a node in `DSet_m` (`m < n`)
     /// needs `2^m − 1` extra copies, a node in `DSet_n` needs
@@ -309,8 +341,9 @@ impl HyperNetwork {
         merged.sweep();
         // Invariant gate (HY201): every pseudo input must have been
         // collapsed away; none may survive into the merged implementation.
-        #[cfg(debug_assertions)]
-        debug_assert!(
+        // Active in debug builds and in release builds with `strict-checks`.
+        #[cfg(any(debug_assertions, feature = "strict-checks"))]
+        assert!(
             merged
                 .inputs()
                 .iter()

@@ -222,6 +222,13 @@ impl SopCover {
         Self::isop_between(f, f)
     }
 
+    /// The CNF export pair `(isop(f), isop(!f))`: a Tseitin encoder turns
+    /// each on-set cube into a clause implying the gate output and each
+    /// off-set cube into a clause implying its complement.
+    pub fn cnf_covers(f: &TruthTable) -> (Self, Self) {
+        (Self::isop(f), Self::isop(&!f))
+    }
+
     /// Computes an irredundant SOP `g` with `lower <= g <= upper`
     /// (minterm-wise); `lower` is the on-set that must be covered, `upper`
     /// adds don't cares.

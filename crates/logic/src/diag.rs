@@ -11,6 +11,7 @@
 //! | `HY1xx` | compatible-class encodings         |
 //! | `HY2xx` | hyper-functions                    |
 //! | `HY3xx` | BDD manager                        |
+//! | `HY4xx` | deep semantic proofs (SAT/BDD CEC) |
 //!
 //! The model lives here, at the bottom of the crate stack, so that
 //! `hyde-core` and `hyde-map` can emit diagnostics without depending on
@@ -81,11 +82,32 @@ pub enum Code {
     /// HY302: two live BDD nodes share a `(var, lo, hi)` triple
     /// (broken hash-consing).
     BddDuplicateTriple,
+    /// HY401: a combinational equivalence proof found an input minterm
+    /// on which a network and its specification disagree.
+    DeepCecMismatch,
+    /// HY402: a SAT proof found two bound-set points with equal codes
+    /// (`α(x₁) = α(x₂)`) on which the function differs — the
+    /// compatible-class encoding is not semantically injective.
+    DeepEncodingNotInjective,
+    /// HY403: collapsing the pseudo primary inputs of the duplication
+    /// cone to an ingredient's code does not reproduce the implemented
+    /// ingredient output (constant-collapse correctness).
+    DeepCollapseMismatch,
+    /// HY404: a SAT/BDD proof found a minterm where cofactoring the
+    /// hyper-function at an ingredient's code differs from the
+    /// ingredient (independent oracle for HY203).
+    DeepRecoveryMismatch,
+    /// HY405: an internal node is provably constant over all reachable
+    /// inputs (stuck-at / dead logic).
+    DeepStuckNode,
+    /// HY406: a deep proof exhausted its conflict/time budget and is
+    /// inconclusive.
+    DeepProofBudget,
 }
 
 impl Code {
     /// All shipped codes, in numeric order.
-    pub const ALL: [Code; 14] = [
+    pub const ALL: [Code; 20] = [
         Code::NetworkCycle,
         Code::NetworkFaninExceedsK,
         Code::NetworkDangling,
@@ -100,6 +122,12 @@ impl Code {
         Code::HyperRecoveryMismatch,
         Code::BddOrdering,
         Code::BddDuplicateTriple,
+        Code::DeepCecMismatch,
+        Code::DeepEncodingNotInjective,
+        Code::DeepCollapseMismatch,
+        Code::DeepRecoveryMismatch,
+        Code::DeepStuckNode,
+        Code::DeepProofBudget,
     ];
 
     /// The stable `HYxxx` identifier.
@@ -119,20 +147,27 @@ impl Code {
             Code::HyperRecoveryMismatch => "HY203",
             Code::BddOrdering => "HY301",
             Code::BddDuplicateTriple => "HY302",
+            Code::DeepCecMismatch => "HY401",
+            Code::DeepEncodingNotInjective => "HY402",
+            Code::DeepCollapseMismatch => "HY403",
+            Code::DeepRecoveryMismatch => "HY404",
+            Code::DeepStuckNode => "HY405",
+            Code::DeepProofBudget => "HY406",
         }
     }
 
     /// The severity a diagnostic with this code carries unless overridden.
     ///
     /// Hard invariant violations default to [`Severity::Deny`]; structural
-    /// hygiene findings (dangling nodes, vacuous support, width padding)
-    /// default to [`Severity::Warn`] because flows may legitimately
-    /// produce them transiently.
+    /// hygiene findings (dangling nodes, vacuous support, width padding,
+    /// provably-constant nodes) default to [`Severity::Warn`] because
+    /// flows may legitimately produce them transiently.
     pub fn default_severity(self) -> Severity {
         match self {
-            Code::NetworkDangling | Code::NetworkVacuousSupport | Code::EncodingWidthMismatch => {
-                Severity::Warn
-            }
+            Code::NetworkDangling
+            | Code::NetworkVacuousSupport
+            | Code::EncodingWidthMismatch
+            | Code::DeepStuckNode => Severity::Warn,
             _ => Severity::Deny,
         }
     }

@@ -219,6 +219,16 @@ impl Network {
         &n.function
     }
 
+    /// CNF export hook: the `(isop(f), isop(!f))` cover pair of a node's
+    /// local function, ready for clause-per-cube Tseitin encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling id or if the node is a primary input.
+    pub fn cnf_covers(&self, id: NodeId) -> (crate::SopCover, crate::SopCover) {
+        crate::SopCover::cnf_covers(self.function(id))
+    }
+
     /// Replaces the local function and fanins of an internal node.
     ///
     /// # Errors

@@ -1,0 +1,88 @@
+//! Literals for CNF formulas.
+//!
+//! A literal packs a variable index and a sign into one `u32` the way
+//! MiniSat does: `var << 1 | negated`. This gives a dense index space
+//! (`Lit::index`) used for watch lists.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional literal: a variable with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal for `var` with the given polarity.
+    pub fn new(var: usize, negated: bool) -> Self {
+        Lit(((var as u32) << 1) | u32::from(negated))
+    }
+
+    /// The positive literal of `var`.
+    pub fn pos(var: usize) -> Self {
+        Lit::new(var, false)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: usize) -> Self {
+        Lit::new(var, true)
+    }
+
+    /// The underlying variable index.
+    pub fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense index (`2 * var + negated`), used for watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The truth value this literal assigns to its variable when the
+    /// literal itself is made true.
+    pub fn phase(self) -> bool {
+        !self.is_neg()
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "-" } else { "" }, self.var())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing_roundtrips() {
+        let a = Lit::pos(7);
+        assert_eq!(a.var(), 7);
+        assert!(!a.is_neg());
+        assert_eq!((!a).var(), 7);
+        assert!((!a).is_neg());
+        assert_eq!(!!a, a);
+        assert_eq!(a.index(), 14);
+        assert_eq!((!a).index(), 15);
+        assert_eq!(Lit::neg(3), !Lit::pos(3));
+        assert_eq!(format!("{}", Lit::neg(3)), "-3");
+    }
+}

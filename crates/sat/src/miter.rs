@@ -1,0 +1,218 @@
+//! Equivalence miters with per-proof statistics.
+//!
+//! A miter asserts `a XOR b` and asks the solver for a model: UNSAT
+//! proves `a == b` everywhere, a model is a concrete input minterm where
+//! the two sides disagree. All outputs of one network share a single
+//! incremental solver — the network is encoded once and each output is
+//! proved under an assumption, so learned clauses carry over.
+
+use crate::cnf::Lit;
+use crate::solver::{Budget, Outcome, Solver, Stats};
+use crate::tseitin::Encoder;
+use hyde_bdd::Bdd;
+use hyde_logic::{Network, TruthTable};
+use std::time::{Duration, Instant};
+
+/// Verdict of one equivalence proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CecOutcome {
+    /// The two sides are equal for every input assignment.
+    Equivalent,
+    /// The sides disagree on this input minterm.
+    Differ(u32),
+    /// The proof budget ran out first.
+    Unknown,
+}
+
+/// One equivalence proof with its search effort.
+#[derive(Debug, Clone)]
+pub struct CecProof {
+    /// Index of the output proved (position in the spec list).
+    pub output: usize,
+    /// The verdict.
+    pub outcome: CecOutcome,
+    /// Solver variables live when the proof finished.
+    pub vars: usize,
+    /// Problem plus learned clauses when the proof finished.
+    pub clauses: usize,
+    /// Conflicts spent on this proof alone.
+    pub conflicts: u64,
+    /// Decisions spent on this proof alone.
+    pub decisions: u64,
+    /// Propagations spent on this proof alone.
+    pub propagations: u64,
+    /// Wall-clock time of this proof alone.
+    pub elapsed: Duration,
+}
+
+fn delta(before: &Stats, after: &Stats) -> (u64, u64, u64) {
+    (
+        after.conflicts - before.conflicts,
+        after.decisions - before.decisions,
+        after.propagations - before.propagations,
+    )
+}
+
+fn model_minterm(solver: &Solver, pi_lits: &[Lit]) -> u32 {
+    let mut m = 0u32;
+    for (i, l) in pi_lits.iter().enumerate() {
+        if solver.model_value(l.var()) != l.is_neg() {
+            m |= 1 << i;
+        }
+    }
+    m
+}
+
+/// Proves one miter literal under the shared solver, recording effort.
+fn prove(
+    enc: &mut Encoder,
+    miter: Lit,
+    pi_lits: &[Lit],
+    output: usize,
+    budget: &Budget,
+) -> CecProof {
+    let before = enc.solver().stats();
+    let start = Instant::now();
+    let outcome = match enc.solver_mut().solve_budgeted(&[miter], budget) {
+        Outcome::Unsat => CecOutcome::Equivalent,
+        Outcome::Sat => CecOutcome::Differ(model_minterm(enc.solver(), pi_lits)),
+        Outcome::Unknown => CecOutcome::Unknown,
+    };
+    let after = enc.solver().stats();
+    let (conflicts, decisions, propagations) = delta(&before, &after);
+    CecProof {
+        output,
+        outcome,
+        vars: after.vars,
+        clauses: after.clauses + after.learned,
+        conflicts,
+        decisions,
+        propagations,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Proves each network output equivalent to its specification table.
+///
+/// The network is Tseitin-encoded once; each spec table is turned into a
+/// BDD (shared manager, so common subfunctions merge) and encoded over
+/// the same input literals; each output then gets one budgeted miter
+/// proof. Spec variable `i` must correspond to primary input `i` in
+/// `net.inputs()` order.
+///
+/// # Panics
+///
+/// Panics if the network is cyclic, if `specs.len()` differs from the
+/// output count, if the input count differs from the spec arity, or if
+/// the spec arity exceeds 28 (BDD construction guard).
+pub fn cec_network_vs_tables(
+    net: &Network,
+    specs: &[TruthTable],
+    budget: &Budget,
+) -> Vec<CecProof> {
+    assert_eq!(
+        net.outputs().len(),
+        specs.len(),
+        "output/spec count mismatch"
+    );
+    let n = specs.first().map_or(0, TruthTable::vars);
+    assert_eq!(net.inputs().len(), n, "input/spec arity mismatch");
+    let mut enc = Encoder::new();
+    let pi = enc.fresh_inputs(n);
+    let node_lits = enc.encode_network(net, &pi);
+    let mut bdd = Bdd::new(n);
+    let mut proofs = Vec::with_capacity(specs.len());
+    for (o, spec) in specs.iter().enumerate() {
+        let spec_ref = bdd.from_fn(|m| spec.eval(m));
+        let spec_lit = enc.encode_bdd(&bdd, spec_ref, &pi);
+        let out_lit = node_lits[&net.outputs()[o].1];
+        let m = enc.xor(out_lit, spec_lit);
+        proofs.push(prove(&mut enc, m, &pi, o, budget));
+    }
+    proofs
+}
+
+/// Proves two truth tables equal through the SAT path (both sides are
+/// encoded as BDD gates over shared inputs, then a miter is solved).
+/// Mostly useful for cross-checking the engine against simulation.
+///
+/// # Panics
+///
+/// Panics if arities differ or exceed 28.
+pub fn cec_tables(a: &TruthTable, b: &TruthTable, budget: &Budget) -> CecProof {
+    assert_eq!(a.vars(), b.vars(), "arity mismatch");
+    let mut enc = Encoder::new();
+    let pi = enc.fresh_inputs(a.vars());
+    let mut bdd = Bdd::new(a.vars());
+    let ra = bdd.from_fn(|m| a.eval(m));
+    let rb = bdd.from_fn(|m| b.eval(m));
+    let la = enc.encode_bdd(&bdd, ra, &pi);
+    let lb = enc.encode_bdd(&bdd, rb, &pi);
+    let m = enc.xor(la, lb);
+    prove(&mut enc, m, &pi, 0, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyde_logic::Network;
+
+    fn adder_bit_net() -> (Network, Vec<TruthTable>) {
+        // sum and carry of a full adder, built from 2-LUTs.
+        let mut net = Network::new("fa");
+        let a = net.add_input("x0");
+        let b = net.add_input("x1");
+        let c = net.add_input("x2");
+        let xor2 = TruthTable::from_fn(2, |m| m == 1 || m == 2);
+        let and2 = TruthTable::from_fn(2, |m| m == 3);
+        let or2 = TruthTable::from_fn(2, |m| m != 0);
+        let ab = net.add_node("ab", vec![a, b], xor2.clone()).unwrap();
+        let sum = net.add_node("sum", vec![ab, c], xor2).unwrap();
+        let g1 = net.add_node("g1", vec![a, b], and2.clone()).unwrap();
+        let g2 = net.add_node("g2", vec![ab, c], and2).unwrap();
+        let carry = net.add_node("carry", vec![g1, g2], or2).unwrap();
+        net.mark_output("sum", sum);
+        net.mark_output("carry", carry);
+        let specs = vec![
+            TruthTable::from_fn(3, |m| m.count_ones() % 2 == 1),
+            TruthTable::from_fn(3, |m| m.count_ones() >= 2),
+        ];
+        (net, specs)
+    }
+
+    #[test]
+    fn full_adder_outputs_are_proved_equivalent() {
+        let (net, specs) = adder_bit_net();
+        let proofs = cec_network_vs_tables(&net, &specs, &Budget::default());
+        assert_eq!(proofs.len(), 2);
+        for p in &proofs {
+            assert_eq!(p.outcome, CecOutcome::Equivalent, "output {}", p.output);
+        }
+    }
+
+    #[test]
+    fn wrong_spec_yields_counterexample() {
+        let (net, mut specs) = adder_bit_net();
+        let mut t = specs[1].clone();
+        t.set(5, !t.eval(5));
+        specs[1] = t;
+        let proofs = cec_network_vs_tables(&net, &specs, &Budget::default());
+        assert_eq!(proofs[0].outcome, CecOutcome::Equivalent);
+        assert_eq!(proofs[1].outcome, CecOutcome::Differ(5));
+    }
+
+    #[test]
+    fn table_cec_finds_the_single_difference() {
+        let a = TruthTable::from_fn(6, |m| m % 3 == 0);
+        let mut b = a.clone();
+        b.set(44, !b.eval(44));
+        match cec_tables(&a, &b, &Budget::default()).outcome {
+            CecOutcome::Differ(m) => assert_eq!(m, 44),
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+        assert_eq!(
+            cec_tables(&a, &a, &Budget::default()).outcome,
+            CecOutcome::Equivalent
+        );
+    }
+}

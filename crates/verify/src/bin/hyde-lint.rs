@@ -1,19 +1,22 @@
 //! `hyde-lint`: run the `hyde-verify` registry over BLIF/PLA files or the
 //! bundled circuit suite, print diagnostics, and exit non-zero when any
-//! deny-level finding fires.
+//! deny-level finding fires. `--deep` additionally runs the `HY4xx`
+//! SAT/BDD semantic proofs and prints per-proof effort statistics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hyde_core::decompose::Decomposer;
+use hyde_core::decompose::{decompose_step, Decomposer};
 use hyde_core::encoding::EncoderKind;
 use hyde_core::hyper::HyperFunction;
-use hyde_logic::diag::{Code, Diagnostic, Severity};
-use hyde_logic::{blif, pla::Pla, Network, TruthTable};
+use hyde_logic::diag::{Code, Diagnostic, Location, Severity};
+use hyde_logic::{blif, pla::Pla, Network, NodeRole, TruthTable};
 use hyde_map::flow::{FlowKind, MappingFlow};
+use hyde_verify::deep::{register_deep, DeepConfig, ProofLog, ProofRecord};
 use hyde_verify::{Artifact, Registry};
 use std::collections::HashSet;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 hyde-lint: lint HYDE networks, encodings and hyper-functions
@@ -28,9 +31,24 @@ Options:
   -k <K>           fanin bound: report HY002 for LUTs with more than K fanins
   --suite          lint the bundled circuit suite end-to-end
                    (decompose -> encode -> hyper-recover, k = 5)
+  --deep           also run the HY4xx semantic proofs (SAT/BDD CEC,
+                   encoding injectivity, collapse/recovery, stuck-at)
+  --proof-budget <N>
+                   conflict budget per deep proof (default 200000);
+                   a blown budget reports HY406
+  --mutate <SEED>  corruption drill: flip one LUT bit in every mapped
+                   suite network before linting (the deep CEC pass must
+                   then report HY401)
+  --json           machine-readable output: one JSON object per
+                   diagnostic line instead of human-readable text
   --deny-warnings  treat warn-level diagnostics as deny
   --list-codes     print the diagnostic code table and exit
-  -h, --help       this message";
+  -h, --help       this message
+
+Exit codes:
+  0  no deny-level findings (and no warns under --deny-warnings)
+  1  at least one deny-level finding
+  2  usage or input/output error";
 
 /// Prints one line to stdout, ignoring broken-pipe errors so
 /// `hyde-lint ... | head` exits cleanly instead of panicking.
@@ -43,6 +61,10 @@ struct Options {
     k: Option<usize>,
     suite: bool,
     deny_warnings: bool,
+    deep: bool,
+    json: bool,
+    proof_budget: Option<u64>,
+    mutate: Option<u64>,
     files: Vec<String>,
 }
 
@@ -51,6 +73,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         k: None,
         suite: false,
         deny_warnings: false,
+        deep: false,
+        json: false,
+        proof_budget: None,
+        mutate: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -73,7 +99,20 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 let v = it.next().ok_or("-k needs a value")?;
                 opts.k = Some(v.parse().map_err(|_| format!("bad -k value '{v}'"))?);
             }
+            "--proof-budget" => {
+                let v = it.next().ok_or("--proof-budget needs a value")?;
+                opts.proof_budget = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --proof-budget value '{v}'"))?,
+                );
+            }
+            "--mutate" => {
+                let v = it.next().ok_or("--mutate needs a seed")?;
+                opts.mutate = Some(v.parse().map_err(|_| format!("bad --mutate seed '{v}'"))?);
+            }
             "--suite" => opts.suite = true,
+            "--deep" => opts.deep = true,
+            "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option '{other}' (try --help)"));
@@ -83,6 +122,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     }
     if !opts.suite && opts.files.is_empty() {
         return Err("no input files (try --help)".into());
+    }
+    if opts.mutate.is_some() && !opts.suite {
+        return Err("--mutate only applies to --suite".into());
     }
     Ok(Some(opts))
 }
@@ -100,6 +142,27 @@ fn network_from_tables(name: &str, tables: &[TruthTable]) -> Network {
         net.mark_output(&format!("f{o}"), id);
     }
     net
+}
+
+/// Flips one LUT bit of one internal node, selected by `seed`. Returns a
+/// description of the corruption, or `None` for networks with no LUTs.
+fn corrupt_one_lut_bit(net: &mut Network, seed: u64) -> Option<String> {
+    let internals: Vec<_> = net
+        .node_ids()
+        .into_iter()
+        .filter(|&id| net.role(id) == NodeRole::Internal)
+        .collect();
+    if internals.is_empty() {
+        return None;
+    }
+    let id = internals[seed as usize % internals.len()];
+    let mut t = net.function(id).clone();
+    let m = (seed >> 8) as usize % t.num_minterms();
+    t.set(m as u32, !t.eval(m as u32));
+    let fanins = net.fanins(id).to_vec();
+    let name = net.node_name(id).to_owned();
+    net.replace_node_unchecked(id, fanins, t);
+    Some(format!("node '{name}' minterm {m}"))
 }
 
 fn lint_file(path: &str, opts: &Options, registry: &Registry) -> Result<Vec<Diagnostic>, String> {
@@ -134,7 +197,9 @@ fn lint_file(path: &str, opts: &Options, registry: &Registry) -> Result<Vec<Diag
 /// Lints the bundled circuit suite end-to-end: every circuit is mapped
 /// with the HYDE flow and the result linted against its specification;
 /// multi-output circuits additionally go through explicit hyper-function
-/// decomposition and ingredient recovery.
+/// decomposition and ingredient recovery. With `--deep` the first output
+/// wide enough to decompose also exercises the encoding-injectivity
+/// proof on a single Roth–Karp step.
 fn lint_suite(opts: &Options, registry: &Registry) -> Vec<(String, Vec<Diagnostic>)> {
     let k = opts.k.unwrap_or(5);
     let flow = MappingFlow::new(k, FlowKind::hyde(0xDA98));
@@ -142,7 +207,12 @@ fn lint_suite(opts: &Options, registry: &Registry) -> Vec<(String, Vec<Diagnosti
     for circuit in hyde_circuits::suite() {
         let mut diags = Vec::new();
         match flow.map_outputs(&circuit.name, &circuit.outputs) {
-            Ok(report) => {
+            Ok(mut report) => {
+                if let Some(seed) = opts.mutate {
+                    if let Some(what) = corrupt_one_lut_bit(&mut report.network, seed) {
+                        eprintln!("{}: mutated {what}", circuit.name);
+                    }
+                }
                 diags.extend(registry.run(&Artifact::Network {
                     net: &report.network,
                     k: Some(k),
@@ -153,6 +223,21 @@ fn lint_suite(opts: &Options, registry: &Registry) -> Vec<(String, Vec<Diagnosti
                 Code::NetworkSpecMismatch,
                 format!("mapping failed: {e}"),
             )),
+        }
+        if opts.deep {
+            if let Some(t) = circuit.outputs.iter().find(|t| t.vars() > k) {
+                let bound: Vec<usize> = (0..k).collect();
+                match decompose_step(t, &bound, &EncoderKind::Hyde { seed: 0xDA98 }, k) {
+                    Ok(d) => diags.extend(registry.run(&Artifact::Decomposition {
+                        decomposition: &d,
+                        function: t,
+                    })),
+                    Err(e) => diags.push(Diagnostic::new(
+                        Code::EncodingRecomposition,
+                        format!("decomposition step failed: {e}"),
+                    )),
+                }
+            }
         }
         // Hyper-function path: fold distinct outputs, decompose, recover.
         let mut distinct: Vec<TruthTable> = Vec::new();
@@ -201,6 +286,46 @@ fn lint_suite(opts: &Options, registry: &Registry) -> Vec<(String, Vec<Diagnosti
     results
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut o = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => o.push_str("\\\""),
+            '\\' => o.push_str("\\\\"),
+            '\n' => o.push_str("\\n"),
+            '\t' => o.push_str("\\t"),
+            '\r' => o.push_str("\\r"),
+            c if (c as u32) < 0x20 => o.push_str(&format!("\\u{:04x}", c as u32)),
+            c => o.push(c),
+        }
+    }
+    o
+}
+
+fn json_line(artifact: &str, d: &Diagnostic) -> String {
+    let location = if d.location == Location::None {
+        "null".to_owned()
+    } else {
+        format!("\"{}\"", json_escape(&d.location.to_string()))
+    };
+    format!(
+        "{{\"artifact\":\"{}\",\"code\":\"{}\",\"severity\":\"{}\",\"location\":{},\"message\":\"{}\"}}",
+        json_escape(artifact),
+        d.code,
+        d.severity,
+        location,
+        json_escape(&d.message),
+    )
+}
+
+fn proof_line(r: &ProofRecord) -> String {
+    format!(
+        "  proof {} {}: {} [{}] vars={} clauses={} conflicts={} time={}ms",
+        r.pass, r.subject, r.verdict, r.engine, r.vars, r.clauses, r.conflicts, r.time_ms
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -211,14 +336,35 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let registry = Registry::with_defaults();
-    let mut groups: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+    let mut registry = Registry::with_defaults();
+    let log: Option<ProofLog> = if opts.deep {
+        let mut config = DeepConfig::default();
+        if let Some(b) = opts.proof_budget {
+            config.max_conflicts = b;
+            config.max_time = Duration::from_secs(60);
+        }
+        Some(register_deep(&mut registry, config))
+    } else {
+        None
+    };
+    let drain = |log: &Option<ProofLog>| -> Vec<ProofRecord> {
+        log.as_ref()
+            .map(|l| l.borrow_mut().drain(..).collect())
+            .unwrap_or_default()
+    };
+    let mut groups: Vec<(String, Vec<Diagnostic>, Vec<ProofRecord>)> = Vec::new();
     if opts.suite {
-        groups.extend(lint_suite(&opts, &registry));
+        for (name, diags) in lint_suite(&opts, &registry) {
+            let proofs = drain(&log);
+            groups.push((name, diags, proofs));
+        }
     }
     for path in &opts.files {
         match lint_file(path, &opts, &registry) {
-            Ok(diags) => groups.push((path.clone(), diags)),
+            Ok(diags) => {
+                let proofs = drain(&log);
+                groups.push((path.clone(), diags, proofs));
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::from(2);
@@ -227,20 +373,52 @@ fn main() -> ExitCode {
     }
     let mut warns = 0usize;
     let mut denies = 0usize;
-    for (name, diags) in &groups {
+    let mut proofs = 0usize;
+    let mut refuted = 0usize;
+    let mut unknown = 0usize;
+    let mut proof_ms = 0u128;
+    for (name, diags, records) in &groups {
         for d in diags {
-            out(&format!("{name}: {d}"));
+            if opts.json {
+                out(&json_line(name, d));
+            } else {
+                out(&format!("{name}: {d}"));
+            }
             match d.severity {
                 Severity::Deny => denies += 1,
                 Severity::Warn => warns += 1,
                 Severity::Note => {}
             }
         }
+        if !records.is_empty() && !opts.json {
+            out(&format!("{name}:"));
+            for r in records {
+                out(&proof_line(r));
+            }
+        }
+        for r in records {
+            proofs += 1;
+            proof_ms += r.time_ms;
+            match r.verdict {
+                "refuted" => refuted += 1,
+                "unknown" => unknown += 1,
+                _ => {}
+            }
+        }
     }
     let checked = groups.len();
-    out(&format!(
-        "hyde-lint: {checked} artifact group(s), {denies} deny, {warns} warn"
-    ));
+    if !opts.json {
+        out(&format!(
+            "hyde-lint: {checked} artifact group(s), {denies} deny, {warns} warn"
+        ));
+        if proofs > 0 {
+            out(&format!(
+                "hyde-lint: {proofs} deep proof(s) ({} proved, {refuted} refuted, \
+                 {unknown} inconclusive) in {proof_ms}ms",
+                proofs - refuted - unknown
+            ));
+        }
+    }
     if denies > 0 || (opts.deny_warnings && warns > 0) {
         ExitCode::FAILURE
     } else {

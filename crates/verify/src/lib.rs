@@ -18,6 +18,10 @@
 //! * [`hyper`] — `HY2xx`: pseudo-input leaks, duplication-cone
 //!   bookkeeping, ingredient recovery.
 //! * [`bdd`] — `HY3xx`: ROBDD ordering/reduction and unique-table audits.
+//! * [`deep`] — `HY4xx`: SAT/BDD-backed semantic *proofs* — combinational
+//!   equivalence, encoding injectivity, collapse/recovery correctness and
+//!   stuck-at sweeps — opt-in via [`deep::register_deep`] and
+//!   `hyde-lint --deep`.
 //!
 //! The `hyde-lint` binary exposes the registry on BLIF/PLA files and on
 //! the bundled circuit suite.
@@ -43,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod bdd;
+pub mod deep;
 pub mod encoding;
 pub mod hyper;
 pub mod network;

@@ -6,8 +6,11 @@
 //! * `fmt` — `cargo fmt --check` over the workspace
 //! * `clippy` — `cargo clippy --workspace --all-targets -- -D warnings`
 //! * `test` — `cargo test -q` (tier-1) then `cargo test -q --workspace`
-//! * `lint-suite` — `hyde-lint --suite` over the bundled circuits
-//! * `all` — everything above, in that order
+//! * `lint-suite` — `hyde-lint --suite` over the bundled circuits;
+//!   `lint-suite --deep` additionally runs the `HY4xx` semantic proofs
+//!   (SAT/BDD CEC, injectivity, collapse/recovery, stuck-at) with a
+//!   bounded proof budget and `strict-checks` invariant gates enabled
+//! * `all` — everything above (with `--deep`), in that order
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,37 +65,37 @@ fn test(root: &Path) -> Result<(), String> {
     run(root, &["test", "-q", "--workspace"])
 }
 
-fn lint_suite(root: &Path) -> Result<(), String> {
-    run(
-        root,
-        &[
-            "run",
-            "-q",
-            "--release",
-            "-p",
-            "hyde-verify",
-            "--bin",
-            "hyde-lint",
-            "--",
-            "--suite",
-        ],
-    )
+fn lint_suite(root: &Path, deep: bool) -> Result<(), String> {
+    let mut args = vec!["run", "-q", "--release", "-p", "hyde-verify"];
+    if deep {
+        // Promote the debug-only invariant gates to hard asserts while
+        // the proofs run, and bound each proof so a pathological miter
+        // fails CI as HY406 instead of hanging it.
+        args.extend(["--features", "strict-checks"]);
+    }
+    args.extend(["--bin", "hyde-lint", "--", "--suite"]);
+    if deep {
+        args.extend(["--deep", "--proof-budget", "200000"]);
+    }
+    run(root, &args)
 }
 
 fn main() -> ExitCode {
     let root = workspace_root();
-    let task = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let task = args.first().cloned().unwrap_or_else(|| "all".into());
+    let deep = args.iter().any(|a| a == "--deep");
     let result = match task.as_str() {
         "fmt" => fmt(&root),
         "clippy" => clippy(&root),
         "test" => test(&root),
-        "lint-suite" => lint_suite(&root),
+        "lint-suite" => lint_suite(&root, deep),
         "all" => fmt(&root)
             .and_then(|()| clippy(&root))
             .and_then(|()| test(&root))
-            .and_then(|()| lint_suite(&root)),
+            .and_then(|()| lint_suite(&root, true)),
         other => Err(format!(
-            "unknown task '{other}' (expected fmt | clippy | test | lint-suite | all)"
+            "unknown task '{other}' (expected fmt | clippy | test | lint-suite [--deep] | all)"
         )),
     };
     match result {

@@ -15,4 +15,5 @@ pub use hyde_core as core;
 pub use hyde_graph as graph;
 pub use hyde_logic as logic;
 pub use hyde_map as map;
+pub use hyde_sat as sat;
 pub use hyde_verify as verify;
