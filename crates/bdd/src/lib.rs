@@ -38,7 +38,7 @@ mod cec;
 mod manager;
 pub mod reorder;
 
-pub use manager::{Bdd, Ref};
+pub use manager::{Bdd, BddStats, Ref};
 
 #[cfg(test)]
 mod tests {

@@ -1,5 +1,22 @@
-//! The BDD manager: unique table, operation caches, and algorithms.
+//! The BDD manager: unique table, operation cache, and algorithms.
+//!
+//! Storage follows the CUDD playbook rather than `std::collections`:
+//!
+//! * the **unique table** is an open-addressed array of node indices with
+//!   power-of-two capacity, multiplicative integer hashing and linear
+//!   probing. The manager is append-only, so the table never deletes and
+//!   needs no tombstones; growth doubles the bucket array and reinserts.
+//! * the **operation cache** is a fixed-size direct-mapped array of
+//!   `(op, operands, result)` slots. Lookups hash to exactly one slot;
+//!   inserts overwrite whatever lives there (lossy, like CUDD's computed
+//!   table). Losing an entry only costs a recomputation — results are
+//!   canonical either way.
+//!
+//! Both tables feed per-manager [`BddStats`] counters exposed through
+//! [`Bdd::stats`], so benchmarks and the deep verification passes can
+//! report hit rates alongside their own metrics.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Reference to a BDD node owned by a [`Bdd`] manager.
@@ -23,6 +40,19 @@ impl Ref {
 
 const NO_VAR: u32 = u32::MAX;
 
+/// Empty bucket sentinel in the unique table.
+const EMPTY: u32 = u32::MAX;
+
+/// Multiplicative mixing of a node triple / operation key into a bucket
+/// hash (Fx/golden-ratio style: three odd constants, one avalanche shift).
+#[inline]
+fn mix3(a: u32, b: u32, c: u32) -> u64 {
+    let mut h = u64::from(a).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= u64::from(b).wrapping_mul(0xA24B_AED4_963E_E407);
+    h ^= u64::from(c).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+    h ^ (h >> 29)
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Node {
     var: u32,
@@ -30,12 +60,88 @@ struct Node {
     hi: Ref,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum OpKey {
-    Ite(Ref, Ref, Ref),
-    Exists(Ref, u32),
-    Compose(Ref, u32, Ref),
+/// Operation tags for the computed cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Ite = 1,
+    Exists = 2,
+    Compose = 3,
+    Restrict = 4,
 }
+
+/// One direct-mapped computed-cache slot. `op == 0` marks an empty slot.
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    op: u8,
+    a: u32,
+    b: u32,
+    c: u32,
+    result: Ref,
+}
+
+const EMPTY_SLOT: CacheSlot = CacheSlot {
+    op: 0,
+    a: 0,
+    b: 0,
+    c: 0,
+    result: Ref::FALSE,
+};
+
+/// Per-manager storage and traffic counters (see [`Bdd::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// Allocated nodes, including the two terminals.
+    pub nodes: usize,
+    /// Unique-table lookups (one per canonical `mk`).
+    pub unique_lookups: u64,
+    /// Total buckets inspected across all unique-table lookups; the ratio
+    /// to `unique_lookups` is the mean probe length.
+    pub unique_probes: u64,
+    /// Unique-table hits (an existing node was returned).
+    pub unique_hits: u64,
+    /// Operation-cache lookups.
+    pub cache_lookups: u64,
+    /// Operation-cache hits.
+    pub cache_hits: u64,
+    /// Occupied cache slots overwritten by a different key (direct-mapped
+    /// replacement losses).
+    pub cache_evictions: u64,
+}
+
+impl BddStats {
+    /// Operation-cache hit rate in `[0, 1]` (zero when nothing was looked
+    /// up).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Operation-cache misses.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_lookups - self.cache_hits
+    }
+
+    /// Mean unique-table probe length (1.0 means no collisions at all).
+    pub fn mean_probe_length(&self) -> f64 {
+        if self.unique_lookups == 0 {
+            0.0
+        } else {
+            self.unique_probes as f64 / self.unique_lookups as f64
+        }
+    }
+}
+
+/// Default unique-table bucket count for [`Bdd::new`] (power of two).
+const DEFAULT_UNIQUE_BUCKETS: usize = 1 << 10;
+/// Default computed-cache slots for [`Bdd::new`] (power of two).
+const DEFAULT_CACHE_SLOTS: usize = 1 << 13;
+/// Computed-cache slot bounds for [`Bdd::with_capacity`] and adaptive
+/// growth (1M slots × 16 bytes = 16 MiB worst case per manager).
+const MIN_CACHE_SLOTS: usize = 1 << 10;
+const MAX_CACHE_SLOTS: usize = 1 << 20;
 
 /// A reduced ordered BDD manager over a fixed number of variables.
 ///
@@ -46,13 +152,65 @@ enum OpKey {
 pub struct Bdd {
     num_vars: usize,
     nodes: Vec<Node>,
-    unique: HashMap<(u32, Ref, Ref), Ref>,
-    cache: HashMap<OpKey, Ref>,
+    /// Open-addressed unique table: buckets hold node indices, [`EMPTY`]
+    /// marks a free bucket. Capacity is a power of two; `unique_mask` is
+    /// `capacity - 1`.
+    unique: Vec<u32>,
+    unique_mask: usize,
+    /// Occupied bucket count (drives amortized growth at 3/4 load).
+    unique_len: usize,
+    /// Direct-mapped computed cache; `cache_mask` is `len - 1`.
+    cache: Vec<CacheSlot>,
+    cache_mask: usize,
+    /// Evictions since the cache last grew; when this exceeds a quarter of
+    /// the slot count the cache is thrashing and doubles (up to
+    /// [`MAX_CACHE_SLOTS`]), CUDD-style adaptive resizing.
+    cache_pressure: u64,
+    stats: StatCells,
+    /// Scratch memo reused by [`Bdd::permute`] (cleared per call, never
+    /// reallocated).
+    permute_memo: HashMap<Ref, Ref>,
+    /// Scratch memo reused by [`Bdd::sat_count`] (interior mutability:
+    /// counting takes `&self`).
+    sat_memo: RefCell<HashMap<Ref, u128>>,
+}
+
+/// Interior-mutable counters: lookups happen in `&self` contexts (e.g.
+/// probing during reads) and must not force `&mut` through the public API.
+#[derive(Debug, Clone, Default)]
+struct StatCells {
+    unique_lookups: std::cell::Cell<u64>,
+    unique_probes: std::cell::Cell<u64>,
+    unique_hits: std::cell::Cell<u64>,
+    cache_lookups: std::cell::Cell<u64>,
+    cache_hits: std::cell::Cell<u64>,
+    cache_evictions: std::cell::Cell<u64>,
 }
 
 impl Bdd {
-    /// Creates a manager over `num_vars` variables.
+    /// Creates a manager over `num_vars` variables with default table
+    /// sizes (suited to small helper managers; hot paths should call
+    /// [`Bdd::with_capacity`]).
     pub fn new(num_vars: usize) -> Self {
+        Self::with_tables(num_vars, DEFAULT_UNIQUE_BUCKETS, DEFAULT_CACHE_SLOTS)
+    }
+
+    /// Creates a manager pre-sized for roughly `hint` nodes: the unique
+    /// table starts large enough to hold them below 3/4 load and the
+    /// operation cache is scaled to match, so warm-up proceeds without a
+    /// single rehash.
+    pub fn with_capacity(num_vars: usize, hint: usize) -> Self {
+        // Buckets so that `hint` entries stay under 3/4 load.
+        let buckets = (hint.saturating_mul(4) / 3 + 1)
+            .next_power_of_two()
+            .max(DEFAULT_UNIQUE_BUCKETS);
+        let cache = buckets.clamp(MIN_CACHE_SLOTS, MAX_CACHE_SLOTS);
+        Self::with_tables(num_vars, buckets, cache)
+    }
+
+    fn with_tables(num_vars: usize, unique_buckets: usize, cache_slots: usize) -> Self {
+        debug_assert!(unique_buckets.is_power_of_two());
+        debug_assert!(cache_slots.is_power_of_two());
         let nodes = vec![
             Node {
                 var: NO_VAR,
@@ -68,8 +226,15 @@ impl Bdd {
         Bdd {
             num_vars,
             nodes,
-            unique: HashMap::new(),
-            cache: HashMap::new(),
+            unique: vec![EMPTY; unique_buckets],
+            unique_mask: unique_buckets - 1,
+            unique_len: 0,
+            cache: vec![EMPTY_SLOT; cache_slots],
+            cache_mask: cache_slots - 1,
+            cache_pressure: 0,
+            stats: StatCells::default(),
+            permute_memo: HashMap::new(),
+            sat_memo: RefCell::new(HashMap::new()),
         }
     }
 
@@ -86,6 +251,29 @@ impl Bdd {
     /// Whether only the terminals exist.
     pub fn is_empty(&self) -> bool {
         self.nodes.len() <= 2
+    }
+
+    /// A snapshot of the manager's storage counters.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes: self.nodes.len(),
+            unique_lookups: self.stats.unique_lookups.get(),
+            unique_probes: self.stats.unique_probes.get(),
+            unique_hits: self.stats.unique_hits.get(),
+            cache_lookups: self.stats.cache_lookups.get(),
+            cache_hits: self.stats.cache_hits.get(),
+            cache_evictions: self.stats.cache_evictions.get(),
+        }
+    }
+
+    /// Current unique-table bucket count (diagnostics/tests).
+    pub fn unique_capacity(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Computed-cache slot count (fixed for the manager's lifetime).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.len()
     }
 
     /// Iterates over the non-terminal nodes as `(index, var, lo, hi)`
@@ -151,13 +339,120 @@ impl Bdd {
         if lo == hi {
             return lo;
         }
-        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
-            return r;
+        self.stats
+            .unique_lookups
+            .set(self.stats.unique_lookups.get() + 1);
+        let mask = self.unique_mask;
+        let mut idx = mix3(var, lo.0, hi.0) as usize & mask;
+        let mut probes = 1u64;
+        loop {
+            let bucket = self.unique[idx];
+            if bucket == EMPTY {
+                break;
+            }
+            let n = self.nodes[bucket as usize];
+            if n.var == var && n.lo == lo && n.hi == hi {
+                self.stats
+                    .unique_probes
+                    .set(self.stats.unique_probes.get() + probes);
+                self.stats.unique_hits.set(self.stats.unique_hits.get() + 1);
+                return Ref(bucket);
+            }
+            idx = (idx + 1) & mask;
+            probes += 1;
         }
+        self.stats
+            .unique_probes
+            .set(self.stats.unique_probes.get() + probes);
         let r = Ref(self.nodes.len() as u32);
         self.nodes.push(Node { var, lo, hi });
-        self.unique.insert((var, lo, hi), r);
+        self.unique[idx] = r.0;
+        self.unique_len += 1;
+        if self.unique_len * 4 >= self.unique.len() * 3 {
+            self.grow_unique();
+        }
         r
+    }
+
+    /// Doubles the unique table and reinserts every bucket. Node indices
+    /// are stable, so only the bucket array moves.
+    fn grow_unique(&mut self) {
+        let new_cap = self.unique.len() * 2;
+        let mask = new_cap - 1;
+        let mut table = vec![EMPTY; new_cap];
+        for &bucket in &self.unique {
+            if bucket == EMPTY {
+                continue;
+            }
+            let n = self.nodes[bucket as usize];
+            let mut idx = mix3(n.var, n.lo.0, n.hi.0) as usize & mask;
+            while table[idx] != EMPTY {
+                idx = (idx + 1) & mask;
+            }
+            table[idx] = bucket;
+        }
+        self.unique = table;
+        self.unique_mask = mask;
+    }
+
+    /// Computed-cache probe: returns the memoized result when the slot
+    /// holds exactly this key.
+    #[inline]
+    fn cache_get(&self, op: Op, a: u32, b: u32, c: u32) -> Option<Ref> {
+        self.stats
+            .cache_lookups
+            .set(self.stats.cache_lookups.get() + 1);
+        let slot = &self.cache[(mix3(a, b, c ^ ((op as u32) << 28)) as usize) & self.cache_mask];
+        if slot.op == op as u8 && slot.a == a && slot.b == b && slot.c == c {
+            self.stats.cache_hits.set(self.stats.cache_hits.get() + 1);
+            Some(slot.result)
+        } else {
+            None
+        }
+    }
+
+    /// Computed-cache insert: overwrites the slot unconditionally
+    /// (direct-mapped, lossy). Sustained eviction pressure doubles the
+    /// cache so long candidate-evaluation loops keep their cross-candidate
+    /// memoization instead of thrashing.
+    #[inline]
+    fn cache_put(&mut self, op: Op, a: u32, b: u32, c: u32, result: Ref) {
+        let idx = (mix3(a, b, c ^ ((op as u32) << 28)) as usize) & self.cache_mask;
+        let slot = &mut self.cache[idx];
+        if slot.op != 0 && !(slot.op == op as u8 && slot.a == a && slot.b == b && slot.c == c) {
+            self.stats
+                .cache_evictions
+                .set(self.stats.cache_evictions.get() + 1);
+            self.cache_pressure += 1;
+        }
+        *slot = CacheSlot {
+            op: op as u8,
+            a,
+            b,
+            c,
+            result,
+        };
+        if self.cache_pressure * 4 > self.cache.len() as u64 && self.cache.len() < MAX_CACHE_SLOTS {
+            self.grow_cache();
+        }
+    }
+
+    /// Doubles the computed cache, rehashing live entries into their new
+    /// slots (colliding pairs separate; same-slot survivors keep warm).
+    fn grow_cache(&mut self) {
+        let new_len = self.cache.len() * 2;
+        let mask = new_len - 1;
+        let mut table = vec![EMPTY_SLOT; new_len];
+        for slot in &self.cache {
+            if slot.op != 0 {
+                let idx =
+                    (mix3(slot.a, slot.b, slot.c ^ (u32::from(slot.op) << 28)) as usize) & mask;
+                table[idx] = *slot;
+            }
+        }
+        self.cache = table;
+        self.cache_mask = mask;
+        self.cache_pressure = 0;
     }
 
     fn node(&self, r: Ref) -> Node {
@@ -183,8 +478,7 @@ impl Bdd {
         if g == Ref::TRUE && h == Ref::FALSE {
             return f;
         }
-        let key = OpKey::Ite(f, g, h);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache_get(Op::Ite, f.0, g.0, h.0) {
             return r;
         }
         let top = [f, g, h]
@@ -198,7 +492,7 @@ impl Bdd {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(top, lo, hi);
-        self.cache.insert(key, r);
+        self.cache_put(Op::Ite, f.0, g.0, h.0, r);
         r
     }
 
@@ -242,7 +536,7 @@ impl Bdd {
         self.restrict_rec(f, var as u32, value)
     }
 
-    fn restrict_rec(&mut self, f: Ref, var: u32, value: bool) -> Ref {
+    pub(crate) fn restrict_rec(&mut self, f: Ref, var: u32, value: bool) -> Ref {
         let n = self.node(f);
         if n.var == NO_VAR || n.var > var {
             return f;
@@ -250,14 +544,13 @@ impl Bdd {
         if n.var == var {
             return if value { n.hi } else { n.lo };
         }
-        let key = OpKey::Compose(f, var | 0x8000_0000 | ((value as u32) << 30), Ref::FALSE);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache_get(Op::Restrict, f.0, var, u32::from(value)) {
             return r;
         }
         let lo = self.restrict_rec(n.lo, var, value);
         let hi = self.restrict_rec(n.hi, var, value);
         let r = self.mk(n.var, lo, hi);
-        self.cache.insert(key, r);
+        self.cache_put(Op::Restrict, f.0, var, u32::from(value), r);
         r
     }
 
@@ -268,14 +561,13 @@ impl Bdd {
     /// Panics if `var >= num_vars`.
     pub fn exists(&mut self, f: Ref, var: usize) -> Ref {
         assert!(var < self.num_vars);
-        let key = OpKey::Exists(f, var as u32);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache_get(Op::Exists, f.0, var as u32, 0) {
             return r;
         }
         let c0 = self.restrict_rec(f, var as u32, false);
         let c1 = self.restrict_rec(f, var as u32, true);
         let r = self.or(c0, c1);
-        self.cache.insert(key, r);
+        self.cache_put(Op::Exists, f.0, var as u32, 0, r);
         r
     }
 
@@ -297,37 +589,39 @@ impl Bdd {
     /// Panics if `var >= num_vars`.
     pub fn compose(&mut self, f: Ref, var: usize, g: Ref) -> Ref {
         assert!(var < self.num_vars);
-        let key = OpKey::Compose(f, var as u32, g);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache_get(Op::Compose, f.0, var as u32, g.0) {
             return r;
         }
         let c1 = self.restrict_rec(f, var as u32, true);
         let c0 = self.restrict_rec(f, var as u32, false);
         let r = self.ite(g, c1, c0);
-        self.cache.insert(key, r);
+        self.cache_put(Op::Compose, f.0, var as u32, g.0, r);
         r
     }
 
     /// Variables `f` depends on, ascending.
     pub fn support(&self, f: Ref) -> Vec<usize> {
-        let mut seen = std::collections::HashSet::new();
-        let mut vars = std::collections::BTreeSet::new();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut on = vec![false; self.num_vars];
         let mut stack = vec![f];
         while let Some(r) = stack.pop() {
-            if !seen.insert(r) || r == Ref::TRUE || r == Ref::FALSE {
+            if r == Ref::TRUE || r == Ref::FALSE || std::mem::replace(&mut seen[r.index()], true) {
                 continue;
             }
             let n = self.node(r);
-            vars.insert(n.var as usize);
+            on[n.var as usize] = true;
             stack.push(n.lo);
             stack.push(n.hi);
         }
-        vars.into_iter().collect()
+        (0..self.num_vars).filter(|&v| on[v]).collect()
     }
 
     /// Number of satisfying assignments over all `num_vars` variables.
     pub fn sat_count(&self, f: Ref) -> u128 {
-        let mut memo: HashMap<Ref, u128> = HashMap::new();
+        // Reuse the manager-owned memo: cleared (capacity kept), not
+        // reallocated per call.
+        let mut memo = self.sat_memo.borrow_mut();
+        memo.clear();
         self.sat_count_rec(f, &mut memo) << self.level_gap(f)
     }
 
@@ -382,11 +676,11 @@ impl Bdd {
     /// Number of nodes reachable from `f` (excluding terminals) — the
     /// classical BDD size metric.
     pub fn node_count(&self, f: Ref) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = vec![false; self.nodes.len()];
         let mut stack = vec![f];
         let mut count = 0;
         while let Some(r) = stack.pop() {
-            if r == Ref::TRUE || r == Ref::FALSE || !seen.insert(r) {
+            if r == Ref::TRUE || r == Ref::FALSE || std::mem::replace(&mut seen[r.index()], true) {
                 continue;
             }
             count += 1;
@@ -428,10 +722,14 @@ impl Bdd {
         for &t in map {
             assert!(t < self.num_vars, "map target out of range");
         }
-        // Rebuild bottom-up through fresh literals; simple recursion with a
-        // memo keyed by node.
-        let mut memo: HashMap<Ref, Ref> = HashMap::new();
-        self.permute_rec(f, map, &mut memo)
+        // Rebuild bottom-up through fresh literals. The memo is manager
+        // owned scratch: taken out for the recursion (borrow discipline),
+        // cleared rather than reallocated, and put back afterwards.
+        let mut memo = std::mem::take(&mut self.permute_memo);
+        memo.clear();
+        let r = self.permute_rec(f, map, &mut memo);
+        self.permute_memo = memo;
+        r
     }
 
     fn permute_rec(&mut self, f: Ref, map: &[usize], memo: &mut HashMap<Ref, Ref>) -> Ref {
@@ -487,9 +785,10 @@ impl Bdd {
     ///
     /// Same conditions as [`Bdd::cut_subfunctions`].
     pub fn compatible_class_count(&mut self, f: Ref, bound: &[usize]) -> usize {
-        let subs = self.cut_subfunctions(f, bound);
-        let set: std::collections::HashSet<Ref> = subs.into_iter().collect();
-        set.len()
+        let mut subs = self.cut_subfunctions(f, bound);
+        subs.sort_unstable();
+        subs.dedup();
+        subs.len()
     }
 
     /// Decomposes a non-terminal node into `(var, lo, hi)` — the raw
@@ -806,5 +1105,106 @@ mod tests {
         assert!(dot.starts_with("digraph"));
         assert_eq!(dot.matches("label=\"x").count(), bdd.node_count(f));
         assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn unique_table_grows_and_stays_canonical() {
+        // Build well past the default bucket count; hash consing must keep
+        // returning the same refs across growths. A pseudo-random function
+        // has ~2^n/n nodes, far beyond the default table.
+        let pred = |m: u32| {
+            let mut h = m.wrapping_mul(0x9E37_79B9);
+            h ^= h >> 15;
+            h = h.wrapping_mul(0x85EB_CA6B);
+            h ^= h >> 13;
+            h & 1 != 0
+        };
+        let mut bdd = Bdd::new(16);
+        let f = bdd.from_fn(pred);
+        assert!(bdd.len() > DEFAULT_UNIQUE_BUCKETS / 2);
+        assert!(bdd.unique_capacity() > DEFAULT_UNIQUE_BUCKETS);
+        // Load stays under 3/4 after growth.
+        assert!((bdd.len() - 2) * 4 < bdd.unique_capacity() * 3);
+        let g = bdd.from_fn(pred);
+        assert_eq!(f, g, "rebuild after growth must hash-cons to the same ref");
+        let stats = bdd.stats();
+        assert!(stats.unique_hits > 0);
+        assert!(stats.unique_probes >= stats.unique_lookups);
+    }
+
+    #[test]
+    fn with_capacity_presizes_tables() {
+        let bdd = Bdd::with_capacity(10, 50_000);
+        assert!(bdd.unique_capacity() >= 50_000 * 4 / 3);
+        assert!(bdd.unique_capacity().is_power_of_two());
+        assert!(bdd.cache_capacity().is_power_of_two());
+        assert!(bdd.cache_capacity() >= DEFAULT_CACHE_SLOTS);
+        // Small hints never go below the defaults.
+        let small = Bdd::with_capacity(4, 1);
+        assert_eq!(small.unique_capacity(), DEFAULT_UNIQUE_BUCKETS);
+    }
+
+    #[test]
+    fn with_capacity_avoids_rehash_during_warmup() {
+        let mut bdd = Bdd::with_capacity(12, 1 << 13);
+        let before = bdd.unique_capacity();
+        let _ = bdd.from_fn(|m| m.wrapping_mul(2654435761) & 0x10 != 0);
+        assert_eq!(
+            bdd.unique_capacity(),
+            before,
+            "pre-sized table must not rehash during warm-up"
+        );
+    }
+
+    #[test]
+    fn stats_count_cache_traffic() {
+        let mut bdd = Bdd::new(8);
+        let f = bdd.from_fn(|m| m.count_ones() >= 4);
+        let g = bdd.from_fn(|m| m % 3 == 0);
+        let _ = bdd.and(f, g);
+        let s1 = bdd.stats();
+        assert!(s1.cache_lookups > 0);
+        assert_eq!(s1.nodes, bdd.len());
+        // Repeating the same op must hit the computed cache at the root.
+        let _ = bdd.and(f, g);
+        let s2 = bdd.stats();
+        assert!(s2.cache_hits > s1.cache_hits);
+        assert!(s2.cache_hit_rate() > 0.0);
+        assert!(s2.mean_probe_length() >= 1.0);
+    }
+
+    #[test]
+    fn cache_eviction_is_lossy_but_correct() {
+        // A tiny cache forces evictions; results must stay canonical.
+        let mut bdd = Bdd::with_tables(10, 1 << 10, 1 << 4);
+        let f = bdd.from_fn(|m| (m ^ (m >> 3)).count_ones() % 2 == 1);
+        let g = bdd.from_fn(|m| m.count_ones() >= 5);
+        let fg1 = bdd.and(f, g);
+        let or1 = bdd.or(f, g);
+        let x1 = bdd.xor(f, g);
+        let fg2 = bdd.and(f, g);
+        assert_eq!(fg1, fg2);
+        for m in (0u32..1024).step_by(7) {
+            assert_eq!(bdd.eval(fg1, m), bdd.eval(f, m) && bdd.eval(g, m));
+            assert_eq!(bdd.eval(or1, m), bdd.eval(f, m) || bdd.eval(g, m));
+            assert_eq!(bdd.eval(x1, m), bdd.eval(f, m) != bdd.eval(g, m));
+        }
+        assert!(bdd.stats().cache_evictions > 0, "tiny cache must evict");
+    }
+
+    #[test]
+    fn scratch_memos_are_reused() {
+        let mut bdd = Bdd::new(6);
+        let f = bdd.from_fn(|m| m.count_ones() % 2 == 1);
+        let map: Vec<usize> = (0..6).rev().collect();
+        let p1 = bdd.permute(f, &map);
+        let p2 = bdd.permute(f, &map);
+        assert_eq!(p1, p2);
+        // Parity is symmetric: a permutation is the same function.
+        assert_eq!(p1, f);
+        let c1 = bdd.sat_count(f);
+        let c2 = bdd.sat_count(f);
+        assert_eq!(c1, c2);
+        assert_eq!(c1, 32);
     }
 }

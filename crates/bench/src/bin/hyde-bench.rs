@@ -1,0 +1,175 @@
+//! `hyde-bench`: end-to-end runtime benchmark with JSON trajectory output.
+//!
+//! Times the HYDE flow over the bundled circuit suite and writes
+//! `BENCH_<name>.json` (per-circuit wall time, LUT count, BDD kernel
+//! footprint, thread count). `--baseline` embeds an earlier run and
+//! records the end-to-end speedup over it, so perf PRs carry their own
+//! evidence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hyde_bench::perf::{run_bench, to_json, totals_wall_ms, validate_json};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hyde-bench: time the HYDE flow over the circuit suite, write BENCH_<name>.json
+
+Usage: hyde-bench [OPTIONS]
+
+Options:
+  --name <NAME>      run label; default output path is BENCH_<NAME>.json
+                     (default: hot_path)
+  --out <FILE>       explicit output path
+  --smoke            3-circuit subset (rd73, misex1, z4ml) instead of all 25
+  --circuits <LIST>  comma-separated circuit names to run (overrides --smoke)
+  --k <K>            LUT size (default 5)
+  --baseline <FILE>  embed FILE (an earlier hyde-bench JSON) as the baseline
+                     and record the end-to-end speedup over it
+  --stdout           print the JSON to stdout instead of writing a file
+  -h, --help         this message";
+
+struct Options {
+    name: String,
+    out: Option<String>,
+    smoke: bool,
+    circuits: Option<Vec<String>>,
+    k: usize,
+    baseline: Option<String>,
+    stdout: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        name: "hot_path".into(),
+        out: None,
+        smoke: false,
+        circuits: None,
+        k: 5,
+        baseline: None,
+        stdout: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--name" => opts.name = it.next().ok_or("--name needs a value")?.clone(),
+            "--out" => opts.out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--smoke" => opts.smoke = true,
+            "--circuits" => {
+                let v = it.next().ok_or("--circuits needs a value")?;
+                opts.circuits = Some(v.split(',').map(|s| s.trim().to_owned()).collect());
+            }
+            "--k" => {
+                let v = it.next().ok_or("--k needs a value")?;
+                opts.k = v.parse().map_err(|_| format!("bad --k value '{v}'"))?;
+            }
+            "--baseline" => {
+                opts.baseline = Some(it.next().ok_or("--baseline needs a file")?.clone());
+            }
+            "--stdout" => opts.stdout = true,
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let all = hyde_circuits::suite();
+    let selected: Vec<hyde_circuits::Circuit> = match (&opts.circuits, opts.smoke) {
+        (Some(names), _) => {
+            let mut picked = Vec::new();
+            for want in names {
+                match all.iter().find(|c| &c.name == want) {
+                    Some(c) => picked.push(c.clone()),
+                    None => {
+                        eprintln!("error: unknown circuit '{want}'");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            picked
+        }
+        (None, true) => all
+            .iter()
+            .filter(|c| ["rd73", "misex1", "z4ml"].contains(&c.name.as_str()))
+            .cloned()
+            .collect(),
+        (None, false) => all,
+    };
+    let baseline = match &opts.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: cannot read baseline '{path}': {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    eprintln!(
+        "hyde-bench: {} circuit(s), k={}, run '{}'",
+        selected.len(),
+        opts.k,
+        opts.name
+    );
+    let run = match run_bench(&opts.name, &selected, opts.k) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: benchmark flow failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for s in &run.samples {
+        eprintln!(
+            "  {:<10} {:>9.1}ms  luts={:<4} bdd_nodes={}",
+            s.name, s.wall_ms, s.luts, s.bdd_nodes
+        );
+    }
+    let json = to_json(&run, baseline.as_deref());
+    if let Err(e) = validate_json(&json) {
+        eprintln!("error: emitted JSON failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "hyde-bench: total {:.1}ms over {} circuit(s), {} thread(s)",
+        run.total_wall_ms(),
+        run.samples.len(),
+        run.threads
+    );
+    if let Some(base) = baseline.as_deref() {
+        if let Some(base_ms) = totals_wall_ms(base) {
+            eprintln!(
+                "hyde-bench: baseline {:.1}ms -> speedup {:.2}x",
+                base_ms,
+                base_ms / run.total_wall_ms()
+            );
+        }
+    }
+    if opts.stdout {
+        println!("{json}");
+        return ExitCode::SUCCESS;
+    }
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", opts.name));
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("error: cannot write '{path}': {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("hyde-bench: wrote {path}");
+    ExitCode::SUCCESS
+}

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use hyde_circuits::Circuit;
 use hyde_core::CoreError;
 use hyde_map::flow::{FlowKind, MappingFlow};

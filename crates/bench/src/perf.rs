@@ -1,0 +1,312 @@
+//! End-to-end performance measurement with JSON output (`hyde-bench`).
+//!
+//! Unlike the table binaries (which reproduce the paper's numbers), this
+//! module measures *runtime*: per-circuit wall time of the HYDE flow, LUT
+//! counts, and the BDD kernel footprint (allocated nodes, unique-table
+//! probes, operation-cache hit rate). Results serialize to a
+//! `BENCH_<name>.json` trajectory file so successive PRs can prove their
+//! speedups against a recorded baseline on the same machine.
+//!
+//! The JSON is hand-rolled (the build is offline, no serde); the schema is
+//! deliberately flat and versioned by the `schema` field.
+
+use hyde_circuits::Circuit;
+use hyde_core::CoreError;
+use hyde_map::flow::{FlowKind, MappingFlow};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema tag written into every benchmark JSON.
+pub const SCHEMA: &str = "hyde-bench-v1";
+
+/// Per-circuit measurement.
+#[derive(Debug, Clone)]
+pub struct CircuitSample {
+    /// Circuit name.
+    pub name: String,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Wall-clock milliseconds of the end-to-end HYDE flow.
+    pub wall_ms: f64,
+    /// LUTs in the mapped network.
+    pub luts: usize,
+    /// Logic depth in LUT levels.
+    pub depth: usize,
+    /// BDD nodes allocated while building every output of the circuit in
+    /// one shared manager (kernel footprint metric).
+    pub bdd_nodes: usize,
+    /// Operation-cache hit rate of that manager, when the manager exposes
+    /// statistics (`None` on managers predating [`hyde_bdd::BddStats`]).
+    pub bdd_cache_hit_rate: Option<f64>,
+    /// Unique-table probes of that manager, when available.
+    pub bdd_unique_probes: Option<u64>,
+}
+
+/// One full benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Run label (`BENCH_<name>.json`).
+    pub name: String,
+    /// LUT size the flow targeted.
+    pub k: usize,
+    /// Worker threads the parallel fan-out loops used.
+    pub threads: usize,
+    /// Per-circuit samples, in suite order.
+    pub samples: Vec<CircuitSample>,
+}
+
+impl BenchRun {
+    /// Total flow wall time in milliseconds.
+    pub fn total_wall_ms(&self) -> f64 {
+        self.samples.iter().map(|s| s.wall_ms).sum()
+    }
+
+    /// Total LUT count.
+    pub fn total_luts(&self) -> usize {
+        self.samples.iter().map(|s| s.luts).sum()
+    }
+
+    /// Total BDD nodes allocated by the kernel measurement.
+    pub fn total_bdd_nodes(&self) -> usize {
+        self.samples.iter().map(|s| s.bdd_nodes).sum()
+    }
+}
+
+/// Builds every output of `c` in one BDD manager and reports the kernel
+/// footprint: `(allocated nodes, cache hit rate, unique probes)`.
+fn bdd_kernel(c: &Circuit) -> (usize, Option<f64>, Option<u64>) {
+    let mut bdd = hyde_bdd::Bdd::with_capacity(c.inputs, 1 << 12);
+    for f in &c.outputs {
+        let _ = bdd.from_fn(|m| f.eval(m));
+    }
+    let stats = bdd.stats();
+    (
+        bdd.len(),
+        Some(stats.cache_hit_rate()),
+        Some(stats.unique_probes),
+    )
+}
+
+/// Runs the HYDE flow (k-input LUTs) over `circuits`, measuring each.
+///
+/// # Errors
+///
+/// Propagates the first mapping failure.
+pub fn run_bench(name: &str, circuits: &[Circuit], k: usize) -> Result<BenchRun, CoreError> {
+    let flow = MappingFlow::new(k, FlowKind::hyde(0xDA98));
+    let mut samples = Vec::with_capacity(circuits.len());
+    for c in circuits {
+        let start = Instant::now();
+        let report = flow.map_outputs(&c.name, &c.outputs)?;
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let (bdd_nodes, bdd_cache_hit_rate, bdd_unique_probes) = bdd_kernel(c);
+        samples.push(CircuitSample {
+            name: c.name.clone(),
+            inputs: c.inputs,
+            outputs: c.output_count(),
+            wall_ms,
+            luts: report.luts,
+            depth: report.depth,
+            bdd_nodes,
+            bdd_cache_hit_rate,
+            bdd_unique_probes,
+        });
+    }
+    Ok(BenchRun {
+        name: name.to_owned(),
+        k,
+        threads: hyde_core::parallel::thread_count(),
+        samples,
+    })
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.3}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Serializes a run to the benchmark JSON schema. When `baseline` is given
+/// (the verbatim JSON object of an earlier run), it is embedded under
+/// `"baseline"` and the end-to-end speedup over it is recorded.
+pub fn to_json(run: &BenchRun, baseline: Option<&str>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(s, "  \"name\": \"{}\",", run.name);
+    let _ = writeln!(s, "  \"k\": {},", run.k);
+    let _ = writeln!(s, "  \"threads\": {},", run.threads);
+    s.push_str("  \"circuits\": [\n");
+    for (i, c) in run.samples.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"inputs\": {}, \"outputs\": {}, \"wall_ms\": ",
+            c.name, c.inputs, c.outputs
+        );
+        push_f64(&mut s, c.wall_ms);
+        let _ = write!(
+            s,
+            ", \"luts\": {}, \"depth\": {}, \"bdd_nodes\": {}, \"bdd_cache_hit_rate\": ",
+            c.luts, c.depth, c.bdd_nodes
+        );
+        match c.bdd_cache_hit_rate {
+            Some(r) => push_f64(&mut s, r),
+            None => s.push_str("null"),
+        }
+        s.push_str(", \"bdd_unique_probes\": ");
+        match c.bdd_unique_probes {
+            Some(p) => {
+                let _ = write!(s, "{p}");
+            }
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        if i + 1 < run.samples.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"totals\": {\"wall_ms\": ");
+    push_f64(&mut s, run.total_wall_ms());
+    let _ = write!(
+        s,
+        ", \"luts\": {}, \"bdd_nodes\": {}}}",
+        run.total_luts(),
+        run.total_bdd_nodes()
+    );
+    if let Some(base) = baseline {
+        s.push_str(",\n  \"baseline\": ");
+        // Re-indent the embedded object for readability.
+        let trimmed = base.trim();
+        s.push_str(&trimmed.replace('\n', "\n  "));
+        if let Some(base_ms) = totals_wall_ms(trimmed) {
+            s.push_str(",\n  \"speedup\": ");
+            push_f64(&mut s, base_ms / run.total_wall_ms());
+        }
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// Extracts `totals.wall_ms` from a benchmark JSON document — the one
+/// number the speedup computation needs. Minimal scan, not a full JSON
+/// parser: finds the `"totals"` object and reads its `"wall_ms"` value.
+pub fn totals_wall_ms(json: &str) -> Option<f64> {
+    let totals = json.find("\"totals\"")?;
+    let rest = &json[totals..];
+    let key = rest.find("\"wall_ms\"")?;
+    let after = rest[key + "\"wall_ms\"".len()..].trim_start();
+    let after = after.strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|ch: char| !(ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == 'e' || ch == '+'))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+/// Structural sanity check used by `cargo xtask bench`: the document must
+/// carry the current schema tag, a circuits array with at least one entry,
+/// and a parsable `totals.wall_ms`.
+pub fn validate_json(json: &str) -> Result<(), String> {
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema tag {SCHEMA}"));
+    }
+    if !json.contains("\"circuits\": [") {
+        return Err("missing circuits array".into());
+    }
+    if !json.contains("\"wall_ms\"") {
+        return Err("missing wall_ms fields".into());
+    }
+    match totals_wall_ms(json) {
+        Some(ms) if ms >= 0.0 => Ok(()),
+        Some(ms) => Err(format!("negative total wall_ms {ms}")),
+        None => Err("totals.wall_ms not parsable".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> BenchRun {
+        BenchRun {
+            name: "unit".into(),
+            k: 5,
+            threads: 1,
+            samples: vec![
+                CircuitSample {
+                    name: "a".into(),
+                    inputs: 4,
+                    outputs: 2,
+                    wall_ms: 12.5,
+                    luts: 3,
+                    depth: 2,
+                    bdd_nodes: 17,
+                    bdd_cache_hit_rate: Some(0.5),
+                    bdd_unique_probes: Some(99),
+                },
+                CircuitSample {
+                    name: "b".into(),
+                    inputs: 5,
+                    outputs: 1,
+                    wall_ms: 7.5,
+                    luts: 2,
+                    depth: 1,
+                    bdd_nodes: 9,
+                    bdd_cache_hit_rate: None,
+                    bdd_unique_probes: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_totals() {
+        let run = sample_run();
+        let json = to_json(&run, None);
+        assert!(validate_json(&json).is_ok());
+        let ms = totals_wall_ms(&json).unwrap();
+        assert!((ms - 20.0).abs() < 1e-6);
+        assert!(json.contains("\"bdd_cache_hit_rate\": null"));
+        assert!(json.contains("\"bdd_cache_hit_rate\": 0.500"));
+    }
+
+    #[test]
+    fn baseline_embeds_and_computes_speedup() {
+        let run = sample_run();
+        let mut slow = sample_run();
+        for s in &mut slow.samples {
+            s.wall_ms *= 3.0;
+        }
+        let base_json = to_json(&slow, None);
+        let json = to_json(&run, Some(&base_json));
+        assert!(validate_json(&json).is_ok());
+        assert!(json.contains("\"baseline\":"));
+        assert!(json.contains("\"speedup\": 3.000"));
+        // totals_wall_ms must read the *run's* totals (which precede the
+        // embedded baseline object), not the baseline's.
+        assert!((totals_wall_ms(&json).unwrap() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("not json").is_err());
+    }
+
+    #[test]
+    fn run_bench_smoke() {
+        let circuits = vec![hyde_circuits::rd73()];
+        let run = run_bench("smoke", &circuits, 5).unwrap();
+        assert_eq!(run.samples.len(), 1);
+        assert!(run.samples[0].wall_ms >= 0.0);
+        assert!(run.samples[0].luts > 0);
+        assert!(run.samples[0].bdd_nodes > 2);
+        let json = to_json(&run, None);
+        validate_json(&json).unwrap();
+    }
+}

@@ -116,7 +116,10 @@ pub fn bdd_decompose(
     // Image manager: original variables plus α variables at the end.
     // g = OR over classes of (α-code cube ∧ class representative), where
     // representatives are independent of the bound variables.
-    let mut gman = Bdd::new(n + t);
+    // Pre-size for the copied representatives: the image holds one copy of
+    // each class representative plus the code cubes, all bounded by the
+    // source manager's population.
+    let mut gman = Bdd::with_capacity(n + t, bdd.len());
     let mut g = gman.zero();
     for (cls, &rep) in reps.iter().enumerate() {
         // Copy the representative into the new manager by structural
@@ -198,7 +201,8 @@ pub fn compact_to_support(src: &Bdd, f: Ref) -> (Bdd, Ref, Vec<usize>) {
     for (i, &v) in support.iter().enumerate() {
         map[v] = i;
     }
-    let mut dst = Bdd::new(support.len().max(1));
+    // The compacted copy can't have more nodes than the source population.
+    let mut dst = Bdd::with_capacity(support.len().max(1), src.node_count(f) + 2);
     let g = copy_into_mapped(src, f, &mut dst, &map);
     (dst, g, support)
 }

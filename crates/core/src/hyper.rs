@@ -325,17 +325,25 @@ impl HyperNetwork {
     ///
     /// Propagates network manipulation failures.
     pub fn implement_ingredients(&self) -> Result<Network, CoreError> {
-        let mut parts: Vec<Network> = Vec::with_capacity(self.hyper.ingredients().len());
-        for (idx, _) in self.hyper.ingredients().iter().enumerate() {
-            let code = self.hyper.codes().code(idx);
-            let mut net = self.network.clone();
-            for (bit, &eta) in self.pseudo_inputs.iter().enumerate() {
-                net.collapse_input_constant(eta, code >> bit & 1 == 1)?;
-            }
-            net.sweep();
-            net.rename_outputs(|_| format!("f{idx}"));
-            parts.push(net);
-        }
+        // Each ingredient collapse works on its own clone, so the fan-out
+        // runs on worker threads; results land at their ingredient index
+        // and the structural merge below walks them in that order, keeping
+        // the network byte-identical for any HYDE_THREADS.
+        let indices: Vec<usize> = (0..self.hyper.ingredients().len()).collect();
+        let threads = crate::parallel::thread_count();
+        let parts: Vec<Network> =
+            crate::parallel::map_chunked(&indices, threads, |&idx| -> Result<Network, CoreError> {
+                let code = self.hyper.codes().code(idx);
+                let mut net = self.network.clone();
+                for (bit, &eta) in self.pseudo_inputs.iter().enumerate() {
+                    net.collapse_input_constant(eta, code >> bit & 1 == 1)?;
+                }
+                net.sweep();
+                net.rename_outputs(|_| format!("f{idx}"));
+                Ok(net)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
         let refs: Vec<&Network> = parts.iter().collect();
         let mut merged = structural_merge("ingredients", &refs);
         merged.sweep();
@@ -402,17 +410,33 @@ impl HyperNetwork {
                     .expect("real inputs are named x<i>")
             })
             .collect();
-        for m in 0..(1u32 << u) {
-            let bits: Vec<bool> = pi_positions.iter().map(|&p| m >> p & 1 == 1).collect();
-            let got = merged.eval(&bits);
-            for (o, &g) in got.iter().enumerate() {
-                let expect = self.hyper.ingredients()[o].eval(m);
-                if g != expect {
-                    return Err(CoreError::Verification(format!(
-                        "ingredient {o} differs at minterm {m}"
-                    )));
+        // Scan the minterm space in contiguous blocks on worker threads;
+        // evaluation is pure per minterm. Blocks report their first
+        // mismatch, and walking the reports in block order reproduces the
+        // sequential scan's error exactly.
+        let total = 1u32 << u;
+        let threads = crate::parallel::thread_count();
+        let block = total.div_ceil(threads as u32).max(1);
+        let ranges: Vec<(u32, u32)> = (0..threads as u32)
+            .map(|i| (i * block, ((i + 1) * block).min(total)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let first_bad = crate::parallel::map_chunked(&ranges, threads, |&(lo, hi)| {
+            for m in lo..hi {
+                let bits: Vec<bool> = pi_positions.iter().map(|&p| m >> p & 1 == 1).collect();
+                let got = merged.eval(&bits);
+                for (o, &g) in got.iter().enumerate() {
+                    if g != self.hyper.ingredients()[o].eval(m) {
+                        return Some((o, m));
+                    }
                 }
             }
+            None
+        });
+        if let Some((o, m)) = first_bad.into_iter().flatten().next() {
+            return Err(CoreError::Verification(format!(
+                "ingredient {o} differs at minterm {m}"
+            )));
         }
         Ok(())
     }

@@ -52,6 +52,7 @@ pub mod encoding;
 pub mod hyper;
 pub mod multichart;
 pub mod nonstrict;
+pub mod parallel;
 pub mod partition;
 pub mod symmetry;
 pub mod varpart;

@@ -1,0 +1,166 @@
+//! Chunked fork/join helpers for the embarrassingly parallel fan-out
+//! loops (bound-set candidate evaluation, per-ingredient implementation).
+//!
+//! The build is offline, so there is no rayon: workers are plain
+//! [`std::thread::scope`] threads. Work items are distributed in
+//! contiguous chunks and every result lands at its input index, so callers
+//! observe *input order* regardless of scheduling — the parallel paths are
+//! bit-for-bit deterministic with the sequential ones.
+//!
+//! The worker count comes from [`thread_count`]: the `HYDE_THREADS`
+//! environment variable when set (clamped to `1..=256`), otherwise the
+//! machine's available parallelism. With one worker the helpers degrade to
+//! a plain loop on the calling thread — no threads are spawned.
+
+/// Upper bound on the worker count accepted from `HYDE_THREADS`.
+const MAX_THREADS: usize = 256;
+
+/// Number of worker threads the parallel fan-out loops use.
+///
+/// Resolution order: `HYDE_THREADS` (values outside `1..=256` are
+/// clamped, unparsable values ignored), then
+/// [`std::thread::available_parallelism`], then 1.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("HYDE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.clamp(1, MAX_THREADS);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every index/item pair of `items`, returning the results
+/// in input order. Runs on `threads` scoped workers over contiguous
+/// chunks; `threads <= 1` (or a short input) runs inline.
+///
+/// `f` must be deterministic per item for the parallel and sequential
+/// paths to agree; the merge itself preserves input order by construction.
+pub fn map_chunked<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, MAX_THREADS).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        // Pair each output chunk with its input chunk; each worker owns
+        // one disjoint output slice, so no synchronization is needed.
+        for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk was processed"))
+        .collect()
+}
+
+/// Like [`map_chunked`], but each worker first builds private state with
+/// `init` (e.g. its own BDD manager) and threads it through its chunk.
+///
+/// `init` runs once per worker, so it may be expensive relative to a
+/// single item; results still land at their input indices.
+pub fn map_chunked_init<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, MAX_THREADS).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let init = &init;
+        let f = &f;
+        for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            scope.spawn(move || {
+                let mut state = init();
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(&mut state, item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_and_threaded_agree() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq = map_chunked(&items, 1, |&x| x * x + 1);
+        for t in [2, 3, 8, 64] {
+            assert_eq!(map_chunked(&items, t, |&x| x * x + 1), seq, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..17).rev().collect();
+        let out = map_chunked(&items, 4, |&x| x);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_chunked(&empty, 8, |&x| x).is_empty());
+        assert_eq!(map_chunked(&[7u32], 8, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1u32, 2, 3];
+        assert_eq!(map_chunked(&items, 100, |&x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn init_variant_matches_plain_map() {
+        let items: Vec<u64> = (0..321).collect();
+        let plain = map_chunked(&items, 1, |&x| x * 3);
+        for t in [1, 2, 7, 32] {
+            // State tracks a per-worker running offset that must NOT leak
+            // into results (each item's output depends only on the item).
+            let out = map_chunked_init(
+                &items,
+                t,
+                || 0u64,
+                |seen, &x| {
+                    *seen += 1;
+                    x * 3
+                },
+            );
+            assert_eq!(out, plain, "{t} threads");
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! sampling.
 
 use crate::chart::class_count;
+use crate::parallel;
 use crate::CoreError;
 use hyde_logic::TruthTable;
 use rand::rngs::StdRng;
@@ -103,29 +104,7 @@ impl VariablePartitioner {
             )));
         }
         let candidates = self.candidates(&support, k);
-        let use_bdd = f.vars() > self.bdd_threshold;
-        let mut bdd = if use_bdd {
-            let mut b = hyde_bdd::Bdd::new(f.vars());
-            let root = b.from_fn(|m| f.eval(m));
-            Some((b, root))
-        } else {
-            None
-        };
-        let mut best: Option<(Vec<usize>, usize)> = None;
-        for cand in candidates {
-            let count = match &mut bdd {
-                Some((b, root)) => b.compatible_class_count(*root, &cand),
-                None => class_count(f, &cand)?,
-            };
-            let better = match &best {
-                None => true,
-                Some((bb, bc)) => count < *bc || (count == *bc && cand < *bb),
-            };
-            if better {
-                best = Some((cand, count));
-            }
-        }
-        best.ok_or_else(|| CoreError::InvalidBoundSet("no candidate bound sets".into()))
+        self.select_best(f, candidates)
     }
 
     /// Like [`Self::best_bound_set`], but prunes candidates through the
@@ -202,20 +181,39 @@ impl VariablePartitioner {
             )));
         }
         let candidates = self.candidates(&pool, k);
-        let use_bdd = f.vars() > self.bdd_threshold;
-        let mut bdd = if use_bdd {
-            let mut b = hyde_bdd::Bdd::new(f.vars());
-            let root = b.from_fn(|m| f.eval(m));
-            Some((b, root))
+        self.select_best(f, candidates)
+    }
+
+    /// Counts compatible classes for every candidate (in parallel when
+    /// worker threads are available) and reduces to the best bound set.
+    ///
+    /// The candidate fan-out is embarrassingly parallel: counts are pure
+    /// per-candidate integers, workers on the BDD path each build a
+    /// private manager, and the reduction walks the counts at their input
+    /// indices — so the result is identical for any `HYDE_THREADS`.
+    fn select_best(
+        &self,
+        f: &TruthTable,
+        candidates: Vec<Vec<usize>>,
+    ) -> Result<(Vec<usize>, usize), CoreError> {
+        let threads = parallel::thread_count();
+        let counts: Vec<Result<usize, CoreError>> = if f.vars() > self.bdd_threshold {
+            parallel::map_chunked_init(
+                &candidates,
+                threads,
+                || {
+                    let mut b = hyde_bdd::Bdd::with_capacity(f.vars(), 1 << 12);
+                    let root = b.from_fn(|m| f.eval(m));
+                    (b, root)
+                },
+                |(b, root), cand| Ok(b.compatible_class_count(*root, cand)),
+            )
         } else {
-            None
+            parallel::map_chunked(&candidates, threads, |cand| class_count(f, cand))
         };
         let mut best: Option<(Vec<usize>, usize)> = None;
-        for cand in candidates {
-            let count = match &mut bdd {
-                Some((b, root)) => b.compatible_class_count(*root, &cand),
-                None => class_count(f, &cand)?,
-            };
+        for (cand, count) in candidates.into_iter().zip(counts) {
+            let count = count?;
             let better = match &best {
                 None => true,
                 Some((bb, bc)) => count < *bc || (count == *bc && cand < *bb),

@@ -320,9 +320,40 @@ fn json_line(artifact: &str, d: &Diagnostic) -> String {
 }
 
 fn proof_line(r: &ProofRecord) -> String {
-    format!(
+    let mut line = format!(
         "  proof {} {}: {} [{}] vars={} clauses={} conflicts={} time={}ms",
         r.pass, r.subject, r.verdict, r.engine, r.vars, r.clauses, r.conflicts, r.time_ms
+    );
+    if let Some(rate) = r.bdd_cache_hit_rate {
+        line.push_str(&format!(" bdd_cache_hit={:.0}%", rate * 100.0));
+    }
+    line
+}
+
+/// Machine-readable proof record, emitted under `--json --deep` so CI can
+/// track proof effort (and BDD cache behaviour) alongside diagnostics.
+fn proof_json_line(artifact: &str, r: &ProofRecord) -> String {
+    let rate = r
+        .bdd_cache_hit_rate
+        .map_or("null".to_owned(), |v| format!("{v:.3}"));
+    let probes = r
+        .bdd_unique_probes
+        .map_or("null".to_owned(), |v| v.to_string());
+    format!(
+        "{{\"artifact\":\"{}\",\"proof\":\"{}\",\"subject\":\"{}\",\"verdict\":\"{}\",\
+         \"engine\":\"{}\",\"vars\":{},\"clauses\":{},\"conflicts\":{},\"time_ms\":{},\
+         \"bdd_cache_hit_rate\":{},\"bdd_unique_probes\":{}}}",
+        json_escape(artifact),
+        r.pass,
+        json_escape(&r.subject),
+        r.verdict,
+        r.engine,
+        r.vars,
+        r.clauses,
+        r.conflicts,
+        r.time_ms,
+        rate,
+        probes,
     )
 }
 
@@ -390,10 +421,16 @@ fn main() -> ExitCode {
                 Severity::Note => {}
             }
         }
-        if !records.is_empty() && !opts.json {
-            out(&format!("{name}:"));
-            for r in records {
-                out(&proof_line(r));
+        if !records.is_empty() {
+            if opts.json {
+                for r in records {
+                    out(&proof_json_line(name, r));
+                }
+            } else {
+                out(&format!("{name}:"));
+                for r in records {
+                    out(&proof_line(r));
+                }
             }
         }
         for r in records {

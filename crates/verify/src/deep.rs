@@ -94,6 +94,25 @@ pub struct ProofRecord {
     pub time_ms: u128,
     /// `proved`, `refuted` or `unknown`.
     pub verdict: &'static str,
+    /// Operation-cache hit rate of the BDD manager(s) backing the proof
+    /// (`None` for pure-SAT proofs that never touched a BDD).
+    pub bdd_cache_hit_rate: Option<f64>,
+    /// Total unique-table probes of those managers (`None` likewise).
+    pub bdd_unique_probes: Option<u64>,
+}
+
+/// Combines manager statistics from every BDD a proof consulted into the
+/// pair recorded on its [`ProofRecord`].
+fn bdd_proof_stats(stats: &[hyde_bdd::BddStats]) -> (Option<f64>, Option<u64>) {
+    let lookups: u64 = stats.iter().map(|s| s.cache_lookups).sum();
+    let hits: u64 = stats.iter().map(|s| s.cache_hits).sum();
+    let probes: u64 = stats.iter().map(|s| s.unique_probes).sum();
+    let rate = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    (Some(rate), Some(probes))
 }
 
 /// Shared, append-only log of proof statistics. The deep lints hold one
@@ -226,6 +245,7 @@ impl DeepCecLint {
                     .at(Location::Output(o)),
                 );
             }
+            let (rate, probes) = bdd_proof_stats(&[bdd.stats()]);
             self.log.borrow_mut().push(ProofRecord {
                 pass: "cec",
                 subject: format!("{label}output {o}"),
@@ -239,6 +259,8 @@ impl DeepCecLint {
                 } else {
                     "proved"
                 },
+                bdd_cache_hit_rate: rate,
+                bdd_unique_probes: probes,
             });
         }
     }
@@ -283,6 +305,8 @@ impl DeepCecLint {
                 conflicts: p.conflicts,
                 time_ms: p.elapsed.as_millis(),
                 verdict,
+                bdd_cache_hit_rate: None,
+                bdd_unique_probes: None,
             });
         }
     }
@@ -387,6 +411,7 @@ impl DeepEncodingLint {
             }
         };
         let stats = enc.solver().stats();
+        let (rate, probes) = bdd_proof_stats(&[bdd.stats()]);
         self.log.borrow_mut().push(ProofRecord {
             pass: "inject",
             subject: format!("alpha separation (t={}, |bound|={nb})", d.alpha_count()),
@@ -396,6 +421,8 @@ impl DeepEncodingLint {
             conflicts: stats.conflicts,
             time_ms: start.elapsed().as_millis(),
             verdict,
+            bdd_cache_hit_rate: rate,
+            bdd_unique_probes: probes,
         });
     }
 }
@@ -558,6 +585,8 @@ impl Lint for DeepCollapseLint {
                 conflicts: after.conflicts - before.conflicts,
                 time_ms: start.elapsed().as_millis(),
                 verdict,
+                bdd_cache_hit_rate: None,
+                bdd_unique_probes: None,
             });
         }
     }
@@ -639,6 +668,7 @@ impl Lint for DeepRecoveryLint {
                 }
             };
             let after = enc.solver().stats();
+            let (rate, probes) = bdd_proof_stats(&[bdd.stats(), ing_bdd.stats()]);
             self.log.borrow_mut().push(ProofRecord {
                 pass: "recover",
                 subject: format!("ingredient {i}"),
@@ -648,6 +678,8 @@ impl Lint for DeepRecoveryLint {
                 conflicts: after.conflicts - before.conflicts,
                 time_ms: start.elapsed().as_millis(),
                 verdict,
+                bdd_cache_hit_rate: rate,
+                bdd_unique_probes: probes,
             });
         }
     }
@@ -743,6 +775,8 @@ impl Lint for DeepStuckLint {
             } else {
                 "proved"
             },
+            bdd_cache_hit_rate: None,
+            bdd_unique_probes: None,
         });
     }
 }

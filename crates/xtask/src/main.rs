@@ -10,6 +10,9 @@
 //!   `lint-suite --deep` additionally runs the `HY4xx` semantic proofs
 //!   (SAT/BDD CEC, injectivity, collapse/recovery, stuck-at) with a
 //!   bounded proof budget and `strict-checks` invariant gates enabled
+//! * `bench` — `hyde-bench` over the 25-circuit suite, writing
+//!   `BENCH_<name>.json`; `bench --smoke` runs the 3-circuit subset and
+//!   validates the emitted JSON schema (the CI configuration)
 //! * `all` — everything above (with `--deep`), in that order
 
 #![forbid(unsafe_code)]
@@ -80,22 +83,58 @@ fn lint_suite(root: &Path, deep: bool) -> Result<(), String> {
     run(root, &args)
 }
 
+fn bench(root: &Path, smoke: bool) -> Result<(), String> {
+    let name = if smoke { "smoke" } else { "hot_path" };
+    let mut args = vec![
+        "run",
+        "-q",
+        "--release",
+        "-p",
+        "hyde-bench",
+        "--bin",
+        "hyde-bench",
+        "--",
+        "--name",
+        name,
+    ];
+    if smoke {
+        args.push("--smoke");
+    }
+    run(root, &args)?;
+    // `hyde-bench` validates the JSON before writing; re-validate the file
+    // on disk so a partial write (full disk, ^C) also fails the task.
+    let path = root.join(format!("BENCH_{name}.json"));
+    let json = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    hyde_bench::perf::validate_json(&json)
+        .map_err(|e| format!("{}: schema validation failed: {e}", path.display()))?;
+    println!(
+        "xtask: {} parses as {}",
+        path.display(),
+        hyde_bench::perf::SCHEMA
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let root = workspace_root();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let task = args.first().cloned().unwrap_or_else(|| "all".into());
     let deep = args.iter().any(|a| a == "--deep");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let result = match task.as_str() {
         "fmt" => fmt(&root),
         "clippy" => clippy(&root),
         "test" => test(&root),
         "lint-suite" => lint_suite(&root, deep),
+        "bench" => bench(&root, smoke),
         "all" => fmt(&root)
             .and_then(|()| clippy(&root))
             .and_then(|()| test(&root))
-            .and_then(|()| lint_suite(&root, true)),
+            .and_then(|()| lint_suite(&root, true))
+            .and_then(|()| bench(&root, true)),
         other => Err(format!(
-            "unknown task '{other}' (expected fmt | clippy | test | lint-suite [--deep] | all)"
+            "unknown task '{other}' (expected fmt | clippy | test | lint-suite [--deep] | \
+             bench [--smoke] | all)"
         )),
     };
     match result {

@@ -1,0 +1,58 @@
+//! The parallel fan-out paths (bound-set candidate evaluation, ingredient
+//! implementation) must be bit-for-bit deterministic: whatever
+//! `HYDE_THREADS` says, the mapped network is byte-identical.
+//!
+//! Everything lives in ONE test function: `HYDE_THREADS` is process-global
+//! state, and the harness runs separate `#[test]`s concurrently.
+
+use hyde_map::flow::{FlowKind, MappingFlow};
+
+#[test]
+fn networks_are_byte_identical_across_thread_counts() {
+    // z4ml/misex1 stay on the chart path; b9 (16 inputs) crosses the BDD
+    // threshold and exercises the per-thread-manager candidate fan-out.
+    let picked = ["z4ml", "misex1", "b9"];
+    let circuits: Vec<_> = hyde_circuits::suite()
+        .into_iter()
+        .filter(|c| picked.contains(&c.name.as_str()))
+        .collect();
+    assert_eq!(circuits.len(), picked.len(), "suite must contain the picks");
+    let flow = MappingFlow::new(5, FlowKind::hyde(0xDA98));
+
+    // thread_count() honours the env override (clamped), and falls back
+    // sanely on garbage.
+    std::env::set_var("HYDE_THREADS", "3");
+    assert_eq!(hyde_core::parallel::thread_count(), 3);
+    std::env::set_var("HYDE_THREADS", "0");
+    assert_eq!(hyde_core::parallel::thread_count(), 1, "clamped up to 1");
+    std::env::set_var("HYDE_THREADS", "9999");
+    assert_eq!(hyde_core::parallel::thread_count(), 256, "clamped to max");
+    std::env::set_var("HYDE_THREADS", "not-a-number");
+    assert!(hyde_core::parallel::thread_count() >= 1);
+
+    let run_all = || -> Vec<String> {
+        circuits
+            .iter()
+            .map(|c| {
+                let report = flow
+                    .map_outputs(&c.name, &c.outputs)
+                    .expect("suite circuits map cleanly");
+                hyde_logic::blif::write(&report.network)
+            })
+            .collect()
+    };
+
+    std::env::set_var("HYDE_THREADS", "1");
+    let sequential = run_all();
+    for threads in ["2", "8"] {
+        std::env::set_var("HYDE_THREADS", threads);
+        let parallel = run_all();
+        for (name, (seq, par)) in picked.iter().zip(sequential.iter().zip(&parallel)) {
+            assert_eq!(
+                seq, par,
+                "{name}: HYDE_THREADS={threads} produced a different network"
+            );
+        }
+    }
+    std::env::remove_var("HYDE_THREADS");
+}
