@@ -106,6 +106,11 @@ pub struct BddStats {
     /// Occupied cache slots overwritten by a different key (direct-mapped
     /// replacement losses).
     pub cache_evictions: u64,
+    /// Unique-table doublings (growth events) since the last reset.
+    pub unique_growths: u64,
+    /// Computed-cache doublings under eviction pressure since the last
+    /// reset.
+    pub cache_growths: u64,
 }
 
 impl BddStats {
@@ -185,6 +190,8 @@ struct StatCells {
     cache_lookups: std::cell::Cell<u64>,
     cache_hits: std::cell::Cell<u64>,
     cache_evictions: std::cell::Cell<u64>,
+    unique_growths: std::cell::Cell<u64>,
+    cache_growths: std::cell::Cell<u64>,
 }
 
 impl Bdd {
@@ -263,7 +270,25 @@ impl Bdd {
             cache_lookups: self.stats.cache_lookups.get(),
             cache_hits: self.stats.cache_hits.get(),
             cache_evictions: self.stats.cache_evictions.get(),
+            unique_growths: self.stats.unique_growths.get(),
+            cache_growths: self.stats.cache_growths.get(),
         }
+    }
+
+    /// Zeroes the traffic counters without touching the node store or the
+    /// tables, so per-phase deltas can be taken from one long-lived
+    /// manager (`stats()` → work → `stats()`) instead of constructing a
+    /// fresh manager per phase. The `nodes` field of [`BddStats`] is a
+    /// point-in-time size, not a counter, and is unaffected.
+    pub fn reset_stats(&self) {
+        self.stats.unique_lookups.set(0);
+        self.stats.unique_probes.set(0);
+        self.stats.unique_hits.set(0);
+        self.stats.cache_lookups.set(0);
+        self.stats.cache_hits.set(0);
+        self.stats.cache_evictions.set(0);
+        self.stats.unique_growths.set(0);
+        self.stats.cache_growths.set(0);
     }
 
     /// Current unique-table bucket count (diagnostics/tests).
@@ -393,6 +418,9 @@ impl Bdd {
         }
         self.unique = table;
         self.unique_mask = mask;
+        self.stats
+            .unique_growths
+            .set(self.stats.unique_growths.get() + 1);
     }
 
     /// Computed-cache probe: returns the memoized result when the slot
@@ -453,6 +481,9 @@ impl Bdd {
         self.cache = table;
         self.cache_mask = mask;
         self.cache_pressure = 0;
+        self.stats
+            .cache_growths
+            .set(self.stats.cache_growths.get() + 1);
     }
 
     fn node(&self, r: Ref) -> Node {
@@ -881,6 +912,29 @@ impl Bdd {
     }
 }
 
+impl Drop for Bdd {
+    /// Flushes the manager's traffic counters into the hyde-obs registry
+    /// when tracing is active, so an `ObsReport` aggregates BDD work
+    /// across every manager the run constructed (including the per-worker
+    /// managers inside parallel fan-outs). A no-op when tracing is off.
+    fn drop(&mut self) {
+        if !hyde_obs::enabled() {
+            return;
+        }
+        let s = self.stats();
+        hyde_obs::counter("bdd.managers", 1);
+        hyde_obs::counter("bdd.nodes", s.nodes as u64);
+        hyde_obs::counter("bdd.unique_lookups", s.unique_lookups);
+        hyde_obs::counter("bdd.unique_probes", s.unique_probes);
+        hyde_obs::counter("bdd.unique_hits", s.unique_hits);
+        hyde_obs::counter("bdd.cache_lookups", s.cache_lookups);
+        hyde_obs::counter("bdd.cache_hits", s.cache_hits);
+        hyde_obs::counter("bdd.cache_evictions", s.cache_evictions);
+        hyde_obs::counter("bdd.unique_growths", s.unique_growths);
+        hyde_obs::counter("bdd.cache_growths", s.cache_growths);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -892,6 +946,50 @@ mod tests {
         assert_eq!(bdd.one(), Ref::TRUE);
         assert_eq!(bdd.sat_count(Ref::TRUE), 8);
         assert_eq!(bdd.sat_count(Ref::FALSE), 0);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters_without_touching_nodes() {
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let _f = bdd.and(a, b);
+        let before = bdd.stats();
+        assert!(before.unique_lookups > 0);
+        assert!(before.cache_lookups > 0);
+        bdd.reset_stats();
+        let after = bdd.stats();
+        assert_eq!(after.unique_lookups, 0);
+        assert_eq!(after.unique_probes, 0);
+        assert_eq!(after.unique_hits, 0);
+        assert_eq!(after.cache_lookups, 0);
+        assert_eq!(after.cache_hits, 0);
+        assert_eq!(after.cache_evictions, 0);
+        assert_eq!(after.unique_growths, 0);
+        assert_eq!(after.cache_growths, 0);
+        // Node store untouched: nodes is a size, not a counter.
+        assert_eq!(after.nodes, before.nodes);
+        // Counters accumulate again after the reset (per-phase deltas).
+        let c = bdd.var(2);
+        let _g = bdd.or(a, c);
+        assert!(bdd.stats().unique_lookups > 0);
+    }
+
+    #[test]
+    fn growth_events_are_counted() {
+        // Small initial tables so building a chain of conjunctions forces
+        // at least one unique-table doubling.
+        let mut bdd = Bdd::with_tables(12, 1 << 4, 1 << 10);
+        let mut f = bdd.one();
+        for v in 0..12 {
+            let x = bdd.var(v);
+            f = bdd.and(f, x);
+        }
+        let s = bdd.stats();
+        assert!(s.unique_growths > 0, "expected unique-table growth: {s:?}");
+        assert_eq!(bdd.unique_capacity() > 1 << 4, s.unique_growths > 0);
+        bdd.reset_stats();
+        assert_eq!(bdd.stats().unique_growths, 0);
     }
 
     #[test]

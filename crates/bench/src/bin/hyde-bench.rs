@@ -4,12 +4,17 @@
 //! `BENCH_<name>.json` (per-circuit wall time, LUT count, BDD kernel
 //! footprint, thread count). `--baseline` embeds an earlier run and
 //! records the end-to-end speedup over it, so perf PRs carry their own
-//! evidence.
+//! evidence. `--trace <path>` (or `HYDE_TRACE=<path>`) additionally
+//! collects spans for the whole run, embeds the per-phase breakdown in
+//! the JSON (`"obs"` section), and writes Chrome-trace + folded-stack
+//! artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hyde_bench::perf::{run_bench, to_json, totals_wall_ms, validate_json};
+use hyde_bench::perf::{
+    circuit_wall_ms, run_bench, run_bench_observed, to_json, totals_wall_ms, validate_json,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -21,13 +26,21 @@ Options:
   --name <NAME>      run label; default output path is BENCH_<NAME>.json
                      (default: hot_path)
   --out <FILE>       explicit output path
-  --smoke            3-circuit subset (rd73, misex1, z4ml) instead of all 25
+  --smoke            3-circuit subset (rd73, misex1, z4ml) instead of all 25;
+                     also soft-checks per-circuit wall time against the
+                     committed BENCH_hot_path.json baseline when present
   --circuits <LIST>  comma-separated circuit names to run (overrides --smoke)
   --k <K>            LUT size (default 5)
   --baseline <FILE>  embed FILE (an earlier hyde-bench JSON) as the baseline
                      and record the end-to-end speedup over it
+  --trace <FILE>     collect spans: embed the obs breakdown in the JSON and
+                     write a Chrome trace to FILE plus a .folded flamegraph
+                     next to it (HYDE_TRACE=<FILE> is equivalent)
   --stdout           print the JSON to stdout instead of writing a file
   -h, --help         this message";
+
+/// Circuits in the `--smoke` subset; kept in sync with the CI smoke step.
+const SMOKE_CIRCUITS: [&str; 3] = ["rd73", "misex1", "z4ml"];
 
 struct Options {
     name: String,
@@ -36,6 +49,7 @@ struct Options {
     circuits: Option<Vec<String>>,
     k: usize,
     baseline: Option<String>,
+    trace: Option<String>,
     stdout: bool,
 }
 
@@ -47,6 +61,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         circuits: None,
         k: 5,
         baseline: None,
+        trace: None,
         stdout: false,
     };
     let mut it = args.iter();
@@ -70,11 +85,56 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--baseline" => {
                 opts.baseline = Some(it.next().ok_or("--baseline needs a file")?.clone());
             }
+            "--trace" => {
+                opts.trace = Some(it.next().ok_or("--trace needs a file")?.clone());
+            }
             "--stdout" => opts.stdout = true,
             other => return Err(format!("unknown option '{other}' (try --help)")),
         }
     }
     Ok(Some(opts))
+}
+
+/// Soft overhead guard for `--smoke`: compares the smoke circuits' wall
+/// times against the committed full-suite baseline (PR 3's
+/// `BENCH_hot_path.json`). Logs, never fails — smoke runs on shared CI
+/// hardware, so this is a tripwire for gross regressions (for example
+/// tracing overhead leaking into the untraced path), not a gate.
+fn smoke_overhead_check(run: &hyde_bench::perf::BenchRun) {
+    let Ok(baseline) = std::fs::read_to_string("BENCH_hot_path.json") else {
+        eprintln!("hyde-bench: no BENCH_hot_path.json baseline; skipping overhead check");
+        return;
+    };
+    let mut base_ms = 0.0;
+    let mut now_ms = 0.0;
+    for s in &run.samples {
+        match circuit_wall_ms(&baseline, &s.name) {
+            Some(b) => {
+                base_ms += b;
+                now_ms += s.wall_ms;
+            }
+            None => {
+                eprintln!(
+                    "hyde-bench: circuit '{}' missing from baseline; skipping it",
+                    s.name
+                );
+            }
+        }
+    }
+    if base_ms <= 0.0 || now_ms <= 0.0 {
+        return;
+    }
+    let ratio = now_ms / base_ms;
+    eprintln!(
+        "hyde-bench: smoke overhead check: {now_ms:.1}ms vs baseline {base_ms:.1}ms ({ratio:.2}x)"
+    );
+    if ratio > 1.10 {
+        eprintln!(
+            "hyde-bench: WARNING: smoke subset is {:.0}% slower than the PR 3 baseline \
+             (soft check only; see DESIGN.md \"Observability\" for methodology)",
+            (ratio - 1.0) * 100.0
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -87,6 +147,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let trace_path = opts.trace.clone().or_else(hyde_obs::init_from_env);
     let all = hyde_circuits::suite();
     let selected: Vec<hyde_circuits::Circuit> = match (&opts.circuits, opts.smoke) {
         (Some(names), _) => {
@@ -104,7 +165,7 @@ fn main() -> ExitCode {
         }
         (None, true) => all
             .iter()
-            .filter(|c| ["rd73", "misex1", "z4ml"].contains(&c.name.as_str()))
+            .filter(|c| SMOKE_CIRCUITS.contains(&c.name.as_str()))
             .cloned()
             .collect(),
         (None, false) => all,
@@ -120,12 +181,22 @@ fn main() -> ExitCode {
         None => None,
     };
     eprintln!(
-        "hyde-bench: {} circuit(s), k={}, run '{}'",
+        "hyde-bench: {} circuit(s), k={}, run '{}'{}",
         selected.len(),
         opts.k,
-        opts.name
+        opts.name,
+        if trace_path.is_some() {
+            " [traced]"
+        } else {
+            ""
+        }
     );
-    let run = match run_bench(&opts.name, &selected, opts.k) {
+    let result = if trace_path.is_some() {
+        run_bench_observed(&opts.name, &selected, opts.k)
+    } else {
+        run_bench(&opts.name, &selected, opts.k)
+    };
+    let run = match result {
         Ok(run) => run,
         Err(e) => {
             eprintln!("error: benchmark flow failed: {e}");
@@ -156,6 +227,18 @@ fn main() -> ExitCode {
                 base_ms,
                 base_ms / run.total_wall_ms()
             );
+        }
+    }
+    if opts.smoke && opts.circuits.is_none() {
+        smoke_overhead_check(&run);
+    }
+    if let Some(path) = &trace_path {
+        match hyde_obs::write_artifacts(path) {
+            Ok(folded) => eprintln!("hyde-bench: trace written to {path} and {folded}"),
+            Err(e) => {
+                eprintln!("error: cannot write trace '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if opts.stdout {

@@ -16,8 +16,13 @@ use hyde_map::flow::{FlowKind, MappingFlow};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Schema tag written into every benchmark JSON.
-pub const SCHEMA: &str = "hyde-bench-v1";
+/// Schema tag written into every benchmark JSON. v2 added the optional
+/// `"obs"` section (a [`hyde_obs::ObsReport`] per-phase breakdown).
+pub const SCHEMA: &str = "hyde-bench-v2";
+
+/// Previous schema tag, still accepted on *read* (`--baseline` files and
+/// the PR 3 `BENCH_hot_path.json` artifact predate the obs section).
+pub const SCHEMA_V1: &str = "hyde-bench-v1";
 
 /// Per-circuit measurement.
 #[derive(Debug, Clone)]
@@ -55,6 +60,9 @@ pub struct BenchRun {
     pub threads: usize,
     /// Per-circuit samples, in suite order.
     pub samples: Vec<CircuitSample>,
+    /// Per-phase observability breakdown, when the run was traced
+    /// (see [`run_bench_observed`]); serialized under `"obs"`.
+    pub obs: Option<hyde_obs::ObsReport>,
 }
 
 impl BenchRun {
@@ -98,6 +106,7 @@ pub fn run_bench(name: &str, circuits: &[Circuit], k: usize) -> Result<BenchRun,
     let flow = MappingFlow::new(k, FlowKind::hyde(0xDA98));
     let mut samples = Vec::with_capacity(circuits.len());
     for c in circuits {
+        let _obs = hyde_obs::span!("bench.circuit");
         let start = Instant::now();
         let report = flow.map_outputs(&c.name, &c.outputs)?;
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -119,7 +128,31 @@ pub fn run_bench(name: &str, circuits: &[Circuit], k: usize) -> Result<BenchRun,
         k,
         threads: hyde_core::parallel::thread_count(),
         samples,
+        obs: None,
     })
+}
+
+/// Like [`run_bench`], but with span/counter collection active for the
+/// duration of the run: the returned [`BenchRun`] carries the aggregated
+/// [`hyde_obs::ObsReport`] and the raw events stay in the global
+/// collector, so the caller can also export Chrome-trace/folded
+/// artifacts with [`hyde_obs::write_artifacts`].
+///
+/// # Errors
+///
+/// Propagates the first mapping failure.
+pub fn run_bench_observed(
+    name: &str,
+    circuits: &[Circuit],
+    k: usize,
+) -> Result<BenchRun, CoreError> {
+    hyde_obs::reset();
+    hyde_obs::enable();
+    let result = run_bench(name, circuits, k);
+    hyde_obs::disable();
+    let mut run = result?;
+    run.obs = Some(hyde_obs::report());
+    Ok(run)
 }
 
 fn push_f64(out: &mut String, v: f64) {
@@ -179,6 +212,10 @@ pub fn to_json(run: &BenchRun, baseline: Option<&str>) -> String {
         run.total_luts(),
         run.total_bdd_nodes()
     );
+    if let Some(obs) = &run.obs {
+        s.push_str(",\n  \"obs\": ");
+        s.push_str(obs.to_json("  ").trim_start());
+    }
     if let Some(base) = baseline {
         s.push_str(",\n  \"baseline\": ");
         // Re-indent the embedded object for readability.
@@ -191,6 +228,24 @@ pub fn to_json(run: &BenchRun, baseline: Option<&str>) -> String {
     }
     s.push_str("\n}\n");
     s
+}
+
+/// Extracts one circuit's `wall_ms` from a benchmark JSON document by
+/// scanning for its `"name"` entry inside the `"circuits"` array. Used by
+/// the smoke-run overhead guard to compare against the corresponding
+/// circuits of a full-suite baseline.
+pub fn circuit_wall_ms(json: &str, circuit: &str) -> Option<f64> {
+    let arr = json.find("\"circuits\"")?;
+    let needle = format!("\"name\": \"{circuit}\"");
+    let at = json[arr..].find(&needle)? + arr;
+    let rest = &json[at..];
+    let key = rest.find("\"wall_ms\"")?;
+    let after = rest[key + "\"wall_ms\"".len()..].trim_start();
+    let after = after.strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|ch: char| !(ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == 'e' || ch == '+'))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
 }
 
 /// Extracts `totals.wall_ms` from a benchmark JSON document — the one
@@ -212,8 +267,10 @@ pub fn totals_wall_ms(json: &str) -> Option<f64> {
 /// carry the current schema tag, a circuits array with at least one entry,
 /// and a parsable `totals.wall_ms`.
 pub fn validate_json(json: &str) -> Result<(), String> {
-    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
-        return Err(format!("missing schema tag {SCHEMA}"));
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\""))
+        && !json.contains(&format!("\"schema\": \"{SCHEMA_V1}\""))
+    {
+        return Err(format!("missing schema tag {SCHEMA} (or {SCHEMA_V1})"));
     }
     if !json.contains("\"circuits\": [") {
         return Err("missing circuits array".into());
@@ -237,6 +294,7 @@ mod tests {
             name: "unit".into(),
             k: 5,
             threads: 1,
+            obs: None,
             samples: vec![
                 CircuitSample {
                     name: "a".into(),
@@ -296,6 +354,31 @@ mod tests {
     fn validate_rejects_garbage() {
         assert!(validate_json("{}").is_err());
         assert!(validate_json("not json").is_err());
+    }
+
+    #[test]
+    fn validate_accepts_v1_baselines() {
+        let v1 = to_json(&sample_run(), None).replace(SCHEMA, SCHEMA_V1);
+        assert!(validate_json(&v1).is_ok());
+    }
+
+    #[test]
+    fn circuit_wall_ms_finds_per_circuit_time() {
+        let json = to_json(&sample_run(), None);
+        assert!((circuit_wall_ms(&json, "a").unwrap() - 12.5).abs() < 1e-6);
+        assert!((circuit_wall_ms(&json, "b").unwrap() - 7.5).abs() < 1e-6);
+        assert!(circuit_wall_ms(&json, "zzz").is_none());
+    }
+
+    #[test]
+    fn obs_section_embeds_and_stays_valid_json() {
+        let mut run = sample_run();
+        run.obs = Some(hyde_obs::report());
+        let json = to_json(&run, None);
+        assert!(validate_json(&json).is_ok());
+        assert!(json.contains("\"obs\": {"));
+        // The whole document, obs section included, must parse.
+        hyde_obs::json::parse(&json).unwrap();
     }
 
     #[test]

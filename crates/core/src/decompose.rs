@@ -132,9 +132,18 @@ pub fn decompose_step(
     encoder: &EncoderKind,
     k: usize,
 ) -> Result<Decomposition, CoreError> {
-    let chart = DecompositionChart::new(f, bound)?;
+    let _obs = hyde_obs::span!("decompose.step");
+    hyde_obs::counter("decompose.steps", 1);
+    let chart = {
+        let _obs = hyde_obs::span!("chart.build");
+        DecompositionChart::new(f, bound)?
+    };
     let classes = chart.classes();
-    let codes = encoder.build().encode(classes, k)?;
+    hyde_obs::counter("decompose.classes", classes.len() as u64);
+    let codes = {
+        let _obs = hyde_obs::span!("encoding.encode");
+        encoder.build().encode(classes, k)?
+    };
     let alphas = build_alphas(classes.class_map(), &codes, bound.len());
     let (image, image_dc) = build_image(classes, &codes);
     let d = Decomposition {
@@ -334,6 +343,7 @@ impl Decomposer {
             // No gainful bound set: Shannon-expand, preferring a pseudo
             // variable (duplication happens at recovery anyway).
             stats.shannon_fallbacks += 1;
+            hyde_obs::counter("decompose.shannon", 1);
             let var = (0..f.vars())
                 .rev()
                 .find(|&v| avoid.contains(&signals[v]))
@@ -448,6 +458,7 @@ pub fn decompose_bdd_to_network(
     candidate_budget: usize,
 ) -> Result<Network, CoreError> {
     assert!(k >= 3, "LUT size must be at least 3");
+    let _obs = hyde_obs::span!("decompose.bdd");
     let n = bdd.num_vars();
     let mut net = Network::new(name);
     let signals: Vec<NodeId> = (0..n).map(|i| net.add_input(&format!("x{i}"))).collect();

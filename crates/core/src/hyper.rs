@@ -78,6 +78,7 @@ impl HyperFunction {
                 "ingredients must be distinct functions".into(),
             ));
         }
+        let _obs = hyde_obs::span!("hyper.fold");
         // Ingredients as "compatible classes": reuse the encoder machinery.
         let classes =
             CompatibleClasses::from_parts((0..ingredients.len()).collect(), ingredients.clone());
@@ -186,6 +187,7 @@ impl HyperFunction {
     ///
     /// Propagates decomposition errors.
     pub fn decompose(&self, dec: &Decomposer) -> Result<HyperNetwork, CoreError> {
+        let _obs = hyde_obs::span!("hyper.decompose");
         let mut net = Network::new("hyper");
         let mut signals = Vec::new();
         let mut pseudo_inputs = Vec::new();
@@ -325,14 +327,19 @@ impl HyperNetwork {
     ///
     /// Propagates network manipulation failures.
     pub fn implement_ingredients(&self) -> Result<Network, CoreError> {
+        let _obs = hyde_obs::span!("hyper.implement");
+        hyde_obs::counter("hyper.ingredients", self.hyper.ingredients().len() as u64);
         // Each ingredient collapse works on its own clone, so the fan-out
         // runs on worker threads; results land at their ingredient index
         // and the structural merge below walks them in that order, keeping
         // the network byte-identical for any HYDE_THREADS.
         let indices: Vec<usize> = (0..self.hyper.ingredients().len()).collect();
         let threads = crate::parallel::thread_count();
-        let parts: Vec<Network> =
-            crate::parallel::map_chunked(&indices, threads, |&idx| -> Result<Network, CoreError> {
+        let parts: Vec<Network> = crate::parallel::map_chunked(
+            "hyper.collapse",
+            &indices,
+            threads,
+            |&idx| -> Result<Network, CoreError> {
                 let code = self.hyper.codes().code(idx);
                 let mut net = self.network.clone();
                 for (bit, &eta) in self.pseudo_inputs.iter().enumerate() {
@@ -341,9 +348,10 @@ impl HyperNetwork {
                 net.sweep();
                 net.rename_outputs(|_| format!("f{idx}"));
                 Ok(net)
-            })
-            .into_iter()
-            .collect::<Result<_, _>>()?;
+            },
+        )
+        .into_iter()
+        .collect::<Result<_, _>>()?;
         let refs: Vec<&Network> = parts.iter().collect();
         let mut merged = structural_merge("ingredients", &refs);
         merged.sweep();
@@ -398,6 +406,7 @@ impl HyperNetwork {
     /// Returns [`CoreError::Verification`] on any mismatch.
     pub fn verify_ingredients(&self) -> Result<(), CoreError> {
         let merged = self.implement_ingredients()?;
+        let _obs = hyde_obs::span!("hyper.verify");
         let u = self.hyper.num_inputs();
         // Map merged PIs (subset of x0..) by name to variable positions.
         let pi_positions: Vec<usize> = merged
@@ -421,18 +430,19 @@ impl HyperNetwork {
             .map(|i| (i * block, ((i + 1) * block).min(total)))
             .filter(|(lo, hi)| lo < hi)
             .collect();
-        let first_bad = crate::parallel::map_chunked(&ranges, threads, |&(lo, hi)| {
-            for m in lo..hi {
-                let bits: Vec<bool> = pi_positions.iter().map(|&p| m >> p & 1 == 1).collect();
-                let got = merged.eval(&bits);
-                for (o, &g) in got.iter().enumerate() {
-                    if g != self.hyper.ingredients()[o].eval(m) {
-                        return Some((o, m));
+        let first_bad =
+            crate::parallel::map_chunked("hyper.scan", &ranges, threads, |&(lo, hi)| {
+                for m in lo..hi {
+                    let bits: Vec<bool> = pi_positions.iter().map(|&p| m >> p & 1 == 1).collect();
+                    let got = merged.eval(&bits);
+                    for (o, &g) in got.iter().enumerate() {
+                        if g != self.hyper.ingredients()[o].eval(m) {
+                            return Some((o, m));
+                        }
                     }
                 }
-            }
-            None
-        });
+                None
+            });
         if let Some((o, m)) = first_bad.into_iter().flatten().next() {
             return Err(CoreError::Verification(format!(
                 "ingredient {o} differs at minterm {m}"

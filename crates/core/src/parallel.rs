@@ -31,13 +31,26 @@ pub fn thread_count() -> usize {
         .unwrap_or(1)
 }
 
+/// Whether workers of a fan-out spawned on the current thread should
+/// claim the stable per-worker obs tracks (`worker-0`, `worker-1`, ...).
+/// Only top-level fan-outs (spawned from the main track) do; nested
+/// fan-outs fall back to auto-assigned tracks so two live threads never
+/// share a lane.
+fn claim_worker_tracks() -> bool {
+    hyde_obs::enabled() && hyde_obs::current_track() == hyde_obs::MAIN_TRACK
+}
+
 /// Applies `f` to every index/item pair of `items`, returning the results
 /// in input order. Runs on `threads` scoped workers over contiguous
 /// chunks; `threads <= 1` (or a short input) runs inline.
 ///
+/// `label` names the per-worker chunk span recorded when tracing is
+/// active (one span per worker, on that worker's track), making the
+/// fan-out visible in Chrome-trace exports.
+///
 /// `f` must be deterministic per item for the parallel and sequential
 /// paths to agree; the merge itself preserves input order by construction.
-pub fn map_chunked<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+pub fn map_chunked<T, R, F>(label: &'static str, items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -45,17 +58,27 @@ where
 {
     let threads = threads.clamp(1, MAX_THREADS).min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
+        let _obs = hyde_obs::enter_chunk(label);
         return items.iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(threads);
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
+    let claim = claim_worker_tracks();
     std::thread::scope(|scope| {
         let f = &f;
         // Pair each output chunk with its input chunk; each worker owns
         // one disjoint output slice, so no synchronization is needed.
-        for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+        for (w, (out_chunk, in_chunk)) in results
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .enumerate()
+        {
             scope.spawn(move || {
+                if claim {
+                    hyde_obs::worker_track(w);
+                }
+                let _obs = hyde_obs::enter_chunk(label);
                 for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
                     *slot = Some(f(item));
                 }
@@ -72,8 +95,15 @@ where
 /// `init` (e.g. its own BDD manager) and threads it through its chunk.
 ///
 /// `init` runs once per worker, so it may be expensive relative to a
-/// single item; results still land at their input indices.
-pub fn map_chunked_init<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+/// single item; results still land at their input indices. `label` names
+/// the per-worker chunk span as in [`map_chunked`].
+pub fn map_chunked_init<T, R, S, I, F>(
+    label: &'static str,
+    items: &[T],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -82,17 +112,27 @@ where
 {
     let threads = threads.clamp(1, MAX_THREADS).min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
+        let _obs = hyde_obs::enter_chunk(label);
         let mut state = init();
         return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let chunk = items.len().div_ceil(threads);
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
+    let claim = claim_worker_tracks();
     std::thread::scope(|scope| {
         let init = &init;
         let f = &f;
-        for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+        for (w, (out_chunk, in_chunk)) in results
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .enumerate()
+        {
             scope.spawn(move || {
+                if claim {
+                    hyde_obs::worker_track(w);
+                }
+                let _obs = hyde_obs::enter_chunk(label);
                 let mut state = init();
                 for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
                     *slot = Some(f(&mut state, item));
@@ -113,30 +153,37 @@ mod tests {
     #[test]
     fn inline_and_threaded_agree() {
         let items: Vec<u64> = (0..1000).collect();
-        let seq = map_chunked(&items, 1, |&x| x * x + 1);
+        let seq = map_chunked("test.sq", &items, 1, |&x| x * x + 1);
         for t in [2, 3, 8, 64] {
-            assert_eq!(map_chunked(&items, t, |&x| x * x + 1), seq, "{t} threads");
+            assert_eq!(
+                map_chunked("test.sq", &items, t, |&x| x * x + 1),
+                seq,
+                "{t} threads"
+            );
         }
     }
 
     #[test]
     fn preserves_input_order() {
         let items: Vec<usize> = (0..17).rev().collect();
-        let out = map_chunked(&items, 4, |&x| x);
+        let out = map_chunked("test.id", &items, 4, |&x| x);
         assert_eq!(out, items);
     }
 
     #[test]
     fn handles_empty_and_singleton() {
         let empty: Vec<u32> = Vec::new();
-        assert!(map_chunked(&empty, 8, |&x| x).is_empty());
-        assert_eq!(map_chunked(&[7u32], 8, |&x| x + 1), vec![8]);
+        assert!(map_chunked("test.id", &empty, 8, |&x| x).is_empty());
+        assert_eq!(map_chunked("test.id", &[7u32], 8, |&x| x + 1), vec![8]);
     }
 
     #[test]
     fn more_threads_than_items() {
         let items = [1u32, 2, 3];
-        assert_eq!(map_chunked(&items, 100, |&x| x * 2), vec![2, 4, 6]);
+        assert_eq!(
+            map_chunked("test.dbl", &items, 100, |&x| x * 2),
+            vec![2, 4, 6]
+        );
     }
 
     #[test]
@@ -147,11 +194,12 @@ mod tests {
     #[test]
     fn init_variant_matches_plain_map() {
         let items: Vec<u64> = (0..321).collect();
-        let plain = map_chunked(&items, 1, |&x| x * 3);
+        let plain = map_chunked("test.tri", &items, 1, |&x| x * 3);
         for t in [1, 2, 7, 32] {
             // State tracks a per-worker running offset that must NOT leak
             // into results (each item's output depends only on the item).
             let out = map_chunked_init(
+                "test.tri",
                 &items,
                 t,
                 || 0u64,

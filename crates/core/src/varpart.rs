@@ -196,9 +196,12 @@ impl VariablePartitioner {
         f: &TruthTable,
         candidates: Vec<Vec<usize>>,
     ) -> Result<(Vec<usize>, usize), CoreError> {
+        let _obs = hyde_obs::span!("varpart.select_best");
+        hyde_obs::counter("varpart.candidates", candidates.len() as u64);
         let threads = parallel::thread_count();
         let counts: Vec<Result<usize, CoreError>> = if f.vars() > self.bdd_threshold {
             parallel::map_chunked_init(
+                "varpart.score",
                 &candidates,
                 threads,
                 || {
@@ -209,7 +212,9 @@ impl VariablePartitioner {
                 |(b, root), cand| Ok(b.compatible_class_count(*root, cand)),
             )
         } else {
-            parallel::map_chunked(&candidates, threads, |cand| class_count(f, cand))
+            parallel::map_chunked("varpart.score", &candidates, threads, |cand| {
+                class_count(f, cand)
+            })
         };
         let mut best: Option<(Vec<usize>, usize)> = None;
         for (cand, count) in candidates.into_iter().zip(counts) {

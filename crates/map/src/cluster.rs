@@ -42,6 +42,7 @@ pub fn cluster_outputs(
     max_union_support: usize,
 ) -> Vec<Vec<usize>> {
     assert!(max_cluster > 0, "cluster size must be positive");
+    let _obs = hyde_obs::span!("map.cluster");
     let supports: Vec<Vec<usize>> = outputs.iter().map(|f| f.support()).collect();
     let mut clusters: Vec<Vec<usize>> = Vec::new();
     let mut cluster_support: Vec<std::collections::BTreeSet<usize>> = Vec::new();

@@ -146,6 +146,8 @@ impl MappingFlow {
                 "outputs must share one input space".into(),
             ));
         }
+        let _obs = hyde_obs::span!("map.outputs");
+        hyde_obs::counter("map.output_functions", outputs.len() as u64);
         let start = Instant::now();
         let mut net = match &self.kind {
             FlowKind::PerOutput { encoder } => self.per_output(outputs, encoder, false)?,
@@ -160,8 +162,14 @@ impl MappingFlow {
         net.sweep();
         // The xl_cover step of the paper's script: collapse LUTs that fit
         // inside their consumers.
-        crate::cover::compact(&mut net, self.k);
-        self.verify(&net, outputs)?;
+        {
+            let _obs = hyde_obs::span!("map.cover");
+            crate::cover::compact(&mut net, self.k);
+        }
+        {
+            let _obs = hyde_obs::span!("map.verify");
+            self.verify(&net, outputs)?;
+        }
         let luts = net.internal_count();
         let depth = net.depth();
         let clbs = if self.k == 5 {

@@ -1,0 +1,278 @@
+//! Chrome trace-event JSON exporter and validator.
+//!
+//! Emits the subset of the [trace-event format] that `chrome://tracing`
+//! and Perfetto load directly: an object with a `traceEvents` array of
+//! `"M"` (metadata: thread names), `"B"` (begin) and `"E"` (end) events.
+//! All events share one `pid`; each HYDE track becomes a `tid`, so the
+//! main thread and every parallel worker render as separate lanes.
+//! Timestamps are microseconds since the trace epoch with nanosecond
+//! fraction preserved.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::{self, Json};
+use crate::{track_name, Event, EventPhase};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Process id used for all emitted events (single-process tracer).
+const PID: u32 = 1;
+
+/// Renders `events` as a Chrome trace-event JSON document.
+pub fn export(events: &[Event]) -> String {
+    let mut tracks: Vec<u32> = events.iter().map(|e| e.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+
+    // ~120 bytes per event line.
+    let mut out = String::with_capacity(64 + events.len() * 120 + tracks.len() * 96);
+    out.push_str("{\n  \"traceEvents\": [\n");
+    let mut first = true;
+    for &track in &tracks {
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "    {{\"ph\": \"M\", \"pid\": {PID}, \"tid\": {track}, \"name\": \"thread_name\", \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            json::escape(&track_name(track))
+        );
+    }
+    for e in events {
+        push_sep(&mut out, &mut first);
+        let ph = match e.phase {
+            EventPhase::Begin => "B",
+            EventPhase::End => "E",
+        };
+        let us_whole = e.ts_ns / 1_000;
+        let ns_frac = e.ts_ns % 1_000;
+        let _ = write!(
+            out,
+            "    {{\"ph\": \"{ph}\", \"pid\": {PID}, \"tid\": {}, \"ts\": {us_whole}.{ns_frac:03}, \
+             \"cat\": \"hyde\", \"name\": \"{}\"}}",
+            e.track,
+            json::escape(e.name)
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+/// Structural summary produced by [`validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Total events in the file (including metadata).
+    pub events: usize,
+    /// Distinct tracks (tids) that carry begin/end events.
+    pub tracks: usize,
+    /// Completed spans (matched begin/end pairs).
+    pub spans: usize,
+    /// Deepest nesting observed on any track.
+    pub max_depth: usize,
+    /// Span names seen, with completed-span counts.
+    pub span_counts: BTreeMap<String, usize>,
+    /// Wall-clock extent of the trace in microseconds (last ts − first ts).
+    pub wall_us: f64,
+    /// Fraction of `wall_us` covered by top-level spans on the busiest
+    /// track (the acceptance criterion's coverage figure).
+    pub coverage: f64,
+}
+
+/// Parses and structurally validates a Chrome trace-event JSON document:
+/// well-formed JSON, a `traceEvents` array, every `B` matched by an `E`
+/// with the same name on the same track (proper nesting), monotone
+/// timestamps per track.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate(text: &str) -> Result<TraceSummary, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"traceEvents\" array")?;
+
+    struct TrackState {
+        stack: Vec<(String, f64)>,
+        last_ts: f64,
+        top_level_us: f64,
+        first_ts: Option<f64>,
+    }
+    let mut tracks: BTreeMap<i64, TrackState> = BTreeMap::new();
+    let mut spans = 0usize;
+    let mut max_depth = 0usize;
+    let mut span_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut min_ts = f64::INFINITY;
+    let mut max_ts = f64::NEG_INFINITY;
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
+        if ph == "M" {
+            continue;
+        }
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing \"tid\""))? as i64;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing \"ts\""))?;
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"name\""))?;
+        let state = tracks.entry(tid).or_insert_with(|| TrackState {
+            stack: Vec::new(),
+            last_ts: f64::NEG_INFINITY,
+            top_level_us: 0.0,
+            first_ts: None,
+        });
+        if ts < state.last_ts {
+            return Err(format!(
+                "event {i}: timestamp {ts} goes backwards on track {tid}"
+            ));
+        }
+        state.last_ts = ts;
+        state.first_ts.get_or_insert(ts);
+        min_ts = min_ts.min(ts);
+        max_ts = max_ts.max(ts);
+        match ph {
+            "B" => {
+                state.stack.push((name.to_owned(), ts));
+                max_depth = max_depth.max(state.stack.len());
+            }
+            "E" => {
+                let (open_name, begin_ts) = state.stack.pop().ok_or_else(|| {
+                    format!("event {i}: end \"{name}\" on track {tid} with empty stack")
+                })?;
+                if open_name != name {
+                    return Err(format!(
+                        "event {i}: end \"{name}\" does not match open span \"{open_name}\" \
+                         on track {tid}"
+                    ));
+                }
+                spans += 1;
+                *span_counts.entry(open_name).or_default() += 1;
+                if state.stack.is_empty() {
+                    state.top_level_us += ts - begin_ts;
+                }
+            }
+            other => return Err(format!("event {i}: unsupported phase \"{other}\"")),
+        }
+    }
+
+    for (tid, state) in &tracks {
+        if let Some((name, _)) = state.stack.first() {
+            return Err(format!("track {tid}: span \"{name}\" never ended"));
+        }
+    }
+
+    let wall_us = if max_ts > min_ts {
+        max_ts - min_ts
+    } else {
+        0.0
+    };
+    let coverage = if wall_us > 0.0 {
+        tracks
+            .values()
+            .map(|s| s.top_level_us / wall_us)
+            .fold(0.0f64, f64::max)
+            .min(1.0)
+    } else {
+        0.0
+    };
+
+    Ok(TraceSummary {
+        events: events.len(),
+        tracks: tracks.len(),
+        spans,
+        max_depth,
+        span_counts,
+        wall_us,
+        coverage,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, track: u32, ts_ns: u64, phase: EventPhase) -> Event {
+        Event {
+            name,
+            track,
+            ts_ns,
+            phase,
+            chunk: false,
+        }
+    }
+
+    #[test]
+    fn export_validate_round_trip() {
+        let events = vec![
+            ev("pipeline", 0, 0, EventPhase::Begin),
+            ev("varpart.select_best", 0, 1_000, EventPhase::Begin),
+            ev("varpart.score", 1, 1_500, EventPhase::Begin),
+            ev("varpart.score", 1, 4_500, EventPhase::End),
+            ev("varpart.select_best", 0, 5_000, EventPhase::End),
+            ev("pipeline", 0, 9_000, EventPhase::End),
+        ];
+        let text = export(&events);
+        let summary = validate(&text).expect("valid trace");
+        assert_eq!(summary.spans, 3);
+        assert_eq!(summary.tracks, 2);
+        assert_eq!(summary.max_depth, 2);
+        assert_eq!(summary.span_counts["varpart.select_best"], 1);
+        assert!((summary.wall_us - 9.0).abs() < 1e-9);
+        // "pipeline" covers the full extent of the trace on track 0.
+        assert!(summary.coverage > 0.99, "coverage = {}", summary.coverage);
+    }
+
+    #[test]
+    fn export_names_worker_tracks() {
+        let events = vec![
+            ev("a", 0, 0, EventPhase::Begin),
+            ev("a", 0, 10, EventPhase::End),
+            ev("b", 1, 0, EventPhase::Begin),
+            ev("b", 1, 10, EventPhase::End),
+        ];
+        let text = export(&events);
+        assert!(text.contains("\"name\": \"main\""));
+        assert!(text.contains("\"name\": \"worker-0\""));
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_and_mismatched() {
+        let unbalanced = export(&[ev("a", 0, 0, EventPhase::Begin)]);
+        assert!(validate(&unbalanced).unwrap_err().contains("never ended"));
+
+        let mismatched = export(&[
+            ev("a", 0, 0, EventPhase::Begin),
+            ev("b", 0, 5, EventPhase::End),
+        ]);
+        assert!(validate(&mismatched)
+            .unwrap_err()
+            .contains("does not match"));
+
+        let stray = export(&[ev("a", 0, 0, EventPhase::End)]);
+        assert!(validate(&stray).unwrap_err().contains("empty stack"));
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Collapsed-stack ("folded") exporter for flamegraph tooling.
+//!
+//! Emits the line format consumed by Brendan Gregg's `flamegraph.pl`,
+//! inferno and speedscope: one `frame;frame;...;frame weight` line per
+//! distinct stack, where the weight is **self time** in microseconds —
+//! time spent in exactly that stack, excluding child spans. Each track
+//! is rooted at its track name (`main`, `worker-3`, ...) so per-worker
+//! flame shapes stay distinguishable in one graph.
+
+use crate::{track_name, Event, EventPhase};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders `events` as collapsed-stack text, one weighted stack per
+/// line, sorted lexicographically by stack path.
+pub fn export(events: &[Event]) -> String {
+    // Per-track replay: stack of (name, self_ns accumulated so far) plus
+    // the timestamp of the last push/pop, which delimits self-time runs.
+    struct TrackState {
+        stack: Vec<&'static str>,
+        last_ts: u64,
+        root: String,
+    }
+    let mut tracks: BTreeMap<u32, TrackState> = BTreeMap::new();
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+
+    for e in events {
+        let state = tracks.entry(e.track).or_insert_with(|| TrackState {
+            stack: Vec::new(),
+            last_ts: e.ts_ns,
+            root: track_name(e.track),
+        });
+        // Attribute the elapsed run to the stack that was live during it.
+        let elapsed = e.ts_ns.saturating_sub(state.last_ts);
+        if elapsed > 0 && !state.stack.is_empty() {
+            let mut path = String::with_capacity(16 + state.stack.len() * 24);
+            path.push_str(&state.root);
+            for frame in &state.stack {
+                path.push(';');
+                path.push_str(frame);
+            }
+            *weights.entry(path).or_default() += elapsed;
+        }
+        state.last_ts = e.ts_ns;
+        match e.phase {
+            EventPhase::Begin => state.stack.push(e.name),
+            EventPhase::End => {
+                // Tolerate stray ends (truncated traces) rather than panic.
+                state.stack.pop();
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(weights.len() * 48);
+    for (path, ns) in &weights {
+        // flamegraph.pl weights are integers; microsecond granularity.
+        let us = ns / 1_000;
+        if us > 0 {
+            let _ = writeln!(out, "{path} {us}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, track: u32, ts_ns: u64, phase: EventPhase) -> Event {
+        Event {
+            name,
+            track,
+            ts_ns,
+            phase,
+            chunk: false,
+        }
+    }
+
+    #[test]
+    fn attributes_self_time_excluding_children() {
+        // outer: 0..10µs, inner: 2µs..6µs → outer self 6µs, inner self 4µs.
+        let events = vec![
+            ev("outer", 0, 0, EventPhase::Begin),
+            ev("inner", 0, 2_000_000, EventPhase::Begin),
+            ev("inner", 0, 6_000_000, EventPhase::End),
+            ev("outer", 0, 10_000_000, EventPhase::End),
+        ];
+        let text = export(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["main;outer 6000", "main;outer;inner 4000"]);
+    }
+
+    #[test]
+    fn separates_tracks_by_root_frame() {
+        let events = vec![
+            ev("work", 1, 0, EventPhase::Begin),
+            ev("work", 1, 1_000_000, EventPhase::End),
+            ev("work", 2, 0, EventPhase::Begin),
+            ev("work", 2, 2_000_000, EventPhase::End),
+        ];
+        let text = export(&events);
+        assert!(text.contains("worker-0;work 1000"));
+        assert!(text.contains("worker-1;work 2000"));
+    }
+
+    #[test]
+    fn empty_input_exports_empty() {
+        assert_eq!(export(&[]), "");
+    }
+}

@@ -1,0 +1,485 @@
+//! `hyde-obs` — structured tracing and metrics for the HYDE pipeline.
+//!
+//! The decomposition pipeline is instrumented with named **spans** (RAII
+//! guards opened by [`span!`]) and **counters** ([`counter`]). Both are
+//! inert until tracing is activated ([`enable`], or `HYDE_TRACE` via
+//! [`init_from_env`]): a deactivated span costs one relaxed atomic load,
+//! and building the crate without the `rt` feature compiles the
+//! instrumentation out entirely.
+//!
+//! Collected data feeds three consumers:
+//!
+//! * [`report`] — an aggregated [`ObsReport`] (per-phase invocation
+//!   counts, total/self time, counter sums) embedded in
+//!   `BENCH_<name>.json` by `hyde-bench`;
+//! * [`chrome_trace`] — Chrome trace-event JSON loadable in
+//!   `chrome://tracing` / Perfetto, with one track per worker thread so
+//!   the `hyde_core::parallel` fan-outs are visible;
+//! * [`folded_stacks`] — collapsed-stack text consumable by flamegraph
+//!   tooling (`flamegraph.pl`, inferno, speedscope).
+//!
+//! Span names are `&'static str` in a `area.verb` style; the canonical
+//! taxonomy is documented in DESIGN.md ("Observability"). Worker threads
+//! spawned by `hyde_core::parallel` register a stable track per worker
+//! index ([`worker_track`]); every other thread gets its own track on
+//! first use, with the first recording thread named `main`.
+//!
+//! This crate is self-contained (std only) to respect the workspace's
+//! offline-build rule, and sits below every pipeline crate in the
+//! dependency graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod folded;
+pub mod json;
+pub mod report;
+
+pub use report::{CounterStat, ObsReport, PhaseStat};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Whether a trace event opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventPhase {
+    /// Span begin.
+    Begin,
+    /// Span end.
+    End,
+}
+
+/// One raw trace event. Events are recorded in per-process order; within
+/// a track (one thread at a time) begins and ends nest properly by RAII
+/// construction.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Span name (static taxonomy name).
+    pub name: &'static str,
+    /// Track (thread lane) the event belongs to.
+    pub track: u32,
+    /// Nanoseconds since the collector's epoch.
+    pub ts_ns: u64,
+    /// Begin or end.
+    pub phase: EventPhase,
+    /// Marks per-worker chunk spans whose *count* legitimately varies
+    /// with `HYDE_THREADS` (the logical span structure excludes them;
+    /// see [`span_signature`]).
+    pub chunk: bool,
+}
+
+/// Aggregated value of one named counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterAgg {
+    /// Number of [`counter`] calls.
+    pub count: u64,
+    /// Sum of the deltas.
+    pub sum: u64,
+}
+
+/// Cap on buffered events; beyond it events are counted as dropped
+/// rather than silently growing without bound (~1M events ≈ 40 MB).
+const MAX_EVENTS: usize = 1 << 20;
+
+struct Inner {
+    epoch: Instant,
+    events: Vec<Event>,
+    counters: BTreeMap<&'static str, CounterAgg>,
+    dropped: u64,
+}
+
+/// An event/counter sink. The process-wide singleton behind [`span!`]
+/// and [`counter`] is one of these; tests build private collectors to
+/// exercise the exporters without touching global state.
+pub struct Collector {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// Creates an empty collector anchored at the current instant.
+    pub fn new() -> Self {
+        Collector {
+            inner: Mutex::new(Inner {
+                epoch: Instant::now(),
+                events: Vec::new(),
+                counters: BTreeMap::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panicking span guard must not wedge every later record.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Clears all recorded data and re-anchors the epoch.
+    pub fn reset(&self) {
+        let mut g = self.lock();
+        g.epoch = Instant::now();
+        g.events.clear();
+        g.counters.clear();
+        g.dropped = 0;
+    }
+
+    fn record(&self, name: &'static str, track: u32, phase: EventPhase, chunk: bool) {
+        let mut g = self.lock();
+        // Timestamp under the lock: the event vector stays time-ordered.
+        let ts_ns = g.epoch.elapsed().as_nanos() as u64;
+        if g.events.len() >= MAX_EVENTS {
+            g.dropped += 1;
+            return;
+        }
+        g.events.push(Event {
+            name,
+            track,
+            ts_ns,
+            phase,
+            chunk,
+        });
+    }
+
+    /// Appends a pre-built event verbatim (exporter tests and tools).
+    pub fn push_raw(&self, event: Event) {
+        let mut g = self.lock();
+        if g.events.len() >= MAX_EVENTS {
+            g.dropped += 1;
+            return;
+        }
+        g.events.push(event);
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add_counter(&self, name: &'static str, delta: u64) {
+        let mut g = self.lock();
+        let c = g.counters.entry(name).or_default();
+        c.count += 1;
+        c.sum += delta;
+    }
+
+    /// Snapshot of the recorded events.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.clone()
+    }
+
+    /// Snapshot of the counters.
+    pub fn counters(&self) -> BTreeMap<&'static str, CounterAgg> {
+        self.lock().counters.clone()
+    }
+
+    /// Events dropped after the buffer cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Builds the aggregated [`ObsReport`] from the current contents.
+    pub fn report(&self) -> ObsReport {
+        let g = self.lock();
+        report::build(&g.events, &g.counters, g.dropped)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global collector, activation flag and track registry.
+// ---------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global() -> &'static Collector {
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    GLOBAL.get_or_init(Collector::new)
+}
+
+/// Whether tracing is active. Inlined to one relaxed load (and to
+/// constant `false` when the `rt` feature is off, which dead-codes every
+/// instrumentation site).
+#[inline(always)]
+pub fn enabled() -> bool {
+    cfg!(feature = "rt") && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Activates span/counter collection.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Deactivates collection (recorded data is kept until [`reset`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears all recorded events/counters, re-anchors the trace epoch, and
+/// releases all track assignments (the next thread to record claims the
+/// main track afresh).
+pub fn reset() {
+    global().reset();
+    TRACK_EPOCH.fetch_add(1, Ordering::Relaxed);
+    NEXT_AUTO_TRACK.store(AUTO_TRACK_BASE, Ordering::Relaxed);
+    MAIN_CLAIMED.store(false, Ordering::Relaxed);
+}
+
+/// Track id of the main (first-recording) thread.
+pub const MAIN_TRACK: u32 = 0;
+/// Worker tracks are `WORKER_TRACK_BASE + worker_index`.
+pub const WORKER_TRACK_BASE: u32 = 1;
+/// First track id handed to unregistered non-main threads.
+const AUTO_TRACK_BASE: u32 = 512;
+
+static MAIN_CLAIMED: AtomicBool = AtomicBool::new(false);
+static NEXT_AUTO_TRACK: AtomicU32 = AtomicU32::new(AUTO_TRACK_BASE);
+/// Bumped by [`reset`] so cached per-thread track ids from an earlier
+/// trace are discarded; without this, the second trace in one process
+/// (from a fresh thread, as in the test harness) could never claim the
+/// main track again.
+static TRACK_EPOCH: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    /// `(epoch, track)` — the track is only valid while the epoch matches
+    /// [`TRACK_EPOCH`].
+    static TRACK: std::cell::Cell<(u32, u32)> = const { std::cell::Cell::new((0, u32::MAX)) };
+}
+
+/// Registers the current thread as parallel worker `index`, pinning it to
+/// the stable track `WORKER_TRACK_BASE + index` so repeated fan-outs land
+/// on one lane per worker. Called by `hyde_core::parallel` at worker
+/// start; only top-level fan-outs (spawned from the main track) should
+/// register, so nested fan-outs fall back to auto tracks.
+pub fn worker_track(index: usize) {
+    let epoch = TRACK_EPOCH.load(Ordering::Relaxed);
+    TRACK.with(|t| t.set((epoch, WORKER_TRACK_BASE + index as u32)));
+}
+
+/// Track id of the current thread, assigning one on first use (the first
+/// thread to record becomes [`MAIN_TRACK`]).
+pub fn current_track() -> u32 {
+    let epoch = TRACK_EPOCH.load(Ordering::Relaxed);
+    TRACK.with(|t| {
+        let (e, cur) = t.get();
+        if cur != u32::MAX && e == epoch {
+            return cur;
+        }
+        let id = if !MAIN_CLAIMED.swap(true, Ordering::Relaxed) {
+            MAIN_TRACK
+        } else {
+            NEXT_AUTO_TRACK.fetch_add(1, Ordering::Relaxed)
+        };
+        t.set((epoch, id));
+        id
+    })
+}
+
+/// Human-readable name of a track (Chrome metadata / folded-stack root).
+pub fn track_name(track: u32) -> String {
+    if track == MAIN_TRACK {
+        "main".to_owned()
+    } else if (WORKER_TRACK_BASE..AUTO_TRACK_BASE).contains(&track) {
+        format!("worker-{}", track - WORKER_TRACK_BASE)
+    } else {
+        format!("thread-{track}")
+    }
+}
+
+/// RAII span guard: records a begin event on construction (when tracing
+/// is active) and the matching end event on drop.
+#[must_use = "a span guard measures the scope it lives in; bind it to a named local"]
+pub struct SpanGuard {
+    open: Option<(&'static str, u32, bool)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, track, chunk)) = self.open.take() {
+            global().record(name, track, EventPhase::End, chunk);
+        }
+    }
+}
+
+fn enter_impl(name: &'static str, chunk: bool) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { open: None };
+    }
+    let track = current_track();
+    global().record(name, track, EventPhase::Begin, chunk);
+    SpanGuard {
+        open: Some((name, track, chunk)),
+    }
+}
+
+/// Opens a span on the current thread's track. Prefer the [`span!`]
+/// macro at call sites.
+#[inline]
+pub fn enter(name: &'static str) -> SpanGuard {
+    enter_impl(name, false)
+}
+
+/// Opens a *chunk* span: a per-worker slice of a parallel fan-out whose
+/// count varies with `HYDE_THREADS` (excluded from [`span_signature`]).
+#[inline]
+pub fn enter_chunk(name: &'static str) -> SpanGuard {
+    enter_impl(name, true)
+}
+
+/// Adds `delta` to a named metric. A no-op until tracing is activated.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if enabled() {
+        global().add_counter(name, delta);
+    }
+}
+
+/// Opens an RAII span: `let _obs = hyde_obs::span!("varpart.select_best");`.
+///
+/// Bind the guard to a named local — `let _ = span!(...)` drops it
+/// immediately and measures nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::enter($name)
+    };
+}
+
+// ---------------------------------------------------------------------
+// Global snapshots and exporters.
+// ---------------------------------------------------------------------
+
+/// Snapshot of the globally recorded events.
+pub fn events() -> Vec<Event> {
+    global().events()
+}
+
+/// Aggregated report of everything recorded since the last [`reset`].
+pub fn report() -> ObsReport {
+    global().report()
+}
+
+/// Chrome trace-event JSON of everything recorded since the last
+/// [`reset`] (load in `chrome://tracing` or <https://ui.perfetto.dev>).
+pub fn chrome_trace() -> String {
+    chrome::export(&global().events())
+}
+
+/// Collapsed-stack text of everything recorded since the last [`reset`]
+/// (pipe into `flamegraph.pl` or load in speedscope).
+pub fn folded_stacks() -> String {
+    folded::export(&global().events())
+}
+
+/// Logical span structure: `(name, count)` per non-chunk span name,
+/// sorted by name. Identical across `HYDE_THREADS` settings for a
+/// deterministic pipeline — chunk spans (whose count tracks the worker
+/// count by design) are excluded.
+pub fn span_signature() -> Vec<(String, u64)> {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in global().events() {
+        if e.phase == EventPhase::Begin && !e.chunk {
+            *counts.entry(e.name).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(name, n)| (name.to_owned(), n))
+        .collect()
+}
+
+/// Writes both export formats: Chrome trace JSON at `path` and collapsed
+/// stacks at `path` with a `.folded` extension appended (or swapped in
+/// for a `.json` extension). Returns the folded path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_artifacts(path: &str) -> std::io::Result<String> {
+    let folded_path = if let Some(stem) = path.strip_suffix(".json") {
+        format!("{stem}.folded")
+    } else {
+        format!("{path}.folded")
+    };
+    std::fs::write(path, chrome_trace())?;
+    std::fs::write(&folded_path, folded_stacks())?;
+    Ok(folded_path)
+}
+
+/// Environment-variable activation: when `HYDE_TRACE=<path>` is set,
+/// enables collection and returns the path the caller should pass to
+/// [`write_artifacts`] on exit. Binaries call this once at startup.
+pub fn init_from_env() -> Option<String> {
+    let path = std::env::var("HYDE_TRACE").ok().filter(|p| !p.is_empty())?;
+    reset();
+    enable();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_records_and_resets() {
+        let c = Collector::new();
+        c.push_raw(Event {
+            name: "a",
+            track: 0,
+            ts_ns: 1,
+            phase: EventPhase::Begin,
+            chunk: false,
+        });
+        c.add_counter("x", 5);
+        c.add_counter("x", 7);
+        assert_eq!(c.events().len(), 1);
+        let counters = c.counters();
+        assert_eq!(counters["x"], CounterAgg { count: 2, sum: 12 });
+        c.reset();
+        assert!(c.events().is_empty());
+        assert!(c.counters().is_empty());
+        assert_eq!(c.dropped(), 0);
+    }
+
+    #[test]
+    fn track_names_are_stable() {
+        assert_eq!(track_name(MAIN_TRACK), "main");
+        assert_eq!(track_name(WORKER_TRACK_BASE), "worker-0");
+        assert_eq!(track_name(WORKER_TRACK_BASE + 7), "worker-7");
+        assert_eq!(track_name(900), "thread-900");
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        // The global flag defaults to off; a span guard must be free.
+        let before = events().len();
+        {
+            let _g = span!("test.noop");
+        }
+        counter("test.noop", 1);
+        assert_eq!(events().len(), before);
+    }
+
+    #[test]
+    fn buffer_cap_counts_drops() {
+        let c = Collector::new();
+        let e = Event {
+            name: "x",
+            track: 0,
+            ts_ns: 0,
+            phase: EventPhase::Begin,
+            chunk: false,
+        };
+        for _ in 0..MAX_EVENTS {
+            c.push_raw(e);
+        }
+        c.push_raw(e);
+        c.push_raw(e);
+        assert_eq!(c.dropped(), 2);
+        assert_eq!(c.events().len(), MAX_EVENTS);
+    }
+}

@@ -1,0 +1,302 @@
+//! Aggregated metrics report ([`ObsReport`]) built from raw trace data.
+//!
+//! Where the Chrome/folded exporters preserve the full event timeline,
+//! the report collapses it into stable per-phase aggregates suitable for
+//! embedding in `BENCH_<name>.json`: invocation count, total (inclusive)
+//! and self (exclusive) time per span name, plus every named counter.
+//! Phases sort by total time descending so the JSON reads as a profile.
+
+use crate::{CounterAgg, Event, EventPhase};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate timing for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Span name (taxonomy name, e.g. `varpart.select_best`).
+    pub name: String,
+    /// Number of completed invocations.
+    pub count: u64,
+    /// Inclusive time across all invocations, microseconds.
+    pub total_us: u64,
+    /// Exclusive (self) time across all invocations, microseconds.
+    pub self_us: u64,
+}
+
+/// Aggregate of one named counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterStat {
+    /// Counter name (e.g. `bdd.unique_probes`).
+    pub name: String,
+    /// Number of `counter` calls.
+    pub count: u64,
+    /// Sum of deltas.
+    pub sum: u64,
+}
+
+/// Stable, serializable snapshot of one traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsReport {
+    /// Wall-clock extent of the trace (first event to last), microseconds.
+    pub wall_us: u64,
+    /// Distinct tracks (threads) that recorded events.
+    pub threads_observed: usize,
+    /// Events dropped after the buffer cap was reached.
+    pub dropped_events: u64,
+    /// Spans still open at snapshot time (closed at the last timestamp
+    /// for aggregation purposes, but reported so truncation is visible).
+    pub unclosed_spans: u64,
+    /// Per-span aggregates, sorted by `total_us` descending.
+    pub phases: Vec<PhaseStat>,
+    /// Counter aggregates, sorted by name.
+    pub counters: Vec<CounterStat>,
+}
+
+impl ObsReport {
+    /// Looks up a phase aggregate by span name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a counter aggregate by name.
+    pub fn counter(&self, name: &str) -> Option<&CounterStat> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
+    /// Hand-rolled JSON rendering. `indent` is prepended to every line so
+    /// the report can be nested inside a larger document (hyde-bench
+    /// embeds it under an `"obs"` key).
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut out = String::with_capacity(256 + self.phases.len() * 96);
+        let _ = writeln!(out, "{indent}{{");
+        let _ = writeln!(out, "{indent}  \"wall_us\": {},", self.wall_us);
+        let _ = writeln!(
+            out,
+            "{indent}  \"threads_observed\": {},",
+            self.threads_observed
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"dropped_events\": {},",
+            self.dropped_events
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"unclosed_spans\": {},",
+            self.unclosed_spans
+        );
+        let _ = writeln!(out, "{indent}  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            let comma = if i + 1 < self.phases.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "{indent}    {{\"name\": \"{}\", \"count\": {}, \"total_us\": {}, \
+                 \"self_us\": {}}}{comma}",
+                crate::json::escape(&p.name),
+                p.count,
+                p.total_us,
+                p.self_us
+            );
+        }
+        let _ = writeln!(out, "{indent}  ],");
+        let _ = writeln!(out, "{indent}  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "{indent}    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}}}{comma}",
+                crate::json::escape(&c.name),
+                c.count,
+                c.sum
+            );
+        }
+        let _ = writeln!(out, "{indent}  ]");
+        let _ = write!(out, "{indent}}}");
+        out
+    }
+}
+
+/// Builds the report from raw events and counter aggregates.
+pub(crate) fn build(
+    events: &[Event],
+    counters: &BTreeMap<&'static str, CounterAgg>,
+    dropped: u64,
+) -> ObsReport {
+    struct Agg {
+        count: u64,
+        total_ns: u64,
+        self_ns: u64,
+    }
+    let mut aggs: BTreeMap<&'static str, Agg> = BTreeMap::new();
+    // Per-track replay stack: (name, begin_ts, child_time_ns).
+    let mut stacks: BTreeMap<u32, Vec<(&'static str, u64, u64)>> = BTreeMap::new();
+    let mut tracks: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let mut min_ts = u64::MAX;
+    let mut max_ts = 0u64;
+    let mut unclosed = 0u64;
+
+    for e in events {
+        tracks.insert(e.track);
+        min_ts = min_ts.min(e.ts_ns);
+        max_ts = max_ts.max(e.ts_ns);
+        let stack = stacks.entry(e.track).or_default();
+        match e.phase {
+            EventPhase::Begin => stack.push((e.name, e.ts_ns, 0)),
+            EventPhase::End => {
+                if let Some((name, begin, child_ns)) = stack.pop() {
+                    let total = e.ts_ns.saturating_sub(begin);
+                    let agg = aggs.entry(name).or_insert(Agg {
+                        count: 0,
+                        total_ns: 0,
+                        self_ns: 0,
+                    });
+                    agg.count += 1;
+                    agg.total_ns += total;
+                    agg.self_ns += total.saturating_sub(child_ns);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.2 += total;
+                    }
+                }
+            }
+        }
+    }
+    // Close leftover spans at the trace's end so their time is not lost,
+    // but surface the truncation in the report.
+    for stack in stacks.values_mut() {
+        while let Some((name, begin, child_ns)) = stack.pop() {
+            unclosed += 1;
+            let total = max_ts.saturating_sub(begin);
+            let agg = aggs.entry(name).or_insert(Agg {
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+            });
+            agg.count += 1;
+            agg.total_ns += total;
+            agg.self_ns += total.saturating_sub(child_ns);
+            if let Some(parent) = stack.last_mut() {
+                parent.2 += total;
+            }
+        }
+    }
+
+    let mut phases: Vec<PhaseStat> = aggs
+        .into_iter()
+        .map(|(name, a)| PhaseStat {
+            name: name.to_owned(),
+            count: a.count,
+            total_us: a.total_ns / 1_000,
+            self_us: a.self_ns / 1_000,
+        })
+        .collect();
+    phases.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+
+    let counters = counters
+        .iter()
+        .map(|(name, c)| CounterStat {
+            name: (*name).to_owned(),
+            count: c.count,
+            sum: c.sum,
+        })
+        .collect();
+
+    ObsReport {
+        wall_us: if max_ts > min_ts {
+            (max_ts - min_ts) / 1_000
+        } else {
+            0
+        },
+        threads_observed: tracks.len(),
+        dropped_events: dropped,
+        unclosed_spans: unclosed,
+        phases,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, track: u32, ts_ns: u64, phase: EventPhase) -> Event {
+        Event {
+            name,
+            track,
+            ts_ns,
+            phase,
+            chunk: false,
+        }
+    }
+
+    #[test]
+    fn aggregates_total_and_self_time() {
+        let events = vec![
+            ev("outer", 0, 0, EventPhase::Begin),
+            ev("inner", 0, 2_000_000, EventPhase::Begin),
+            ev("inner", 0, 6_000_000, EventPhase::End),
+            ev("outer", 0, 10_000_000, EventPhase::End),
+        ];
+        let report = build(&events, &BTreeMap::new(), 0);
+        assert_eq!(report.wall_us, 10_000);
+        assert_eq!(report.threads_observed, 1);
+        assert_eq!(report.unclosed_spans, 0);
+        let outer = report.phase("outer").unwrap();
+        assert_eq!(
+            (outer.count, outer.total_us, outer.self_us),
+            (1, 10_000, 6_000)
+        );
+        let inner = report.phase("inner").unwrap();
+        assert_eq!(
+            (inner.count, inner.total_us, inner.self_us),
+            (1, 4_000, 4_000)
+        );
+        // Sorted by total_us descending: outer first.
+        assert_eq!(report.phases[0].name, "outer");
+    }
+
+    #[test]
+    fn closes_unclosed_spans_and_counts_them() {
+        let events = vec![
+            ev("a", 0, 0, EventPhase::Begin),
+            ev("b", 0, 1_000_000, EventPhase::Begin),
+            ev("b", 0, 3_000_000, EventPhase::End),
+        ];
+        let report = build(&events, &BTreeMap::new(), 0);
+        assert_eq!(report.unclosed_spans, 1);
+        let a = report.phase("a").unwrap();
+        // Closed at the trace end (3ms).
+        assert_eq!(a.total_us, 3_000);
+        assert_eq!(a.self_us, 1_000);
+    }
+
+    #[test]
+    fn report_json_parses_and_contains_fields() {
+        let events = vec![
+            ev("x", 0, 0, EventPhase::Begin),
+            ev("x", 0, 5_000_000, EventPhase::End),
+        ];
+        let mut counters = BTreeMap::new();
+        counters.insert("bdd.unique_probes", CounterAgg { count: 2, sum: 99 });
+        let report = build(&events, &counters, 1);
+        let text = report.to_json("");
+        let doc = crate::json::parse(&text).expect("report JSON parses");
+        assert_eq!(doc.get("dropped_events").unwrap().as_num().unwrap(), 1.0);
+        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases[0].get("name").unwrap().as_str().unwrap(), "x");
+        let counters = doc.get("counters").unwrap().as_arr().unwrap();
+        assert_eq!(counters[0].get("sum").unwrap().as_num().unwrap(), 99.0);
+    }
+
+    #[test]
+    fn multi_invocation_counts_accumulate() {
+        let events = vec![
+            ev("p", 0, 0, EventPhase::Begin),
+            ev("p", 0, 1_000_000, EventPhase::End),
+            ev("p", 0, 2_000_000, EventPhase::Begin),
+            ev("p", 0, 4_000_000, EventPhase::End),
+        ];
+        let report = build(&events, &BTreeMap::new(), 0);
+        let p = report.phase("p").unwrap();
+        assert_eq!((p.count, p.total_us), (2, 3_000));
+    }
+}

@@ -463,6 +463,25 @@ impl Solver {
     /// Solves under the given assumptions, giving up with
     /// [`Outcome::Unknown`] once the budget is exhausted.
     pub fn solve_budgeted(&mut self, assumptions: &[Lit], budget: &Budget) -> Outcome {
+        let _obs = hyde_obs::span!("sat.solve");
+        let before = self.stats;
+        let out = self.solve_budgeted_inner(assumptions, budget);
+        if hyde_obs::enabled() {
+            hyde_obs::counter("sat.solves", 1);
+            hyde_obs::counter("sat.vars", self.stats.vars as u64);
+            hyde_obs::counter("sat.clauses", self.stats.clauses as u64);
+            hyde_obs::counter("sat.conflicts", self.stats.conflicts - before.conflicts);
+            hyde_obs::counter("sat.decisions", self.stats.decisions - before.decisions);
+            hyde_obs::counter(
+                "sat.propagations",
+                self.stats.propagations - before.propagations,
+            );
+            hyde_obs::counter("sat.restarts", self.stats.restarts - before.restarts);
+        }
+        out
+    }
+
+    fn solve_budgeted_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> Outcome {
         self.core.clear();
         if !self.ok {
             return Outcome::Unsat;

@@ -41,6 +41,10 @@ Options:
                    then report HY401)
   --json           machine-readable output: one JSON object per
                    diagnostic line instead of human-readable text
+  --trace <PATH>   record a hyde-obs trace of the run: Chrome trace-event
+                   JSON at PATH (load in chrome://tracing or Perfetto)
+                   plus collapsed stacks at PATH with a .folded extension
+                   (the HYDE_TRACE environment variable does the same)
   --deny-warnings  treat warn-level diagnostics as deny
   --list-codes     print the diagnostic code table and exit
   -h, --help       this message
@@ -65,6 +69,7 @@ struct Options {
     json: bool,
     proof_budget: Option<u64>,
     mutate: Option<u64>,
+    trace: Option<String>,
     files: Vec<String>,
 }
 
@@ -77,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         json: false,
         proof_budget: None,
         mutate: None,
+        trace: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -109,6 +115,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--mutate" => {
                 let v = it.next().ok_or("--mutate needs a seed")?;
                 opts.mutate = Some(v.parse().map_err(|_| format!("bad --mutate seed '{v}'"))?);
+            }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a path")?;
+                opts.trace = Some(v.clone());
             }
             "--suite" => opts.suite = true,
             "--deep" => opts.deep = true,
@@ -166,6 +176,7 @@ fn corrupt_one_lut_bit(net: &mut Network, seed: u64) -> Option<String> {
 }
 
 fn lint_file(path: &str, opts: &Options, registry: &Registry) -> Result<Vec<Diagnostic>, String> {
+    let _obs = hyde_obs::span!("lint.file");
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let is_pla = path.ends_with(".pla")
         || (!path.ends_with(".blif") && text.lines().any(|l| l.trim_start().starts_with(".i ")));
@@ -205,6 +216,7 @@ fn lint_suite(opts: &Options, registry: &Registry) -> Vec<(String, Vec<Diagnosti
     let flow = MappingFlow::new(k, FlowKind::hyde(0xDA98));
     let mut results = Vec::new();
     for circuit in hyde_circuits::suite() {
+        let _obs = hyde_obs::span!("lint.circuit");
         let mut diags = Vec::new();
         match flow.map_outputs(&circuit.name, &circuit.outputs) {
             Ok(mut report) => {
@@ -321,7 +333,7 @@ fn json_line(artifact: &str, d: &Diagnostic) -> String {
 
 fn proof_line(r: &ProofRecord) -> String {
     let mut line = format!(
-        "  proof {} {}: {} [{}] vars={} clauses={} conflicts={} time={}ms",
+        "  proof {} {}: {} [{}] vars={} clauses={} conflicts={} time={:.3}ms",
         r.pass, r.subject, r.verdict, r.engine, r.vars, r.clauses, r.conflicts, r.time_ms
     );
     if let Some(rate) = r.bdd_cache_hit_rate {
@@ -351,7 +363,7 @@ fn proof_json_line(artifact: &str, r: &ProofRecord) -> String {
         r.vars,
         r.clauses,
         r.conflicts,
-        r.time_ms,
+        format_args!("{:.3}", r.time_ms),
         rate,
         probes,
     )
@@ -367,6 +379,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // --trace wins over HYDE_TRACE; either activates span collection.
+    let trace_path = opts.trace.clone().or_else(hyde_obs::init_from_env);
+    if trace_path.is_some() {
+        hyde_obs::reset();
+        hyde_obs::enable();
+    }
     let mut registry = Registry::with_defaults();
     let log: Option<ProofLog> = if opts.deep {
         let mut config = DeepConfig::default();
@@ -407,7 +425,7 @@ fn main() -> ExitCode {
     let mut proofs = 0usize;
     let mut refuted = 0usize;
     let mut unknown = 0usize;
-    let mut proof_ms = 0u128;
+    let mut proof_ms = 0f64;
     for (name, diags, records) in &groups {
         for d in diags {
             if opts.json {
@@ -436,6 +454,10 @@ fn main() -> ExitCode {
         for r in records {
             proofs += 1;
             proof_ms += r.time_ms;
+            hyde_obs::counter("proof.records", 1);
+            hyde_obs::counter("proof.vars", r.vars as u64);
+            hyde_obs::counter("proof.clauses", r.clauses as u64);
+            hyde_obs::counter("proof.conflicts", r.conflicts);
             match r.verdict {
                 "refuted" => refuted += 1,
                 "unknown" => unknown += 1,
@@ -451,9 +473,18 @@ fn main() -> ExitCode {
         if proofs > 0 {
             out(&format!(
                 "hyde-lint: {proofs} deep proof(s) ({} proved, {refuted} refuted, \
-                 {unknown} inconclusive) in {proof_ms}ms",
+                 {unknown} inconclusive) in {proof_ms:.1}ms",
                 proofs - refuted - unknown
             ));
+        }
+    }
+    if let Some(path) = &trace_path {
+        match hyde_obs::write_artifacts(path) {
+            Ok(folded) => eprintln!("hyde-lint: trace written to {path} and {folded}"),
+            Err(e) => {
+                eprintln!("error: writing trace {path}: {e}");
+                return ExitCode::from(2);
+            }
         }
     }
     if denies > 0 || (opts.deny_warnings && warns > 0) {

@@ -90,8 +90,9 @@ pub struct ProofRecord {
     pub clauses: usize,
     /// Conflicts spent (SAT; zero for BDD proofs).
     pub conflicts: u64,
-    /// Wall-clock milliseconds.
-    pub time_ms: u128,
+    /// Wall-clock milliseconds (fractional: sub-millisecond proofs keep
+    /// their real duration instead of truncating to zero).
+    pub time_ms: f64,
     /// `proved`, `refuted` or `unknown`.
     pub verdict: &'static str,
     /// Operation-cache hit rate of the BDD manager(s) backing the proof
@@ -253,7 +254,7 @@ impl DeepCecLint {
                 vars: n,
                 clauses: bdd.node_count(miter),
                 conflicts: 0,
-                time_ms: start.elapsed().as_millis(),
+                time_ms: start.elapsed().as_secs_f64() * 1e3,
                 verdict: if witness.is_some() {
                     "refuted"
                 } else {
@@ -303,7 +304,7 @@ impl DeepCecLint {
                 vars: p.vars,
                 clauses: p.clauses,
                 conflicts: p.conflicts,
-                time_ms: p.elapsed.as_millis(),
+                time_ms: p.elapsed.as_secs_f64() * 1e3,
                 verdict,
                 bdd_cache_hit_rate: None,
                 bdd_unique_probes: None,
@@ -419,7 +420,7 @@ impl DeepEncodingLint {
             vars: stats.vars,
             clauses: stats.clauses + stats.learned,
             conflicts: stats.conflicts,
-            time_ms: start.elapsed().as_millis(),
+            time_ms: start.elapsed().as_secs_f64() * 1e3,
             verdict,
             bdd_cache_hit_rate: rate,
             bdd_unique_probes: probes,
@@ -583,7 +584,7 @@ impl Lint for DeepCollapseLint {
                 vars: after.vars,
                 clauses: after.clauses + after.learned,
                 conflicts: after.conflicts - before.conflicts,
-                time_ms: start.elapsed().as_millis(),
+                time_ms: start.elapsed().as_secs_f64() * 1e3,
                 verdict,
                 bdd_cache_hit_rate: None,
                 bdd_unique_probes: None,
@@ -676,7 +677,7 @@ impl Lint for DeepRecoveryLint {
                 vars: after.vars,
                 clauses: after.clauses + after.learned,
                 conflicts: after.conflicts - before.conflicts,
-                time_ms: start.elapsed().as_millis(),
+                time_ms: start.elapsed().as_secs_f64() * 1e3,
                 verdict,
                 bdd_cache_hit_rate: rate,
                 bdd_unique_probes: probes,
@@ -767,7 +768,7 @@ impl Lint for DeepStuckLint {
             vars: after.vars,
             clauses: after.clauses + after.learned,
             conflicts: after.conflicts - before.conflicts,
-            time_ms: start.elapsed().as_millis(),
+            time_ms: start.elapsed().as_secs_f64() * 1e3,
             verdict: if unknown > 0 {
                 "unknown"
             } else if stuck > 0 {

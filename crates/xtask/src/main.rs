@@ -13,7 +13,13 @@
 //! * `bench` — `hyde-bench` over the 25-circuit suite, writing
 //!   `BENCH_<name>.json`; `bench --smoke` runs the 3-circuit subset and
 //!   validates the emitted JSON schema (the CI configuration)
-//! * `all` — everything above (with `--deep`), in that order
+//! * `trace <circuit>` — run the traced flow on one circuit and write
+//!   `TRACE_<circuit>.json` (Chrome trace-event JSON, load in Perfetto)
+//!   plus `TRACE_<circuit>.folded` (collapsed stacks, feed to
+//!   `flamegraph.pl`), then validate the trace: parseable JSON, balanced
+//!   begin/end per track, and spans covering most of the wall time
+//! * `all` — everything above (with `--deep` and the smoke-circuit
+//!   trace), in that order
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -115,6 +121,57 @@ fn bench(root: &Path, smoke: bool) -> Result<(), String> {
     Ok(())
 }
 
+fn trace(root: &Path, circuit: &str) -> Result<(), String> {
+    let out = format!("TRACE_{circuit}.json");
+    run(
+        root,
+        &[
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "hyde-bench",
+            "--bin",
+            "hyde-bench",
+            "--",
+            "--circuits",
+            circuit,
+            "--name",
+            &format!("trace_{circuit}"),
+            "--trace",
+            &out,
+            "--stdout",
+        ],
+    )?;
+    // The trace was written by a separate process; re-read it here and hold
+    // it to the acceptance bar (valid JSON, per-track begin/end balance,
+    // span coverage) instead of trusting the exporter blindly.
+    let path = root.join(&out);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let summary = hyde_obs::chrome::validate(&text)
+        .map_err(|e| format!("{}: trace validation failed: {e}", path.display()))?;
+    println!(
+        "xtask: {} ok: {} events, {} track(s), {} span(s), depth {}, {:.0}% span coverage",
+        path.display(),
+        summary.events,
+        summary.tracks,
+        summary.spans,
+        summary.max_depth,
+        summary.coverage * 100.0
+    );
+    if summary.spans == 0 {
+        return Err(format!("{}: trace contains no spans", path.display()));
+    }
+    if summary.coverage < 0.90 {
+        return Err(format!(
+            "{}: spans cover only {:.0}% of wall time (< 90%)",
+            path.display(),
+            summary.coverage * 100.0
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let root = workspace_root();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -127,14 +184,19 @@ fn main() -> ExitCode {
         "test" => test(&root),
         "lint-suite" => lint_suite(&root, deep),
         "bench" => bench(&root, smoke),
+        "trace" => match args.get(1).filter(|a| !a.starts_with("--")) {
+            Some(circuit) => trace(&root, circuit),
+            None => Err("trace needs a circuit name, e.g. `cargo xtask trace rd73`".into()),
+        },
         "all" => fmt(&root)
             .and_then(|()| clippy(&root))
             .and_then(|()| test(&root))
             .and_then(|()| lint_suite(&root, true))
-            .and_then(|()| bench(&root, true)),
+            .and_then(|()| bench(&root, true))
+            .and_then(|()| trace(&root, "rd73")),
         other => Err(format!(
             "unknown task '{other}' (expected fmt | clippy | test | lint-suite [--deep] | \
-             bench [--smoke] | all)"
+             bench [--smoke] | trace <circuit> | all)"
         )),
     };
     match result {
