@@ -171,6 +171,15 @@ pub struct Bdd {
     /// the slot count the cache is thrashing and doubles (up to
     /// [`MAX_CACHE_SLOTS`]), CUDD-style adaptive resizing.
     cache_pressure: u64,
+    /// Optional node cap (see [`Bdd::set_node_cap`]). `None` means the
+    /// manager grows without bound, as before.
+    node_cap: Option<usize>,
+    /// Poison flag: set when an allocation was refused because of the
+    /// node cap (or injected by the chaos layer). While set, `mk`
+    /// returns [`Ref::FALSE`] without touching the tables, so a capped
+    /// computation unwinds cheaply instead of thrashing; results are
+    /// garbage and must be discarded via [`Bdd::guarded`].
+    exhausted: bool,
     stats: StatCells,
     /// Scratch memo reused by [`Bdd::permute`] (cleared per call, never
     /// reallocated).
@@ -239,6 +248,8 @@ impl Bdd {
             cache: vec![EMPTY_SLOT; cache_slots],
             cache_mask: cache_slots - 1,
             cache_pressure: 0,
+            node_cap: None,
+            exhausted: false,
             stats: StatCells::default(),
             permute_memo: HashMap::new(),
             sat_memo: RefCell::new(HashMap::new()),
@@ -299,6 +310,59 @@ impl Bdd {
     /// Computed-cache slot count (fixed for the manager's lifetime).
     pub fn cache_capacity(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Caps the node store at `cap` nodes (including the two terminals);
+    /// `None` removes the cap. When an allocation would exceed the cap,
+    /// `mk` refuses it, poisons the manager, and returns [`Ref::FALSE`]
+    /// for this and every subsequent allocation until the poison is
+    /// cleared. Run capped work through [`Bdd::guarded`] to turn the
+    /// poison into a typed [`hyde_guard::OutOfBudget`].
+    pub fn set_node_cap(&mut self, cap: Option<usize>) {
+        self.node_cap = cap;
+    }
+
+    /// The node cap, if one is set.
+    pub fn node_cap(&self) -> Option<usize> {
+        self.node_cap
+    }
+
+    /// Whether the manager refused an allocation (poisoned state). All
+    /// refs produced since the poison was set are garbage.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Poisons the manager as if an allocation had just been refused.
+    /// Used by the chaos layer to simulate a unique-table allocation
+    /// failure at an arbitrary point.
+    pub fn inject_exhaustion(&mut self) {
+        self.exhausted = true;
+    }
+
+    /// Runs `f` against the manager and returns its result, or a typed
+    /// [`hyde_guard::OutOfBudget`] if the node cap was hit (or an
+    /// exhaustion was injected) at any point during `f`.
+    ///
+    /// Clears any pre-existing poison first, so one manager can host a
+    /// sequence of independently guarded computations. On error the
+    /// poison is also cleared, but nodes allocated before the refusal
+    /// remain (append-only manager) — callers that loop should budget
+    /// for that or build a fresh manager per attempt.
+    pub fn guarded<T>(
+        &mut self,
+        f: impl FnOnce(&mut Bdd) -> T,
+    ) -> Result<T, hyde_guard::OutOfBudget> {
+        self.exhausted = false;
+        let out = f(self);
+        if std::mem::take(&mut self.exhausted) {
+            Err(hyde_guard::OutOfBudget::new(
+                hyde_guard::Resource::BddNodes,
+                self.node_cap.unwrap_or(0) as u64,
+            ))
+        } else {
+            Ok(out)
+        }
     }
 
     /// Iterates over the non-terminal nodes as `(index, var, lo, hi)`
@@ -364,6 +428,12 @@ impl Bdd {
         if lo == hi {
             return lo;
         }
+        if self.exhausted {
+            // Poisoned: unwind without allocating. Every result derived
+            // from here on is garbage; `guarded` turns the flag into a
+            // typed error at the call boundary.
+            return Ref::FALSE;
+        }
         self.stats
             .unique_lookups
             .set(self.stats.unique_lookups.get() + 1);
@@ -389,6 +459,12 @@ impl Bdd {
         self.stats
             .unique_probes
             .set(self.stats.unique_probes.get() + probes);
+        if let Some(cap) = self.node_cap {
+            if self.nodes.len() >= cap {
+                self.exhausted = true;
+                return Ref::FALSE;
+            }
+        }
         let r = Ref(self.nodes.len() as u32);
         self.nodes.push(Node { var, lo, hi });
         self.unique[idx] = r.0;
@@ -445,6 +521,11 @@ impl Bdd {
     /// memoization instead of thrashing.
     #[inline]
     fn cache_put(&mut self, op: Op, a: u32, b: u32, c: u32, result: Ref) {
+        if self.exhausted {
+            // Poisoned results must not be memoized: they would survive
+            // the `guarded` reset and corrupt later, in-budget work.
+            return;
+        }
         let idx = (mix3(a, b, c ^ ((op as u32) << 28)) as usize) & self.cache_mask;
         let slot = &mut self.cache[idx];
         if slot.op != 0 && !(slot.op == op as u8 && slot.a == a && slot.b == b && slot.c == c) {
@@ -1288,6 +1369,51 @@ mod tests {
             assert_eq!(bdd.eval(x1, m), bdd.eval(f, m) != bdd.eval(g, m));
         }
         assert!(bdd.stats().cache_evictions > 0, "tiny cache must evict");
+    }
+
+    #[test]
+    fn node_cap_poisons_instead_of_growing() {
+        let mut bdd = Bdd::new(12);
+        bdd.set_node_cap(Some(16));
+        // Full 12-bit parity needs ~2 nodes per level, well over 16.
+        let err = bdd
+            .guarded(|b| b.from_fn(|m| m.count_ones() % 2 == 1))
+            .unwrap_err();
+        assert_eq!(err.resource, hyde_guard::Resource::BddNodes);
+        assert_eq!(err.limit, 16);
+        assert!(bdd.len() <= 16, "cap must bound the node store");
+        // The guard clears the poison; once the cap is raised, new
+        // allocations succeed again (the store is append-only, so the
+        // failed attempt's nodes still count against the cap).
+        bdd.set_node_cap(Some(64));
+        let v = bdd.guarded(|b| b.var(0)).expect("tiny build fits");
+        assert_ne!(v, Ref::FALSE);
+    }
+
+    #[test]
+    fn guarded_passes_in_budget_work_through() {
+        let mut capped = Bdd::new(8);
+        capped.set_node_cap(Some(1 << 12));
+        let f = capped
+            .guarded(|b| b.from_fn(|m| m.count_ones() % 2 == 1))
+            .expect("parity fits in 4096 nodes");
+        let mut free = Bdd::new(8);
+        let g = free.from_fn(|m| m.count_ones() % 2 == 1);
+        for m in 0u32..256 {
+            assert_eq!(capped.eval(f, m), free.eval(g, m));
+        }
+    }
+
+    #[test]
+    fn injected_exhaustion_reports_as_out_of_budget() {
+        let mut bdd = Bdd::new(6);
+        bdd.inject_exhaustion();
+        assert!(bdd.is_exhausted());
+        // mk refuses while poisoned.
+        assert_eq!(bdd.var(3), Ref::FALSE);
+        let err = bdd.guarded(|b| b.inject_exhaustion()).unwrap_err();
+        assert_eq!(err.resource, hyde_guard::Resource::BddNodes);
+        assert!(!bdd.is_exhausted(), "guarded clears the poison");
     }
 
     #[test]

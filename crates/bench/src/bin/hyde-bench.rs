@@ -13,8 +13,10 @@
 #![warn(missing_docs)]
 
 use hyde_bench::perf::{
-    circuit_wall_ms, run_bench, run_bench_observed, to_json, totals_wall_ms, validate_json,
+    chaos_to_json, circuit_wall_ms, run_bench_budgeted, run_bench_observed_budgeted, run_chaos,
+    to_json, totals_wall_ms, validate_json, ChaosStatus,
 };
+use hyde_guard::Budget;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -32,7 +34,20 @@ Options:
   --circuits <LIST>  comma-separated circuit names to run (overrides --smoke)
   --k <K>            LUT size (default 5)
   --baseline <FILE>  embed FILE (an earlier hyde-bench JSON) as the baseline
-                     and record the end-to-end speedup over it
+                     and record the end-to-end speedup over it; exits 2 if
+                     FILE is missing or not a known benchmark schema
+  --chaos <SEED>     chaos drill: arm the deterministic fault-injection
+                     layer (budget exhaustions, BDD allocation failures,
+                     per-circuit panics) on SEED, isolate every circuit,
+                     and write CHAOS_<NAME>.json instead of a benchmark
+  --budget-ms <MS>          wall-clock deadline for the whole run
+  --budget-bdd-nodes <N>    cap live BDD nodes per manager
+  --budget-candidates <N>   cap bound-set candidates per decomposition step
+  --budget-sat-conflicts <N> cap SAT conflicts per solve
+                     (exhausting any budget degrades down the hyde-map
+                     fallback ladder instead of failing; the events are
+                     counted via hyde-obs and, under --chaos, recorded in
+                     the CHAOS JSON)
   --trace <FILE>     collect spans: embed the obs breakdown in the JSON and
                      write a Chrome trace to FILE plus a .folded flamegraph
                      next to it (HYDE_TRACE=<FILE> is equivalent)
@@ -49,6 +64,8 @@ struct Options {
     circuits: Option<Vec<String>>,
     k: usize,
     baseline: Option<String>,
+    chaos: Option<u64>,
+    budget: Budget,
     trace: Option<String>,
     stdout: bool,
 }
@@ -61,9 +78,18 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         circuits: None,
         k: 5,
         baseline: None,
+        chaos: None,
+        budget: Budget::unlimited(),
         trace: None,
         stdout: false,
     };
+    fn num<T: std::str::FromStr>(
+        it: &mut std::slice::Iter<String>,
+        flag: &str,
+    ) -> Result<T, String> {
+        let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("bad {flag} value '{v}'"))
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -84,6 +110,31 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--baseline" => {
                 opts.baseline = Some(it.next().ok_or("--baseline needs a file")?.clone());
+            }
+            "--chaos" => {
+                let v = it.next().ok_or("--chaos needs a seed")?;
+                opts.chaos = Some(v.parse().map_err(|_| format!("bad --chaos seed '{v}'"))?);
+            }
+            "--budget-ms" => {
+                let ms: u64 = num(&mut it, "--budget-ms")?;
+                opts.budget = opts
+                    .budget
+                    .with_deadline(std::time::Duration::from_millis(ms));
+            }
+            "--budget-bdd-nodes" => {
+                opts.budget = opts
+                    .budget
+                    .with_bdd_nodes(num(&mut it, "--budget-bdd-nodes")?);
+            }
+            "--budget-candidates" => {
+                opts.budget = opts
+                    .budget
+                    .with_candidates(num(&mut it, "--budget-candidates")?);
+            }
+            "--budget-sat-conflicts" => {
+                opts.budget = opts
+                    .budget
+                    .with_sat_conflicts(num(&mut it, "--budget-sat-conflicts")?);
             }
             "--trace" => {
                 opts.trace = Some(it.next().ok_or("--trace needs a file")?.clone());
@@ -137,6 +188,67 @@ fn smoke_overhead_check(run: &hyde_bench::perf::BenchRun) {
     }
 }
 
+/// The `--chaos` drill: arm deterministic fault injection, run every
+/// selected circuit with panic isolation, and write `CHAOS_<name>.json`.
+/// Injected panics and degradations are expected outcomes; the drill only
+/// fails on *typed* mapping errors, which mean a rung of the fallback
+/// ladder broke.
+fn run_chaos_mode(opts: &Options, selected: &[hyde_circuits::Circuit], seed: u64) -> ExitCode {
+    // Only this batch driver opts in to injected panics; library users
+    // and the lint suite never see process-level faults.
+    std::env::set_var("HYDE_CHAOS_PANIC", "1");
+    // Injected panics are expected and recorded in the report — silence
+    // the default all-caps panic banner for the duration of the drill.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let run = run_chaos(&opts.name, selected, opts.k, seed, opts.budget);
+    std::panic::set_hook(prev_hook);
+    std::env::remove_var("HYDE_CHAOS_PANIC");
+    eprintln!(
+        "hyde-bench: chaos drill over {} circuit(s), seed {seed}",
+        run.samples.len()
+    );
+    let mut failed = 0usize;
+    for s in &run.samples {
+        let status = match &s.status {
+            ChaosStatus::Ok { luts } => format!("ok (luts={luts})"),
+            ChaosStatus::Panicked { .. } => "panicked (isolated)".to_owned(),
+            ChaosStatus::Failed { error } => {
+                failed += 1;
+                format!("FAILED: {error}")
+            }
+        };
+        eprintln!(
+            "  {:<10} degradations={:<3} {status}",
+            s.name,
+            s.degradations.len()
+        );
+    }
+    let json = chaos_to_json(&run);
+    if opts.stdout {
+        println!("{json}");
+    } else {
+        let path = opts
+            .out
+            .clone()
+            .unwrap_or_else(|| format!("CHAOS_{}.json", opts.name));
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: cannot write '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("hyde-bench: wrote {path}");
+    }
+    eprintln!(
+        "hyde-bench: chaos totals: {} degradation(s), {failed} hard failure(s)",
+        run.total_degradations()
+    );
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -172,7 +284,13 @@ fn main() -> ExitCode {
     };
     let baseline = match &opts.baseline {
         Some(path) => match std::fs::read_to_string(path) {
-            Ok(s) => Some(s),
+            Ok(s) => {
+                if let Err(e) = validate_json(&s) {
+                    eprintln!("error: baseline '{path}' is not a recognized benchmark JSON: {e}");
+                    return ExitCode::from(2);
+                }
+                Some(s)
+            }
             Err(e) => {
                 eprintln!("error: cannot read baseline '{path}': {e}");
                 return ExitCode::from(2);
@@ -180,6 +298,9 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    if let Some(seed) = opts.chaos {
+        return run_chaos_mode(&opts, &selected, seed);
+    }
     eprintln!(
         "hyde-bench: {} circuit(s), k={}, run '{}'{}",
         selected.len(),
@@ -192,9 +313,9 @@ fn main() -> ExitCode {
         }
     );
     let result = if trace_path.is_some() {
-        run_bench_observed(&opts.name, &selected, opts.k)
+        run_bench_observed_budgeted(&opts.name, &selected, opts.k, opts.budget)
     } else {
-        run_bench(&opts.name, &selected, opts.k)
+        run_bench_budgeted(&opts.name, &selected, opts.k, opts.budget)
     };
     let run = match result {
         Ok(run) => run,

@@ -97,18 +97,59 @@ fn bdd_kernel(c: &Circuit) -> (usize, Option<f64>, Option<u64>) {
     )
 }
 
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+/// Maps one circuit with panic isolation: a panicking flow (a bug, or a
+/// chaos-injected fault) becomes a typed error instead of aborting the
+/// whole batch.
+fn map_isolated(
+    flow: &MappingFlow,
+    c: &Circuit,
+) -> Result<hyde_map::report::MappingReport, CoreError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        flow.map_outputs(&c.name, &c.outputs)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(CoreError::Verification(format!(
+            "circuit '{}' panicked: {}",
+            c.name,
+            panic_message(payload.as_ref())
+        )))
+    })
+}
+
 /// Runs the HYDE flow (k-input LUTs) over `circuits`, measuring each.
 ///
 /// # Errors
 ///
-/// Propagates the first mapping failure.
+/// Propagates the first mapping failure. A panicking circuit surfaces as
+/// [`CoreError::Verification`] rather than aborting the process.
 pub fn run_bench(name: &str, circuits: &[Circuit], k: usize) -> Result<BenchRun, CoreError> {
-    let flow = MappingFlow::new(k, FlowKind::hyde(0xDA98));
+    run_bench_budgeted(name, circuits, k, hyde_guard::Budget::unlimited())
+}
+
+/// Like [`run_bench`], but with a resource [`hyde_guard::Budget`] on the
+/// flow: exhaustion degrades down the hyde-map fallback ladder (recorded
+/// as `DegradationEvent`s) instead of failing the run.
+pub fn run_bench_budgeted(
+    name: &str,
+    circuits: &[Circuit],
+    k: usize,
+    budget: hyde_guard::Budget,
+) -> Result<BenchRun, CoreError> {
+    let flow = MappingFlow::new(k, FlowKind::hyde(0xDA98)).with_budget(budget);
     let mut samples = Vec::with_capacity(circuits.len());
     for c in circuits {
         let _obs = hyde_obs::span!("bench.circuit");
         let start = Instant::now();
-        let report = flow.map_outputs(&c.name, &c.outputs)?;
+        let report = map_isolated(&flow, c)?;
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let (bdd_nodes, bdd_cache_hit_rate, bdd_unique_probes) = bdd_kernel(c);
         samples.push(CircuitSample {
@@ -146,9 +187,24 @@ pub fn run_bench_observed(
     circuits: &[Circuit],
     k: usize,
 ) -> Result<BenchRun, CoreError> {
+    run_bench_observed_budgeted(name, circuits, k, hyde_guard::Budget::unlimited())
+}
+
+/// [`run_bench_observed`] with a resource [`hyde_guard::Budget`] on the
+/// flow (see [`run_bench_budgeted`]).
+///
+/// # Errors
+///
+/// Propagates the first mapping failure.
+pub fn run_bench_observed_budgeted(
+    name: &str,
+    circuits: &[Circuit],
+    k: usize,
+    budget: hyde_guard::Budget,
+) -> Result<BenchRun, CoreError> {
     hyde_obs::reset();
     hyde_obs::enable();
-    let result = run_bench(name, circuits, k);
+    let result = run_bench_budgeted(name, circuits, k, budget);
     hyde_obs::disable();
     let mut run = result?;
     run.obs = Some(hyde_obs::report());
@@ -285,6 +341,230 @@ pub fn validate_json(json: &str) -> Result<(), String> {
     }
 }
 
+/// Schema tag of chaos-drill reports (`CHAOS_<name>.json`).
+pub const CHAOS_SCHEMA: &str = "hyde-chaos-v1";
+
+/// How one circuit fared under a chaos drill.
+#[derive(Debug, Clone)]
+pub enum ChaosStatus {
+    /// Mapped and passed the flow's CEC gate.
+    Ok {
+        /// LUTs in the (possibly degraded) network.
+        luts: usize,
+    },
+    /// The flow returned a typed error.
+    Failed {
+        /// The error text.
+        error: String,
+    },
+    /// The flow panicked (isolated per circuit; chaos injects these
+    /// deliberately when `HYDE_CHAOS_PANIC=1`).
+    Panicked {
+        /// The panic message.
+        message: String,
+    },
+}
+
+/// Per-circuit record of a chaos drill.
+#[derive(Debug, Clone)]
+pub struct ChaosSample {
+    /// Circuit name.
+    pub name: String,
+    /// Outcome.
+    pub status: ChaosStatus,
+    /// Degradation events the ladder recorded for this circuit.
+    pub degradations: Vec<hyde_guard::DegradationEvent>,
+}
+
+/// One full chaos drill over the suite.
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// Run label (`CHAOS_<name>.json`).
+    pub name: String,
+    /// The chaos seed driving the fault schedule.
+    pub seed: u64,
+    /// LUT size the flow targeted.
+    pub k: usize,
+    /// Per-circuit samples, in suite order.
+    pub samples: Vec<ChaosSample>,
+}
+
+impl ChaosRun {
+    /// Total degradation events across all circuits.
+    pub fn total_degradations(&self) -> usize {
+        self.samples.iter().map(|s| s.degradations.len()).sum()
+    }
+}
+
+/// Runs the HYDE flow over `circuits` with the chaos layer armed on
+/// `seed`: budget exhaustions, simulated BDD allocation failures and (when
+/// `HYDE_CHAOS_PANIC=1`) injected panics, every circuit isolated so the
+/// drill always completes. `budget` adds *real* resource caps on top of
+/// the injected ones (pass [`hyde_guard::Budget::unlimited`] for
+/// injection-only drills). Degradation events are drained per circuit and
+/// attached to its sample; every `Ok` sample's network already passed the
+/// flow's CEC verification gate.
+pub fn run_chaos(
+    name: &str,
+    circuits: &[Circuit],
+    k: usize,
+    seed: u64,
+    budget: hyde_guard::Budget,
+) -> ChaosRun {
+    let flow = MappingFlow::new(k, FlowKind::hyde(0xDA98))
+        .with_budget(budget)
+        .with_chaos(seed);
+    let mut samples = Vec::with_capacity(circuits.len());
+    // Start from a clean log so earlier runs cannot leak events in.
+    hyde_guard::drain_degradations();
+    for c in circuits {
+        let _obs = hyde_obs::span!("bench.chaos_circuit");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            flow.map_outputs(&c.name, &c.outputs)
+        }));
+        let status = match outcome {
+            Ok(Ok(report)) => ChaosStatus::Ok { luts: report.luts },
+            Ok(Err(e)) => ChaosStatus::Failed {
+                error: e.to_string(),
+            },
+            Err(payload) => ChaosStatus::Panicked {
+                message: panic_message(payload.as_ref()).to_owned(),
+            },
+        };
+        samples.push(ChaosSample {
+            name: c.name.clone(),
+            status,
+            degradations: hyde_guard::drain_degradations(),
+        });
+    }
+    ChaosRun {
+        name: name.to_owned(),
+        seed,
+        k,
+        samples,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut o = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => o.push_str("\\\""),
+            '\\' => o.push_str("\\\\"),
+            '\n' => o.push_str("\\n"),
+            '\t' => o.push_str("\\t"),
+            '\r' => o.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(o, "\\u{:04x}", c as u32);
+            }
+            c => o.push(c),
+        }
+    }
+    o
+}
+
+/// Serializes a chaos drill to `CHAOS_<name>.json` (schema
+/// [`CHAOS_SCHEMA`]).
+pub fn chaos_to_json(run: &ChaosRun) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"{CHAOS_SCHEMA}\",");
+    let _ = writeln!(s, "  \"name\": \"{}\",", json_escape(&run.name));
+    let _ = writeln!(s, "  \"seed\": {},", run.seed);
+    let _ = writeln!(s, "  \"k\": {},", run.k);
+    s.push_str("  \"circuits\": [\n");
+    for (i, c) in run.samples.iter().enumerate() {
+        let _ = write!(s, "    {{\"name\": \"{}\", ", json_escape(&c.name));
+        match &c.status {
+            ChaosStatus::Ok { luts } => {
+                let _ = write!(s, "\"status\": \"ok\", \"luts\": {luts}");
+            }
+            ChaosStatus::Failed { error } => {
+                let _ = write!(
+                    s,
+                    "\"status\": \"failed\", \"error\": \"{}\"",
+                    json_escape(error)
+                );
+            }
+            ChaosStatus::Panicked { message } => {
+                let _ = write!(
+                    s,
+                    "\"status\": \"panicked\", \"error\": \"{}\"",
+                    json_escape(message)
+                );
+            }
+        }
+        s.push_str(", \"degradations\": [");
+        for (j, e) in c.degradations.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"stage\": \"{}\", \"from\": \"{}\", \"to\": \"{}\", \
+                 \"resource\": \"{}\", \"injected\": {}}}",
+                if j > 0 { ", " } else { "" },
+                json_escape(&e.stage),
+                e.from,
+                e.to,
+                e.resource,
+                e.injected
+            );
+        }
+        s.push_str("]}");
+        if i + 1 < run.samples.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n");
+    let ok = run
+        .samples
+        .iter()
+        .filter(|s| matches!(s.status, ChaosStatus::Ok { .. }))
+        .count();
+    let failed = run
+        .samples
+        .iter()
+        .filter(|s| matches!(s.status, ChaosStatus::Failed { .. }))
+        .count();
+    let panicked = run
+        .samples
+        .iter()
+        .filter(|s| matches!(s.status, ChaosStatus::Panicked { .. }))
+        .count();
+    let _ = write!(
+        s,
+        "  \"totals\": {{\"ok\": {ok}, \"failed\": {failed}, \"panicked\": {panicked}, \
+         \"degradations\": {}}}",
+        run.total_degradations()
+    );
+    s.push_str("\n}\n");
+    s
+}
+
+/// Structural sanity check used by `cargo xtask chaos`: the document must
+/// carry the chaos schema tag, a circuits array, and a totals object
+/// reporting zero hard failures (a `failed` circuit means a rung of the
+/// fallback ladder broke, which the drill treats as a defect).
+pub fn validate_chaos_json(json: &str) -> Result<(), String> {
+    if !json.contains(&format!("\"schema\": \"{CHAOS_SCHEMA}\"")) {
+        return Err(format!("missing schema tag {CHAOS_SCHEMA}"));
+    }
+    if !json.contains("\"circuits\": [") {
+        return Err("missing circuits array".into());
+    }
+    let Some(pos) = json.find("\"failed\":") else {
+        return Err("missing totals.failed".into());
+    };
+    let after = json[pos + "\"failed\":".len()..].trim_start();
+    let end = after
+        .find(|ch: char| !ch.is_ascii_digit())
+        .unwrap_or(after.len());
+    match after[..end].parse::<usize>() {
+        Ok(0) => Ok(()),
+        Ok(n) => Err(format!("{n} circuit(s) failed with typed errors")),
+        Err(_) => Err("totals.failed not parsable".into()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +659,40 @@ mod tests {
         assert!(json.contains("\"obs\": {"));
         // The whole document, obs section included, must parse.
         hyde_obs::json::parse(&json).unwrap();
+    }
+
+    #[test]
+    fn chaos_json_round_trips_and_validates() {
+        let run = ChaosRun {
+            name: "unit".into(),
+            seed: 42,
+            k: 5,
+            samples: vec![
+                ChaosSample {
+                    name: "a".into(),
+                    status: ChaosStatus::Ok { luts: 7 },
+                    degradations: Vec::new(),
+                },
+                ChaosSample {
+                    name: "b".into(),
+                    status: ChaosStatus::Panicked {
+                        message: "chaos: injected panic".into(),
+                    },
+                    degradations: Vec::new(),
+                },
+            ],
+        };
+        let json = chaos_to_json(&run);
+        validate_chaos_json(&json).unwrap();
+        hyde_obs::json::parse(&json).unwrap();
+
+        let mut failed = run.clone();
+        failed.samples[0].status = ChaosStatus::Failed {
+            error: "rung broke".into(),
+        };
+        let err = validate_chaos_json(&chaos_to_json(&failed)).unwrap_err();
+        assert!(err.contains("failed"), "{err}");
+        assert!(validate_chaos_json("{}").is_err());
     }
 
     #[test]

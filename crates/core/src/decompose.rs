@@ -132,6 +132,23 @@ pub fn decompose_step(
     encoder: &EncoderKind,
     k: usize,
 ) -> Result<Decomposition, CoreError> {
+    decompose_step_budgeted(f, bound, encoder, k, &hyde_guard::Budget::unlimited())
+}
+
+/// Like [`decompose_step`], but the encoder's internal searches run under
+/// `budget` and fail with [`CoreError::OutOfBudget`] instead of blowing
+/// up on adversarial class structures.
+///
+/// # Errors
+///
+/// As [`decompose_step`], plus [`CoreError::OutOfBudget`].
+pub fn decompose_step_budgeted(
+    f: &TruthTable,
+    bound: &[usize],
+    encoder: &EncoderKind,
+    k: usize,
+    budget: &hyde_guard::Budget,
+) -> Result<Decomposition, CoreError> {
     let _obs = hyde_obs::span!("decompose.step");
     hyde_obs::counter("decompose.steps", 1);
     let chart = {
@@ -142,7 +159,9 @@ pub fn decompose_step(
     hyde_obs::counter("decompose.classes", classes.len() as u64);
     let codes = {
         let _obs = hyde_obs::span!("encoding.encode");
-        encoder.build().encode(classes, k)?
+        let mut enc = encoder.build();
+        enc.set_budget(*budget);
+        enc.encode(classes, k)?
     };
     let alphas = build_alphas(classes.class_map(), &codes, bound.len());
     let (image, image_dc) = build_image(classes, &codes);
@@ -206,6 +225,11 @@ pub struct Decomposer {
     k: usize,
     encoder: EncoderKind,
     partitioner: VariablePartitioner,
+    budget: hyde_guard::Budget,
+    chaos: Option<hyde_guard::Chaos>,
+    /// Chaos site context (usually the circuit name); combined with the
+    /// node prefix it keys injection deterministically.
+    chaos_ctx: String,
 }
 
 impl Decomposer {
@@ -220,6 +244,9 @@ impl Decomposer {
             k,
             encoder,
             partitioner: VariablePartitioner::default(),
+            budget: hyde_guard::Budget::unlimited(),
+            chaos: None,
+            chaos_ctx: String::new(),
         }
     }
 
@@ -227,6 +254,28 @@ impl Decomposer {
     pub fn with_partitioner(mut self, partitioner: VariablePartitioner) -> Self {
         self.partitioner = partitioner;
         self
+    }
+
+    /// Applies a resource budget: the λ-set search fails with
+    /// [`CoreError::OutOfBudget`] instead of evaluating more candidates
+    /// (or growing a BDD larger) than the budget allows, and an expired
+    /// deadline aborts the recursion at the next step boundary.
+    pub fn with_budget(mut self, budget: hyde_guard::Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Arms deterministic fault injection. `ctx` (usually the circuit
+    /// name) keys the injection sites together with each node prefix.
+    pub fn with_chaos(mut self, chaos: Option<hyde_guard::Chaos>, ctx: &str) -> Self {
+        self.chaos = chaos;
+        self.chaos_ctx = ctx.to_string();
+        self
+    }
+
+    /// The resource budget in force.
+    pub fn budget(&self) -> &hyde_guard::Budget {
+        &self.budget
     }
 
     /// Target LUT size κ.
@@ -312,21 +361,37 @@ impl Decomposer {
                 .add_node(prefix, signals.to_vec(), f.clone())
                 .map_err(CoreError::from);
         }
+        // Budget gates fire only on non-trivial steps: k-feasible
+        // functions above never cost anything worth bounding.
+        self.budget.check_deadline()?;
+        if let Some(chaos) = self.chaos {
+            let site = format!("exact:{}:{}", self.chaos_ctx, prefix);
+            if chaos.trips(&site, 4) {
+                return Err(CoreError::OutOfBudget(hyde_guard::OutOfBudget::injected(
+                    hyde_guard::Resource::Candidates,
+                )));
+            }
+        }
         // Choose a λ set of size k (classes must fit in < k bits to make
         // progress: t + (n-k) < n). Prefer bound sets avoiding pseudo
         // signals; fall back to the unrestricted search.
+        let vp = self.partitioner.clone().with_budget(&self.budget);
         let clean: Vec<usize> = (0..f.vars())
             .filter(|&v| !avoid.contains(&signals[v]))
             .collect();
         let mut pick = if clean.len() >= self.k && !avoid.is_empty() {
-            self.partitioner
-                .best_bound_set_among(f, self.k, &clean)
-                .ok()
+            match vp.best_bound_set_among(f, self.k, &clean) {
+                Ok(p) => Some(p),
+                // Budget exhaustion must surface, not be swallowed like
+                // an infeasible clean bound set.
+                Err(e @ CoreError::OutOfBudget(_)) => return Err(e),
+                Err(_) => None,
+            }
         } else {
             None
         };
         if pick.as_ref().is_none_or(|(_, c)| ceil_log2(*c) >= self.k) {
-            let unrestricted = self.partitioner.best_bound_set(f, self.k)?;
+            let unrestricted = vp.best_bound_set(f, self.k)?;
             let take_unrestricted = match &pick {
                 None => true,
                 // Only give up the clean bound set if it makes no progress
@@ -337,7 +402,8 @@ impl Decomposer {
                 pick = Some(unrestricted);
             }
         }
-        let (bound, class_cnt) = pick.expect("a bound set was selected");
+        let (bound, class_cnt) =
+            pick.ok_or_else(|| CoreError::InvalidBoundSet("no bound set selected".into()))?;
         let t = ceil_log2(class_cnt);
         if t >= self.k {
             // No gainful bound set: Shannon-expand, preferring a pseudo
@@ -379,7 +445,7 @@ impl Decomposer {
                 .map_err(CoreError::from);
         }
         stats.steps += 1;
-        let d = decompose_step(f, &bound, &self.encoder, self.k)?;
+        let d = decompose_step_budgeted(f, &bound, &self.encoder, self.k, &self.budget)?;
         if !d.verify(f) {
             return Err(CoreError::Verification(format!(
                 "recomposition mismatch at node {prefix}"
@@ -512,7 +578,12 @@ fn bdd_rec(
             best = Some((cand, classes));
         }
     }
-    let (bound, classes) = best.expect("budget > 0 produces a candidate");
+    let (bound, classes) = best.ok_or_else(|| {
+        CoreError::OutOfBudget(hyde_guard::OutOfBudget::new(
+            hyde_guard::Resource::Candidates,
+            budget as u64,
+        ))
+    })?;
     let t = crate::encoding::ceil_log2(classes);
     if t >= k {
         // Shannon fallback on the first support variable.

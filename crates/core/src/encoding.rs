@@ -263,6 +263,12 @@ pub trait Encoder {
         classes: &CompatibleClasses,
         k: usize,
     ) -> Result<CodeAssignment, CoreError>;
+
+    /// Applies a resource budget. Encoders whose internal searches can
+    /// blow up (the HYDE encoder's λ-set selection) honor it by failing
+    /// with [`CoreError::OutOfBudget`]; the default implementation
+    /// ignores the budget (cheap encoders have nothing to bound).
+    fn set_budget(&mut self, _budget: hyde_guard::Budget) {}
 }
 
 impl EncoderKind {
@@ -275,7 +281,10 @@ impl EncoderKind {
                 seed: *seed,
                 iters: *iters,
             }),
-            EncoderKind::Hyde { seed } => Box::new(HydeEncoder { seed: *seed }),
+            EncoderKind::Hyde { seed } => Box::new(HydeEncoder {
+                seed: *seed,
+                budget: hyde_guard::Budget::unlimited(),
+            }),
             EncoderKind::SupportMin { seed, iters } => Box::new(SupportMinEncoder {
                 seed: *seed,
                 iters: *iters,
@@ -301,6 +310,10 @@ struct CheckedEncoder {
 
 #[cfg(any(debug_assertions, feature = "strict-checks"))]
 impl Encoder for CheckedEncoder {
+    fn set_budget(&mut self, budget: hyde_guard::Budget) {
+        self.inner.set_budget(budget);
+    }
+
     fn encode(
         &mut self,
         classes: &CompatibleClasses,
@@ -467,9 +480,14 @@ impl Encoder for SupportMinEncoder {
 /// The HYDE encoder (Figure 3). See module docs for the procedure.
 struct HydeEncoder {
     seed: u64,
+    budget: hyde_guard::Budget,
 }
 
 impl Encoder for HydeEncoder {
+    fn set_budget(&mut self, budget: hyde_guard::Budget) {
+        self.budget = budget;
+    }
+
     fn encode(
         &mut self,
         classes: &CompatibleClasses,
@@ -494,7 +512,7 @@ impl Encoder for HydeEncoder {
             // The image is κ-feasible after vacuous-variable removal.
             return Ok(lex);
         }
-        let partitioner = VariablePartitioner::default();
+        let partitioner = VariablePartitioner::default().with_budget(&self.budget);
         let (lambda2, _) = partitioner.best_bound_set(&g_on, k)?;
         // Split λ' into α variables (code bits) and inner free variables.
         let a_cols: Vec<usize> = lambda2.iter().copied().filter(|&v| v < t).collect();
@@ -515,7 +533,7 @@ impl Encoder for HydeEncoder {
 
         // Step 4: class partitions over the inner bound positions, global
         // symbol alphabet over actual column patterns.
-        let partitions = class_partitions(classes, &y1);
+        let partitions = class_partitions(classes, &y1)?;
 
         // Step 5: column sets via b-matching.
         let col_sets = combine_column_sets(&partitions, n_rows);
@@ -551,7 +569,10 @@ impl Encoder for HydeEncoder {
 /// Builds the partitions `Π_i` of every class function with respect to the
 /// inner bound set `y1`, over a global symbol alphabet (equal symbols across
 /// classes iff equal column patterns).
-pub fn class_partitions(classes: &CompatibleClasses, y1: &[usize]) -> Vec<Partition> {
+pub fn class_partitions(
+    classes: &CompatibleClasses,
+    y1: &[usize],
+) -> Result<Vec<Partition>, CoreError> {
     let mu = classes.class_fn(0).vars();
     let mut alphabet: HashMap<TruthTable, u32> = HashMap::new();
     let mut out = Vec::with_capacity(classes.len());
@@ -562,7 +583,7 @@ pub fn class_partitions(classes: &CompatibleClasses, y1: &[usize]) -> Vec<Partit
             let id = *alphabet.entry(fc.clone()).or_insert(next);
             vec![id]
         } else {
-            let (bound, free) = split_bound_free(mu, y1).expect("validated by caller");
+            let (bound, free) = split_bound_free(mu, y1)?;
             column_patterns(fc, &bound, &free)
                 .into_iter()
                 .map(|pat| {
@@ -573,7 +594,7 @@ pub fn class_partitions(classes: &CompatibleClasses, y1: &[usize]) -> Vec<Partit
         };
         out.push(Partition::new(symbols));
     }
-    out
+    Ok(out)
 }
 
 /// Step 5: evaluates which classes should be bound in the same column of

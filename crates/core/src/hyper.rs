@@ -416,9 +416,13 @@ impl HyperNetwork {
                 let name = merged.node_name(id);
                 name.strip_prefix('x')
                     .and_then(|s| s.parse::<usize>().ok())
-                    .expect("real inputs are named x<i>")
+                    .ok_or_else(|| {
+                        CoreError::Verification(format!(
+                            "implemented input '{name}' is not named x<i>"
+                        ))
+                    })
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         // Scan the minterm space in contiguous blocks on worker threads;
         // evaluation is pure per minterm. Blocks report their first
         // mismatch, and walking the reports in block order reproduces the

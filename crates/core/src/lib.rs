@@ -81,6 +81,10 @@ pub enum CoreError {
     Verification(String),
     /// Underlying logic error.
     Logic(hyde_logic::LogicError),
+    /// A resource budget was exhausted (or chaos-injected). Callers on
+    /// the fallback ladder step down one rung on this variant instead of
+    /// aborting.
+    OutOfBudget(hyde_guard::OutOfBudget),
 }
 
 impl std::fmt::Display for CoreError {
@@ -93,6 +97,7 @@ impl std::fmt::Display for CoreError {
             ),
             CoreError::Verification(msg) => write!(f, "verification failed: {msg}"),
             CoreError::Logic(e) => write!(f, "{e}"),
+            CoreError::OutOfBudget(e) => write!(f, "{e}"),
         }
     }
 }
@@ -109,5 +114,11 @@ impl std::error::Error for CoreError {
 impl From<hyde_logic::LogicError> for CoreError {
     fn from(e: hyde_logic::LogicError) -> Self {
         CoreError::Logic(e)
+    }
+}
+
+impl From<hyde_guard::OutOfBudget> for CoreError {
+    fn from(e: hyde_guard::OutOfBudget) -> Self {
+        CoreError::OutOfBudget(e)
     }
 }

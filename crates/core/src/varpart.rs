@@ -58,6 +58,13 @@ pub struct VariablePartitioner {
     /// Use BDD cut counting instead of chart hashing above this support
     /// size (BDD restricts are cheaper than materializing wide charts).
     bdd_threshold: usize,
+    /// Hard cap on the number of candidates a search may evaluate; a
+    /// search needing more fails with [`CoreError::OutOfBudget`].
+    candidate_cap: Option<usize>,
+    /// Node cap applied to the per-worker BDD managers on the cut-count
+    /// path (root build only, so the outcome is identical at any
+    /// `HYDE_THREADS`).
+    bdd_node_cap: Option<usize>,
 }
 
 impl Default for VariablePartitioner {
@@ -68,6 +75,8 @@ impl Default for VariablePartitioner {
                 seed: 0x9D5E_C0DE,
             },
             bdd_threshold: 12,
+            candidate_cap: None,
+            bdd_node_cap: None,
         }
     }
 }
@@ -79,6 +88,16 @@ impl VariablePartitioner {
             strategy,
             ..Self::default()
         }
+    }
+
+    /// Applies the candidate and BDD-node limits from a pipeline budget.
+    /// Searches exceeding either limit fail with
+    /// [`CoreError::OutOfBudget`] so the caller can step down the
+    /// fallback ladder.
+    pub fn with_budget(mut self, budget: &hyde_guard::Budget) -> Self {
+        self.candidate_cap = budget.candidates;
+        self.bdd_node_cap = budget.bdd_nodes;
+        self
     }
 
     /// Finds the bound set of size `k` (over the support of `f`) with the
@@ -198,6 +217,14 @@ impl VariablePartitioner {
     ) -> Result<(Vec<usize>, usize), CoreError> {
         let _obs = hyde_obs::span!("varpart.select_best");
         hyde_obs::counter("varpart.candidates", candidates.len() as u64);
+        if let Some(cap) = self.candidate_cap {
+            if candidates.len() > cap {
+                return Err(CoreError::OutOfBudget(hyde_guard::OutOfBudget::new(
+                    hyde_guard::Resource::Candidates,
+                    cap as u64,
+                )));
+            }
+        }
         let threads = parallel::thread_count();
         let counts: Vec<Result<usize, CoreError>> = if f.vars() > self.bdd_threshold {
             parallel::map_chunked_init(
@@ -206,10 +233,18 @@ impl VariablePartitioner {
                 threads,
                 || {
                     let mut b = hyde_bdd::Bdd::with_capacity(f.vars(), 1 << 12);
-                    let root = b.from_fn(|m| f.eval(m));
+                    // Cap only the root build: it is identical in every
+                    // worker, so success or failure cannot depend on how
+                    // candidates are chunked across threads.
+                    b.set_node_cap(self.bdd_node_cap);
+                    let root = b.guarded(|b| b.from_fn(|m| f.eval(m)));
+                    b.set_node_cap(None);
                     (b, root)
                 },
-                |(b, root), cand| Ok(b.compatible_class_count(*root, cand)),
+                |(b, root), cand| match root {
+                    Ok(r) => Ok(b.compatible_class_count(*r, cand)),
+                    Err(e) => Err(CoreError::OutOfBudget(*e)),
+                },
             )
         } else {
             parallel::map_chunked("varpart.score", &candidates, threads, |cand| {
@@ -380,10 +415,12 @@ mod tests {
         let chart_vp = VariablePartitioner {
             strategy: SearchStrategy::Exhaustive,
             bdd_threshold: 30,
+            ..VariablePartitioner::default()
         };
         let bdd_vp = VariablePartitioner {
             strategy: SearchStrategy::Exhaustive,
             bdd_threshold: 1,
+            ..VariablePartitioner::default()
         };
         let a = chart_vp.best_bound_set(&f, 3).unwrap();
         let b = bdd_vp.best_bound_set(&f, 3).unwrap();
@@ -416,6 +453,49 @@ mod tests {
         let pruned = vp.best_bound_set_pruned(&sym, 4).unwrap();
         assert_eq!(plain.1, pruned.1);
         assert_eq!(pruned.0, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn candidate_cap_fails_typed_not_silent() {
+        let f = (TruthTable::var(6, 0) & TruthTable::var(6, 1) & TruthTable::var(6, 2))
+            | (TruthTable::var(6, 3) & TruthTable::var(6, 4) & TruthTable::var(6, 5));
+        // C(6,3) = 20 candidates; a cap of 5 must trip.
+        let vp = VariablePartitioner::new(SearchStrategy::Exhaustive)
+            .with_budget(&hyde_guard::Budget::unlimited().with_candidates(5));
+        match vp.best_bound_set(&f, 3) {
+            Err(CoreError::OutOfBudget(e)) => {
+                assert_eq!(e.resource, hyde_guard::Resource::Candidates);
+                assert_eq!(e.limit, 5);
+            }
+            other => panic!("expected OutOfBudget, got {other:?}"),
+        }
+        // A cap above the candidate count changes nothing.
+        let roomy = VariablePartitioner::new(SearchStrategy::Exhaustive)
+            .with_budget(&hyde_guard::Budget::unlimited().with_candidates(50));
+        let plain = VariablePartitioner::new(SearchStrategy::Exhaustive);
+        assert_eq!(
+            roomy.best_bound_set(&f, 3).unwrap(),
+            plain.best_bound_set(&f, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn bdd_node_cap_fails_typed_on_cut_count_path() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(31);
+        let f = TruthTable::random(8, &mut rng);
+        let vp = VariablePartitioner {
+            strategy: SearchStrategy::Exhaustive,
+            bdd_threshold: 1, // force the BDD path
+            candidate_cap: None,
+            bdd_node_cap: Some(8), // a random 8-var function won't fit
+        };
+        match vp.best_bound_set(&f, 3) {
+            Err(CoreError::OutOfBudget(e)) => {
+                assert_eq!(e.resource, hyde_guard::Resource::BddNodes)
+            }
+            other => panic!("expected OutOfBudget, got {other:?}"),
+        }
     }
 
     #[test]

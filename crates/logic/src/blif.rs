@@ -78,7 +78,7 @@ pub fn parse(text: &str) -> Result<Network, LogicError> {
 
     let err = |line: usize, message: String| LogicError::Parse { line, message };
 
-    let mut model = String::from("top");
+    let mut model: Option<String> = None;
     let mut input_names: Vec<String> = Vec::new();
     let mut output_names: Vec<String> = Vec::new();
     // (line, fanin names, output name, rows)
@@ -99,8 +99,18 @@ pub fn parse(text: &str) -> Result<Network, LogicError> {
         }
         let mut parts = line.split_whitespace();
         let head = parts.next().unwrap();
+        if model.is_none() && head != ".model" {
+            return Err(err(*lineno, format!("{head} before .model")));
+        }
         match head {
-            ".model" => model = parts.next().unwrap_or("top").to_string(),
+            ".model" => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(*lineno, ".model needs a name".into()))?;
+                if model.replace(name.to_string()).is_some() {
+                    return Err(err(*lineno, "duplicate .model".into()));
+                }
+            }
             ".inputs" => input_names.extend(parts.map(str::to_owned)),
             ".outputs" => output_names.extend(parts.map(str::to_owned)),
             ".end" => break,
@@ -109,6 +119,17 @@ pub fn parse(text: &str) -> Result<Network, LogicError> {
                 let output = sigs
                     .pop()
                     .ok_or_else(|| err(*lineno, ".names needs at least an output".into()))?;
+                if sigs.len() > TruthTable::MAX_VARS {
+                    return Err(err(
+                        *lineno,
+                        format!(
+                            ".names {output:?} has {} fanins, more than the {}-variable \
+                             truth-table limit",
+                            sigs.len(),
+                            TruthTable::MAX_VARS
+                        ),
+                    ));
+                }
                 let mut rows = Vec::new();
                 while i < lines.len() {
                     let body = lines[i].1.trim().to_string();
@@ -149,6 +170,14 @@ pub fn parse(text: &str) -> Result<Network, LogicError> {
                     };
                     rows.push((cube, polarity));
                 }
+                if let Some(first) = rows.first().map(|(_, p)| *p) {
+                    if rows.iter().any(|(_, p)| *p != first) {
+                        return Err(err(
+                            *lineno,
+                            format!(".names {output:?} mixes on-set and off-set rows"),
+                        ));
+                    }
+                }
                 blocks.push(NamesBlock {
                     line: *lineno,
                     fanins: sigs,
@@ -163,26 +192,50 @@ pub fn parse(text: &str) -> Result<Network, LogicError> {
         }
     }
 
+    let model = model.ok_or_else(|| err(0, "missing .model".into()))?;
+
     // Build the network: inputs first, then .names blocks in dependency
     // order (iterate until all resolve).
     let mut net = Network::new(&model);
     let mut by_name: HashMap<String, NodeId> = HashMap::new();
     for name in &input_names {
+        if by_name.contains_key(name) {
+            return Err(err(0, format!("duplicate input {name:?}")));
+        }
         let id = net.add_input(name);
         by_name.insert(name.clone(), id);
     }
+    let mut defined: HashMap<&str, usize> = HashMap::new();
+    for b in &blocks {
+        if input_names.iter().any(|n| n == &b.output) {
+            return Err(err(
+                b.line,
+                format!(".names redefines primary input {:?}", b.output),
+            ));
+        }
+        if defined.insert(&b.output, b.line).is_some() {
+            return Err(err(
+                b.line,
+                format!("duplicate definition of {:?}", b.output),
+            ));
+        }
+    }
     let mut remaining: Vec<&NamesBlock> = blocks.iter().collect();
+    let mut build_err: Option<LogicError> = None;
     while !remaining.is_empty() {
         let before = remaining.len();
         remaining.retain(|b| {
+            if build_err.is_some() {
+                return true;
+            }
             let resolved: Option<Vec<NodeId>> =
                 b.fanins.iter().map(|n| by_name.get(n).copied()).collect();
             match resolved {
                 None => true, // keep for a later pass
                 Some(fanins) => {
                     let nv = fanins.len();
-                    // Mixed polarities are not allowed in BLIF; use the
-                    // first row's polarity (all rows must agree).
+                    // Rows agree in polarity (checked during parsing);
+                    // an empty body denotes constant 0.
                     let polarity = b.rows.first().is_none_or(|(_, p)| *p);
                     let mut t = TruthTable::zero(nv);
                     for (cube, _) in &b.rows {
@@ -191,14 +244,25 @@ pub fn parse(text: &str) -> Result<Network, LogicError> {
                     if !polarity {
                         t = !&t;
                     }
-                    let id = net
-                        .add_node(&b.output, fanins, t)
-                        .expect("arity checked during parsing");
-                    by_name.insert(b.output.clone(), id);
-                    false
+                    match net.add_node(&b.output, fanins, t) {
+                        Ok(id) => {
+                            by_name.insert(b.output.clone(), id);
+                            false
+                        }
+                        Err(e) => {
+                            build_err = Some(err(
+                                b.line,
+                                format!("cannot build node {:?}: {e}", b.output),
+                            ));
+                            true
+                        }
+                    }
                 }
             }
         });
+        if let Some(e) = build_err {
+            return Err(e);
+        }
         if remaining.len() == before {
             let b = remaining[0];
             return Err(LogicError::Parse {

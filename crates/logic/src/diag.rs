@@ -12,6 +12,7 @@
 //! | `HY2xx` | hyper-functions                    |
 //! | `HY3xx` | BDD manager                        |
 //! | `HY4xx` | deep semantic proofs (SAT/BDD CEC) |
+//! | `HY5xx` | budgeted execution / degradation   |
 //!
 //! The model lives here, at the bottom of the crate stack, so that
 //! `hyde-core` and `hyde-map` can emit diagnostics without depending on
@@ -103,11 +104,25 @@ pub enum Code {
     /// HY406: a deep proof exhausted its conflict/time budget and is
     /// inconclusive.
     DeepProofBudget,
+    /// HY501: an output stepped down from exact Roth–Karp decomposition
+    /// to the BDD cut path after a budget exhaustion.
+    DegradedBddPath,
+    /// HY502: an output stepped down to a Shannon-cofactor split.
+    DegradedShannon,
+    /// HY503: an output stepped down to the direct-cover floor of the
+    /// fallback ladder.
+    DegradedDirectCover,
+    /// HY504: a resource budget was exhausted and no lower rung could
+    /// absorb it — the run produced no output for the affected circuit.
+    BudgetExhausted,
+    /// HY505: a degradation was caused by a chaos-injected fault rather
+    /// than a genuine resource exhaustion (`HYDE_CHAOS` armed).
+    ChaosInjected,
 }
 
 impl Code {
     /// All shipped codes, in numeric order.
-    pub const ALL: [Code; 20] = [
+    pub const ALL: [Code; 25] = [
         Code::NetworkCycle,
         Code::NetworkFaninExceedsK,
         Code::NetworkDangling,
@@ -128,6 +143,11 @@ impl Code {
         Code::DeepRecoveryMismatch,
         Code::DeepStuckNode,
         Code::DeepProofBudget,
+        Code::DegradedBddPath,
+        Code::DegradedShannon,
+        Code::DegradedDirectCover,
+        Code::BudgetExhausted,
+        Code::ChaosInjected,
     ];
 
     /// The stable `HYxxx` identifier.
@@ -153,6 +173,11 @@ impl Code {
             Code::DeepRecoveryMismatch => "HY404",
             Code::DeepStuckNode => "HY405",
             Code::DeepProofBudget => "HY406",
+            Code::DegradedBddPath => "HY501",
+            Code::DegradedShannon => "HY502",
+            Code::DegradedDirectCover => "HY503",
+            Code::BudgetExhausted => "HY504",
+            Code::ChaosInjected => "HY505",
         }
     }
 
@@ -161,13 +186,20 @@ impl Code {
     /// Hard invariant violations default to [`Severity::Deny`]; structural
     /// hygiene findings (dangling nodes, vacuous support, width padding,
     /// provably-constant nodes) default to [`Severity::Warn`] because
-    /// flows may legitimately produce them transiently.
+    /// flows may legitimately produce them transiently. Degradation
+    /// reports (`HY501`–`HY503`) warn — the output is still verified
+    /// correct, only its quality changed — and `HY505` is a note because
+    /// a chaos-injected fault says nothing about the input.
     pub fn default_severity(self) -> Severity {
         match self {
             Code::NetworkDangling
             | Code::NetworkVacuousSupport
             | Code::EncodingWidthMismatch
-            | Code::DeepStuckNode => Severity::Warn,
+            | Code::DeepStuckNode
+            | Code::DegradedBddPath
+            | Code::DegradedShannon
+            | Code::DegradedDirectCover => Severity::Warn,
+            Code::ChaosInjected => Severity::Note,
             _ => Severity::Deny,
         }
     }

@@ -103,14 +103,28 @@ impl Pla {
                 let dir = parts.next().unwrap_or("");
                 match dir {
                     "i" => {
-                        inputs = Some(
-                            parts
-                                .next()
-                                .and_then(|s| s.parse().ok())
-                                .ok_or_else(|| err(lineno, ".i needs a number".into()))?,
-                        )
+                        if !rows.is_empty() {
+                            return Err(err(lineno, ".i after data rows".into()));
+                        }
+                        let n: usize = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err(lineno, ".i needs a number".into()))?;
+                        if n > TruthTable::MAX_VARS {
+                            return Err(err(
+                                lineno,
+                                format!(
+                                    ".i {n} exceeds the {}-variable truth-table limit",
+                                    TruthTable::MAX_VARS
+                                ),
+                            ));
+                        }
+                        inputs = Some(n);
                     }
                     "o" => {
+                        if !rows.is_empty() {
+                            return Err(err(lineno, ".o after data rows".into()));
+                        }
                         outputs = Some(
                             parts
                                 .next()

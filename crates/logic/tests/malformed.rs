@@ -1,0 +1,96 @@
+//! Malformed-input corpus for the BLIF and PLA readers.
+//!
+//! Every file under `tests/fixtures/` is deliberately broken in a
+//! different way (missing `.model`, mixed cover polarities, duplicate
+//! definitions, truth-table-width overflow, directives after data rows,
+//! ...). The contract under test: the parsers return a structured
+//! [`LogicError::Parse`] for each of them and never panic — a crash on
+//! attacker-shaped or merely sloppy benchmark files must surface as a
+//! diagnostic, not take the process down.
+
+use hyde_logic::pla::Pla;
+use hyde_logic::LogicError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn fixtures() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// Parses one fixture by extension; `Ok(Err(_))` is the expected shape.
+fn parse_fixture(path: &PathBuf) -> std::thread::Result<Result<(), LogicError>> {
+    let text = std::fs::read_to_string(path).expect("fixture is readable");
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    catch_unwind(AssertUnwindSafe(|| match ext {
+        "blif" => hyde_logic::blif::parse(&text).map(|_| ()),
+        "pla" => Pla::parse(&text).map(|_| ()),
+        other => panic!("unexpected fixture extension {other:?}"),
+    }))
+}
+
+#[test]
+fn corpus_is_nonempty_and_covers_both_formats() {
+    let paths = fixtures();
+    assert!(paths
+        .iter()
+        .any(|p| p.extension().is_some_and(|e| e == "blif")));
+    assert!(paths
+        .iter()
+        .any(|p| p.extension().is_some_and(|e| e == "pla")));
+    assert!(paths.len() >= 15, "corpus shrank to {}", paths.len());
+}
+
+#[test]
+fn every_malformed_fixture_errors_without_panicking() {
+    for path in fixtures() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        match parse_fixture(&path) {
+            Err(_) => panic!("{name}: parser panicked on malformed input"),
+            Ok(Ok(())) => panic!("{name}: parser accepted malformed input"),
+            Ok(Err(LogicError::Parse { line, message })) => {
+                assert!(
+                    !message.is_empty(),
+                    "{name}: empty diagnostic message (line {line})"
+                );
+            }
+            Ok(Err(other)) => {
+                panic!("{name}: expected LogicError::Parse, got {other:?}")
+            }
+        }
+    }
+}
+
+#[test]
+fn diagnostics_point_at_the_offending_line() {
+    let text = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mixed_polarity.blif"),
+    )
+    .unwrap();
+    match hyde_logic::blif::parse(&text) {
+        Err(LogicError::Parse { line, message }) => {
+            assert_eq!(line, 4, "should blame the .names header line");
+            assert!(message.contains("mixes"), "{message}");
+        }
+        other => panic!("unexpected result {other:?}"),
+    }
+    match Pla::parse(".i 2\n.o 1\n0z 1\n.e\n") {
+        Err(LogicError::Parse { line, .. }) => assert_eq!(line, 3),
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+#[test]
+fn width_overflow_is_rejected_up_front() {
+    // 64 inputs is far past TruthTable::MAX_VARS; without the parser
+    // guard this would assert deep inside TruthTable::zero when the
+    // caller materializes an output.
+    let err = Pla::parse(".i 64\n.o 1\n.e\n").unwrap_err();
+    assert!(err.to_string().contains("limit"), "{err}");
+}

@@ -19,15 +19,18 @@
 use crate::cluster::cluster_outputs;
 use crate::report::MappingReport;
 use crate::xc3000::pack_clbs;
-use hyde_core::decompose::{DecomposeStats, Decomposer};
+use hyde_bdd::Bdd;
+use hyde_core::decompose::{decompose_bdd_to_network, DecomposeStats, Decomposer};
 use hyde_core::encoding::{ceil_log2, CodeAssignment, EncoderKind};
 use hyde_core::hyper::HyperFunction;
 use hyde_core::multichart::{joint_class_count, MultiChart};
 use hyde_core::varpart::VariablePartitioner;
 use hyde_core::CoreError;
+use hyde_guard::{Budget, Chaos, DegradationEvent, OutOfBudget, Resource, Rung};
 use hyde_logic::diag::{any_deny, Code, Diagnostic, Location};
 use hyde_logic::network::{project_to_support, structural_merge};
-use hyde_logic::{Network, NodeId, TruthTable};
+use hyde_logic::{Literal, Network, NodeId, NodeRole, SopCover, TruthTable};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Which flow to run.
@@ -103,6 +106,11 @@ pub struct MappingFlow {
     kind: FlowKind,
     /// Verification sample budget (exhaustive below this many minterms).
     verify_samples: usize,
+    /// Resource budget threaded through every decomposition step.
+    budget: Budget,
+    /// Deterministic fault-injection layer (armed from `HYDE_CHAOS` unless
+    /// overridden via [`MappingFlow::with_chaos`]).
+    chaos: Option<Chaos>,
 }
 
 impl MappingFlow {
@@ -117,12 +125,36 @@ impl MappingFlow {
             k,
             kind,
             verify_samples: 1 << 12,
+            budget: Budget::unlimited(),
+            chaos: Chaos::from_env(),
         }
     }
 
     /// Target LUT size.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Sets the resource budget enforced during decomposition. Exhausting
+    /// a budget does not fail the flow: each exhaustion steps the affected
+    /// output down one rung of the fallback ladder (exact Roth–Karp, BDD
+    /// cut decomposition, Shannon split, direct SOP cover).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Arms the deterministic chaos layer with an explicit seed, overriding
+    /// the `HYDE_CHAOS` environment variable. Identical seeds produce
+    /// identical fault schedules regardless of `HYDE_THREADS`.
+    pub fn with_chaos(mut self, seed: u64) -> Self {
+        self.chaos = Some(Chaos::new(seed));
+        self
+    }
+
+    /// The budget this flow enforces.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Maps a multi-output function vector (all outputs over the same
@@ -148,16 +180,23 @@ impl MappingFlow {
         }
         let _obs = hyde_obs::span!("map.outputs");
         hyde_obs::counter("map.output_functions", outputs.len() as u64);
+        // Chaos panic site: only armed when the batch driver opts in
+        // (HYDE_CHAOS_PANIC=1), so library users never see injected panics.
+        if let Some(chaos) = self.chaos {
+            if Chaos::panics_armed() && chaos.trips(&format!("panic:{name}"), 16) {
+                panic!("chaos: injected panic for circuit '{name}'");
+            }
+        }
         let start = Instant::now();
         let mut net = match &self.kind {
-            FlowKind::PerOutput { encoder } => self.per_output(outputs, encoder, false)?,
-            FlowKind::SharedAlpha { encoder } => self.per_output(outputs, encoder, true)?,
+            FlowKind::PerOutput { encoder } => self.per_output(name, outputs, encoder, false)?,
+            FlowKind::SharedAlpha { encoder } => self.per_output(name, outputs, encoder, true)?,
             FlowKind::ColumnEncoding { encoder } => self.column_encoding(outputs, encoder)?,
             FlowKind::Hyper {
                 encoder,
                 max_cluster,
                 max_union,
-            } => self.hyper_flow(outputs, encoder, *max_cluster, *max_union)?,
+            } => self.hyper_flow(name, outputs, encoder, *max_cluster, *max_union)?,
         };
         net.sweep();
         // The xl_cover step of the paper's script: collapse LUTs that fit
@@ -195,22 +234,232 @@ impl MappingFlow {
 
     fn per_output(
         &self,
+        name: &str,
         outputs: &[TruthTable],
         encoder: &EncoderKind,
         share: bool,
     ) -> Result<Network, CoreError> {
         let n = outputs[0].vars();
         let (mut net, inputs) = self.fresh_net(n);
-        let dec = Decomposer::new(self.k, encoder.clone());
         let mut stats = DecomposeStats::default();
         for (o, f) in outputs.iter().enumerate() {
-            let id = dec.decompose_onto(&mut net, f, &inputs, &format!("o{o}"), &mut stats)?;
+            let id = self.ladder_decompose(
+                &mut net,
+                f,
+                &inputs,
+                &format!("o{o}"),
+                &mut stats,
+                encoder,
+                name,
+            )?;
             net.mark_output(&format!("o{o}"), id);
         }
         if share {
             net = structural_merge("mapped", &[&net]);
         }
         Ok(net)
+    }
+
+    /// Decomposes `f` onto `net` through the fallback ladder: exact
+    /// Roth–Karp with compatible class encoding, then BDD cut decomposition
+    /// under the node cap, then a Shannon-cofactor split, then a direct SOP
+    /// cover. Each budget exhaustion (real or chaos-injected) steps down
+    /// exactly one rung and is recorded as a [`DegradationEvent`]; the
+    /// direct-cover floor cannot run out of budget, so every in-spec
+    /// function still maps.
+    #[allow(clippy::too_many_arguments)]
+    fn ladder_decompose(
+        &self,
+        net: &mut Network,
+        f: &TruthTable,
+        signals: &[NodeId],
+        prefix: &str,
+        stats: &mut DecomposeStats,
+        encoder: &EncoderKind,
+        ctx: &str,
+    ) -> Result<NodeId, CoreError> {
+        let degrade = |from: Rung, resource: Resource, injected: bool| {
+            hyde_guard::record_degradation(DegradationEvent {
+                context: ctx.to_owned(),
+                stage: prefix.to_owned(),
+                from,
+                to: from.next_down().unwrap_or(Rung::DirectCover),
+                resource,
+                injected,
+            });
+        };
+        // Rung 1: exact Roth–Karp decomposition.
+        let dec = Decomposer::new(self.k, encoder.clone())
+            .with_budget(self.budget)
+            .with_chaos(self.chaos, ctx);
+        match dec.decompose_onto(net, f, signals, prefix, stats) {
+            Ok(id) => return Ok(id),
+            Err(CoreError::OutOfBudget(ob)) => degrade(Rung::Exact, ob.resource, ob.injected),
+            Err(e) => return Err(e),
+        }
+        // Rung 2: BDD cut decomposition under the node cap. Partial nodes
+        // left behind by the failed exact attempt are unreachable from any
+        // output and disappear in the flow's sweep.
+        match self.bdd_rung(f, ctx, prefix) {
+            Ok(sub) => return splice_subnetwork(net, &sub, signals, &format!("{prefix}_r2")),
+            Err(CoreError::OutOfBudget(ob)) => {
+                degrade(Rung::BddThreshold, ob.resource, ob.injected);
+            }
+            Err(e) => return Err(e),
+        }
+        // Rung 3: Shannon cofactor split. Consumes no budgeted resource
+        // beyond the deadline, so it only degrades on an expired deadline
+        // or an injected fault.
+        let injected = self
+            .chaos
+            .is_some_and(|c| c.trips(&format!("shannon:{ctx}:{prefix}"), 4));
+        if injected {
+            degrade(Rung::Shannon, Resource::Candidates, true);
+        } else {
+            match self.budget.check_deadline() {
+                Ok(()) => return self.shannon_onto(net, f, signals, &format!("{prefix}_r3")),
+                Err(ob) => degrade(Rung::Shannon, ob.resource, ob.injected),
+            }
+        }
+        // Rung 4: direct SOP cover — the floor of the ladder.
+        self.direct_cover_onto(net, f, signals, &format!("{prefix}_r4"))
+    }
+
+    /// Rung 2 of the ladder: builds `f` as a BDD with the budget's node cap
+    /// installed and decomposes it by cut counting. Exhausting the cap (or
+    /// the chaos layer simulating a unique-table allocation failure)
+    /// surfaces as [`CoreError::OutOfBudget`].
+    fn bdd_rung(&self, f: &TruthTable, ctx: &str, prefix: &str) -> Result<Network, CoreError> {
+        self.budget.check_deadline()?;
+        if let Some(chaos) = self.chaos {
+            if chaos.trips(&format!("bdd:{ctx}:{prefix}"), 4) {
+                return Err(CoreError::OutOfBudget(OutOfBudget::injected(
+                    Resource::BddNodes,
+                )));
+            }
+        }
+        let mut bdd = Bdd::with_capacity(f.vars(), 1 << 12);
+        bdd.set_node_cap(self.budget.bdd_nodes);
+        let k = self.k;
+        match bdd.guarded(|b| {
+            let root = b.from_fn(|m| f.eval(m));
+            decompose_bdd_to_network(b, root, k, "r2", 64)
+        }) {
+            Ok(res) => res,
+            Err(ob) => Err(CoreError::OutOfBudget(ob)),
+        }
+    }
+
+    /// Rung 3 of the ladder: recursive Shannon expansion. Splits on the
+    /// highest support variable until the residue fits one LUT.
+    fn shannon_onto(
+        &self,
+        net: &mut Network,
+        f: &TruthTable,
+        signals: &[NodeId],
+        prefix: &str,
+    ) -> Result<NodeId, CoreError> {
+        let support = f.support();
+        if support.is_empty() {
+            return Ok(net.add_constant(prefix, f.eval(0)));
+        }
+        if support.len() <= self.k {
+            let table = project_to_support(f, &support);
+            let sigs: Vec<NodeId> = support.iter().map(|&v| signals[v]).collect();
+            return net.add_node(prefix, sigs, table).map_err(CoreError::from);
+        }
+        let var = support[support.len() - 1];
+        let lo = self.shannon_onto(net, &f.cofactor(var, false), signals, &format!("{prefix}l"))?;
+        let hi = self.shannon_onto(net, &f.cofactor(var, true), signals, &format!("{prefix}h"))?;
+        let mux = TruthTable::from_fn(3, |m| {
+            if m & 1 == 1 {
+                m >> 2 & 1 == 1
+            } else {
+                m >> 1 & 1 == 1
+            }
+        });
+        net.add_node(prefix, vec![signals[var], lo, hi], mux)
+            .map_err(CoreError::from)
+    }
+
+    /// Rung 4 of the ladder: direct cover. Chops an irredundant SOP cover
+    /// of `f` into κ-feasible AND trees (leaf LUTs absorb the literal
+    /// polarities) joined by an OR tree. Never consumes budget: this is
+    /// the guaranteed floor every function can reach.
+    fn direct_cover_onto(
+        &self,
+        net: &mut Network,
+        f: &TruthTable,
+        signals: &[NodeId],
+        prefix: &str,
+    ) -> Result<NodeId, CoreError> {
+        let cover = SopCover::isop(f);
+        if cover.cube_count() == 0 {
+            return Ok(net.add_constant(prefix, false));
+        }
+        let mut terms: Vec<NodeId> = Vec::with_capacity(cover.cube_count());
+        for (ci, cube) in cover.iter().enumerate() {
+            let lits: Vec<(usize, bool)> = (0..f.vars())
+                .filter_map(|v| match cube.literal(v) {
+                    Literal::Positive => Some((v, true)),
+                    Literal::Negative => Some((v, false)),
+                    Literal::DontCare => None,
+                })
+                .collect();
+            if lits.is_empty() {
+                // A literal-free cube is the tautology: f is constant one.
+                return Ok(net.add_constant(prefix, true));
+            }
+            let mut level: Vec<NodeId> = Vec::with_capacity(lits.len().div_ceil(self.k));
+            for (gi, chunk) in lits.chunks(self.k).enumerate() {
+                let sigs: Vec<NodeId> = chunk.iter().map(|&(v, _)| signals[v]).collect();
+                let pol: Vec<bool> = chunk.iter().map(|&(_, p)| p).collect();
+                let table = TruthTable::from_fn(chunk.len(), |m| {
+                    pol.iter().enumerate().all(|(i, &p)| (m >> i & 1 == 1) == p)
+                });
+                level.push(net.add_node(&format!("{prefix}_c{ci}a{gi}"), sigs, table)?);
+            }
+            terms.push(self.reduce_gate(net, level, true, &format!("{prefix}_c{ci}"))?);
+        }
+        self.reduce_gate(net, terms, false, prefix)
+    }
+
+    /// Reduces `level` to a single signal with a balanced tree of κ-input
+    /// AND (`is_and`) or OR gates.
+    fn reduce_gate(
+        &self,
+        net: &mut Network,
+        mut level: Vec<NodeId>,
+        is_and: bool,
+        prefix: &str,
+    ) -> Result<NodeId, CoreError> {
+        let mut round = 0usize;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(self.k));
+            for (gi, chunk) in level.chunks(self.k).enumerate() {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                    continue;
+                }
+                let a = chunk.len();
+                let mask = (1u32 << a) - 1;
+                let table = TruthTable::from_fn(a, |m| {
+                    if is_and {
+                        m & mask == mask
+                    } else {
+                        m & mask != 0
+                    }
+                });
+                next.push(net.add_node(
+                    &format!("{prefix}g{round}_{gi}"),
+                    chunk.to_vec(),
+                    table,
+                )?);
+            }
+            level = next;
+            round += 1;
+        }
+        Ok(level[0])
     }
 
     /// FGSyn-style multi-output decomposition: one joint chart, shared α.
@@ -291,7 +540,7 @@ impl MappingFlow {
                 (b, c)
             })
             .min_by_key(|(b, c)| (*c, b.clone()))
-            .expect("at least one candidate");
+            .ok_or_else(|| CoreError::InvalidBoundSet("no joint bound-set candidate".into()))?;
         let t = ceil_log2(classes);
         if t >= self.k {
             // Joint decomposition not gainful: fall back to per-output.
@@ -320,9 +569,11 @@ impl MappingFlow {
                     .class_map()
                     .iter()
                     .position(|&x| x == cls)
-                    .expect("class has a column")
+                    .ok_or_else(|| {
+                        CoreError::Verification(format!("joint class {cls} has no chart column"))
+                    })
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let per_f: Vec<Vec<TruthTable>> = fs
             .iter()
             .map(|f| chart_columns(f, &bound, chart.free()))
@@ -372,13 +623,16 @@ impl MappingFlow {
     /// The HYDE hyper-function flow.
     fn hyper_flow(
         &self,
+        name: &str,
         outputs: &[TruthTable],
         encoder: &EncoderKind,
         max_cluster: usize,
         max_union: usize,
     ) -> Result<Network, CoreError> {
         let clusters = cluster_outputs(outputs, max_cluster, max_union);
-        let dec = Decomposer::new(self.k, encoder.clone());
+        let dec = Decomposer::new(self.k, encoder.clone())
+            .with_budget(self.budget)
+            .with_chaos(self.chaos, name);
         let mut parts: Vec<Network> = Vec::new();
         for cluster in &clusters {
             if cluster.len() == 1 {
@@ -386,22 +640,36 @@ impl MappingFlow {
                 let mut stats = DecomposeStats::default();
                 let n = outputs[o].vars();
                 let (mut net, inputs) = self.fresh_net(n);
-                let id = dec.decompose_onto(
+                let id = self.ladder_decompose(
                     &mut net,
                     &outputs[o],
                     &inputs,
                     &format!("o{o}"),
                     &mut stats,
+                    encoder,
+                    name,
                 )?;
                 net.mark_output(&format!("o{o}"), id);
                 parts.push(net);
             } else {
                 let ingredients: Vec<TruthTable> =
                     cluster.iter().map(|&o| outputs[o].clone()).collect();
-                // Candidate A: fold into a hyper-function and share.
-                let h = HyperFunction::new(ingredients.clone(), encoder, self.k)?;
-                let hn = h.decompose(&dec)?;
-                let mut hyper_net = hn.implement_ingredients()?;
+                // Candidate A: fold into a hyper-function and share. A
+                // budget exhaustion anywhere inside the hyper path falls
+                // back to the per-output candidate, whose ladder carries
+                // its own degradation floor.
+                let hyper_net = match (|| -> Result<Network, CoreError> {
+                    let h = HyperFunction::new(ingredients.clone(), encoder, self.k)?;
+                    let hn = h.decompose(&dec)?;
+                    hn.implement_ingredients()
+                })() {
+                    Ok(net) => Some(net),
+                    Err(CoreError::OutOfBudget(_)) => {
+                        hyde_obs::counter("guard.hyper_fallback", 1);
+                        None
+                    }
+                    Err(e) => return Err(e),
+                };
                 // Candidate B: per-output decomposition with structural
                 // sharing. Hyper-functions are a sharing *opportunity*; the
                 // flow keeps whichever implementation is smaller, as the
@@ -410,22 +678,29 @@ impl MappingFlow {
                 let (mut solo_net, inputs) = self.fresh_net(n);
                 let mut stats = DecomposeStats::default();
                 for (i, f) in ingredients.iter().enumerate() {
-                    let id = dec.decompose_onto(
+                    let id = self.ladder_decompose(
                         &mut solo_net,
                         f,
                         &inputs,
                         &format!("f{i}"),
                         &mut stats,
+                        encoder,
+                        name,
                     )?;
                     solo_net.mark_output(&format!("f{i}"), id);
                 }
                 let mut solo_net = structural_merge("solo", &[&solo_net]);
                 solo_net.sweep();
-                hyper_net.sweep();
-                let mut best = if hyper_net.internal_count() <= solo_net.internal_count() {
-                    hyper_net
-                } else {
-                    solo_net
+                let mut best = match hyper_net {
+                    Some(mut hyper_net) => {
+                        hyper_net.sweep();
+                        if hyper_net.internal_count() <= solo_net.internal_count() {
+                            hyper_net
+                        } else {
+                            solo_net
+                        }
+                    }
+                    None => solo_net,
                 };
                 // Outputs are named f0.. in cluster order: map back.
                 let names: Vec<String> = cluster.iter().map(|&o| format!("o{o}")).collect();
@@ -484,16 +759,26 @@ impl MappingFlow {
             return out;
         }
         // Wide circuits: strided sample of the minterm space.
-        let pi_positions: Vec<usize> = net
-            .inputs()
-            .iter()
-            .map(|&id| {
-                net.node_name(id)
-                    .strip_prefix('x')
-                    .and_then(|s| s.parse::<usize>().ok())
-                    .expect("flow inputs are named x<i>")
-            })
-            .collect();
+        let mut pi_positions: Vec<usize> = Vec::with_capacity(net.inputs().len());
+        for &id in net.inputs() {
+            match net
+                .node_name(id)
+                .strip_prefix('x')
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                Some(p) => pi_positions.push(p),
+                None => {
+                    out.push(Diagnostic::new(
+                        Code::NetworkSpecMismatch,
+                        format!(
+                            "cannot sample-verify: input '{}' is not named x<i>",
+                            net.node_name(id)
+                        ),
+                    ));
+                    return out;
+                }
+            }
+        }
         let total = 1u64 << n;
         let stride = (total / self.verify_samples as u64).max(1);
         let mut m = 0u64;
@@ -534,6 +819,54 @@ impl MappingFlow {
         }
         Ok(())
     }
+}
+
+/// Splices a single-output sub-network whose inputs are named `x<i>` onto
+/// `net`, wiring input `x<i>` to `signals[i]` and prefixing every internal
+/// node name with `prefix` to keep names unique. Returns the signal
+/// driving the sub-network's output.
+fn splice_subnetwork(
+    net: &mut Network,
+    sub: &Network,
+    signals: &[NodeId],
+    prefix: &str,
+) -> Result<NodeId, CoreError> {
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for &id in sub.inputs() {
+        let idx = sub
+            .node_name(id)
+            .strip_prefix('x')
+            .and_then(|s| s.parse::<usize>().ok())
+            .ok_or_else(|| {
+                CoreError::Verification(format!(
+                    "subnetwork input '{}' is not named x<i>",
+                    sub.node_name(id)
+                ))
+            })?;
+        let sig = *signals.get(idx).ok_or_else(|| {
+            CoreError::Verification(format!("subnetwork input x{idx} exceeds the signal map"))
+        })?;
+        map.insert(id, sig);
+    }
+    for id in sub.topo_order()? {
+        if sub.role(id) != NodeRole::Internal {
+            continue;
+        }
+        let fanins: Vec<NodeId> = sub.fanins(id).iter().map(|f| map[f]).collect();
+        let copied = net.add_node(
+            &format!("{prefix}_{}", sub.node_name(id)),
+            fanins,
+            sub.function(id).clone(),
+        )?;
+        map.insert(id, copied);
+    }
+    let (_, out_id) = sub
+        .outputs()
+        .first()
+        .ok_or_else(|| CoreError::Verification("subnetwork has no output".into()))?;
+    map.get(out_id)
+        .copied()
+        .ok_or_else(|| CoreError::Verification("subnetwork output is unreachable".into()))
 }
 
 /// Column patterns of `f` for an explicit bound/free split (free variables
@@ -633,6 +966,135 @@ mod tests {
         let flow = MappingFlow::new(5, FlowKind::fgsyn_like());
         assert!(flow.map_outputs("bad", &[a, b]).is_err());
         assert!(flow.map_outputs("empty", &[]).is_err());
+    }
+
+    /// Serializes tests that observe the process-global degradation log.
+    static LADDER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn ladder_lock() -> std::sync::MutexGuard<'static, ()> {
+        LADDER_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn events_for(ctx: &str) -> Vec<hyde_guard::DegradationEvent> {
+        hyde_guard::drain_degradations()
+            .into_iter()
+            .filter(|e| e.context == ctx)
+            .collect()
+    }
+
+    #[test]
+    fn ladder_rung2_maps_and_verifies_on_candidate_exhaustion() {
+        let _g = ladder_lock();
+        hyde_guard::drain_degradations();
+        let outputs = adder_outputs(3);
+        let flow = MappingFlow::new(
+            4,
+            FlowKind::PerOutput {
+                encoder: EncoderKind::Lexicographic,
+            },
+        )
+        .with_budget(Budget::unlimited().with_candidates(0));
+        // map_outputs verifies the degraded network against the spec.
+        let report = flow.map_outputs("rung2", &outputs).unwrap();
+        assert!(report.network.is_k_feasible(4));
+        let events = events_for("rung2");
+        assert!(!events.is_empty(), "wide outputs must degrade");
+        assert!(events
+            .iter()
+            .all(|e| e.from == Rung::Exact && e.to == Rung::BddThreshold));
+        assert!(events.iter().all(|e| e.resource == Resource::Candidates));
+    }
+
+    #[test]
+    fn ladder_rung3_maps_and_verifies_on_bdd_exhaustion() {
+        let _g = ladder_lock();
+        hyde_guard::drain_degradations();
+        let outputs = adder_outputs(3);
+        let flow = MappingFlow::new(
+            4,
+            FlowKind::PerOutput {
+                encoder: EncoderKind::Lexicographic,
+            },
+        )
+        .with_budget(Budget::unlimited().with_candidates(0).with_bdd_nodes(2));
+        let report = flow.map_outputs("rung3", &outputs).unwrap();
+        assert!(report.network.is_k_feasible(4));
+        let events = events_for("rung3");
+        assert!(
+            events.iter().any(|e| e.from == Rung::BddThreshold
+                && e.to == Rung::Shannon
+                && e.resource == Resource::BddNodes),
+            "node cap must push the ladder past the BDD rung: {events:?}"
+        );
+    }
+
+    #[test]
+    fn ladder_rung4_maps_and_verifies_under_injected_shannon_fault() {
+        let _g = ladder_lock();
+        hyde_guard::drain_degradations();
+        let f = TruthTable::from_fn(6, |m| m.count_ones() >= 3);
+        // Deterministically pick a seed whose schedule faults the Shannon
+        // rung for this circuit/stage; the tiny budget forces rungs 1–2
+        // down regardless of what else the seed injects.
+        let seed = (0..1u64 << 12)
+            .find(|&s| Chaos::new(s).trips("shannon:rung4:o0", 4))
+            .expect("a quarter of all seeds trip any given site");
+        let flow = MappingFlow::new(
+            4,
+            FlowKind::PerOutput {
+                encoder: EncoderKind::Lexicographic,
+            },
+        )
+        .with_budget(Budget::unlimited().with_candidates(0).with_bdd_nodes(1))
+        .with_chaos(seed);
+        let report = flow.map_outputs("rung4", std::slice::from_ref(&f)).unwrap();
+        assert!(report.network.is_k_feasible(4));
+        let events = events_for("rung4");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.from == Rung::Shannon && e.to == Rung::DirectCover && e.injected),
+            "injected Shannon fault must land on the direct-cover floor: {events:?}"
+        );
+    }
+
+    #[test]
+    fn hyper_flow_with_tiny_budget_still_verifies() {
+        let _g = ladder_lock();
+        hyde_guard::drain_degradations();
+        let outputs = adder_outputs(3);
+        let flow = MappingFlow::new(5, FlowKind::hyde(7))
+            .with_budget(Budget::unlimited().with_candidates(0));
+        let report = flow.map_outputs("tinyhyper", &outputs).unwrap();
+        assert!(report.network.is_k_feasible(5));
+        hyde_guard::drain_degradations();
+    }
+
+    #[test]
+    fn chaos_degradation_log_is_thread_count_invariant() {
+        let _g = ladder_lock();
+        let outputs = adder_outputs(3);
+        let mut logs: Vec<String> = Vec::new();
+        let prev = std::env::var("HYDE_THREADS").ok();
+        for threads in ["1", "8"] {
+            std::env::set_var("HYDE_THREADS", threads);
+            hyde_guard::drain_degradations();
+            let flow = MappingFlow::new(4, FlowKind::hyde(3))
+                .with_budget(Budget::unlimited().with_candidates(4).with_bdd_nodes(64))
+                .with_chaos(0xC0FFEE);
+            flow.map_outputs("det", &outputs).unwrap();
+            logs.push(hyde_guard::degradation_log_text());
+            hyde_guard::drain_degradations();
+        }
+        match prev {
+            Some(v) => std::env::set_var("HYDE_THREADS", v),
+            None => std::env::remove_var("HYDE_THREADS"),
+        }
+        assert!(!logs[0].is_empty(), "the chaos seed must inject something");
+        assert_eq!(
+            logs[0], logs[1],
+            "degradation log must not depend on HYDE_THREADS"
+        );
     }
 
     #[test]

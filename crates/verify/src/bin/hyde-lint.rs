@@ -9,6 +9,7 @@
 use hyde_core::decompose::{decompose_step, Decomposer};
 use hyde_core::encoding::EncoderKind;
 use hyde_core::hyper::HyperFunction;
+use hyde_core::CoreError;
 use hyde_logic::diag::{Code, Diagnostic, Location, Severity};
 use hyde_logic::{blif, pla::Pla, Network, NodeRole, TruthTable};
 use hyde_map::flow::{FlowKind, MappingFlow};
@@ -217,7 +218,44 @@ fn lint_suite(opts: &Options, registry: &Registry) -> Vec<(String, Vec<Diagnosti
     let mut results = Vec::new();
     for circuit in hyde_circuits::suite() {
         let _obs = hyde_obs::span!("lint.circuit");
-        let mut diags = Vec::new();
+        // Per-circuit panic isolation: one aborting circuit reports HY504
+        // instead of taking the whole suite down.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lint_suite_circuit(&circuit, opts, registry, &flow, k)
+        }));
+        let diags = outcome.unwrap_or_else(|payload| {
+            vec![Diagnostic::new(
+                Code::BudgetExhausted,
+                format!(
+                    "circuit aborted by panic: {}",
+                    panic_message(payload.as_ref())
+                ),
+            )]
+        });
+        results.push((circuit.name.clone(), diags));
+    }
+    results
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+/// The per-circuit body of [`lint_suite`].
+fn lint_suite_circuit(
+    circuit: &hyde_circuits::Circuit,
+    opts: &Options,
+    registry: &Registry,
+    flow: &MappingFlow,
+    k: usize,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    {
         match flow.map_outputs(&circuit.name, &circuit.outputs) {
             Ok(mut report) => {
                 if let Some(seed) = opts.mutate {
@@ -231,10 +269,22 @@ fn lint_suite(opts: &Options, registry: &Registry) -> Vec<(String, Vec<Diagnosti
                     spec: Some(&circuit.outputs),
                 }));
             }
+            // An exhaustion that escaped every rung of the ladder: the
+            // circuit produced no output at all.
+            Err(CoreError::OutOfBudget(e)) => diags.push(Diagnostic::new(
+                Code::BudgetExhausted,
+                format!("mapping failed: {e}"),
+            )),
             Err(e) => diags.push(Diagnostic::new(
                 Code::NetworkSpecMismatch,
                 format!("mapping failed: {e}"),
             )),
+        }
+        // Surface the ladder's degradation trail (HY501–HY503/HY505)
+        // next to the circuit it belongs to.
+        let degradations = hyde_guard::drain_degradations();
+        if !degradations.is_empty() {
+            diags.extend(registry.run(&Artifact::Degradations(&degradations)));
         }
         if opts.deep {
             if let Some(t) = circuit.outputs.iter().find(|t| t.vars() > k) {
@@ -293,9 +343,8 @@ fn lint_suite(opts: &Options, registry: &Registry) -> Vec<(String, Vec<Diagnosti
                 )),
             }
         }
-        results.push((circuit.name.clone(), diags));
     }
-    results
+    diags
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).

@@ -1,0 +1,109 @@
+//! `HY5xx`: budgeted execution and graceful degradation.
+//!
+//! The mapping flows in `hyde-map` run every output down a fallback
+//! ladder — exact Roth–Karp, BDD cut decomposition, Shannon split, direct
+//! SOP cover — stepping one rung per budget exhaustion and recording each
+//! step as a [`hyde_guard::DegradationEvent`]. This module surfaces those
+//! events as structured diagnostics so `hyde-lint` output and batch
+//! reports carry them next to the semantic findings:
+//!
+//! * `HY501`/`HY502`/`HY503` (warn) — an output landed on the BDD,
+//!   Shannon or direct-cover rung. The result is still verified correct
+//!   (the flow's own CEC gate, plus `HY401` under `--deep`); only the
+//!   implementation quality changed.
+//! * `HY505` (note) — the degradation was injected by the deterministic
+//!   chaos layer (`HYDE_CHAOS`), not caused by the input.
+//!
+//! `HY504` (deny) is emitted by the drivers themselves when a budget
+//! exhaustion escapes every rung and a circuit produces no output.
+
+use crate::registry::{Artifact, Lint};
+use hyde_guard::{DegradationEvent, Rung};
+use hyde_logic::diag::{Code, Diagnostic};
+
+/// Reports recorded degradation events as `HY501`–`HY503`/`HY505`.
+pub struct DegradationLint;
+
+impl Lint for DegradationLint {
+    fn name(&self) -> &'static str {
+        "guard-degradation"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[
+            Code::DegradedBddPath,
+            Code::DegradedShannon,
+            Code::DegradedDirectCover,
+            Code::ChaosInjected,
+        ]
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, out: &mut Vec<Diagnostic>) {
+        let Artifact::Degradations(events) = artifact else {
+            return;
+        };
+        for e in *events {
+            out.push(event_diagnostic(e));
+        }
+    }
+}
+
+/// The diagnostic for one degradation event: the code names the rung the
+/// work landed on, the message carries the full transition.
+pub fn event_diagnostic(e: &DegradationEvent) -> Diagnostic {
+    let code = if e.injected {
+        Code::ChaosInjected
+    } else {
+        match e.to {
+            Rung::BddThreshold => Code::DegradedBddPath,
+            Rung::Shannon => Code::DegradedShannon,
+            // `Exact` is never a degradation target; treat a malformed
+            // event conservatively as the floor.
+            Rung::DirectCover | Rung::Exact => Code::DegradedDirectCover,
+        }
+    };
+    Diagnostic::new(code, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use hyde_guard::Resource;
+
+    fn event(to: Rung, injected: bool) -> DegradationEvent {
+        DegradationEvent {
+            context: "c17".into(),
+            stage: "o0".into(),
+            from: Rung::Exact,
+            to,
+            resource: Resource::Candidates,
+            injected,
+        }
+    }
+
+    #[test]
+    fn events_map_to_their_rung_codes() {
+        let events = [
+            event(Rung::BddThreshold, false),
+            event(Rung::Shannon, false),
+            event(Rung::DirectCover, false),
+            event(Rung::Shannon, true),
+        ];
+        let mut r = Registry::empty();
+        r.register(Box::new(DegradationLint));
+        let diags = r.run(&Artifact::Degradations(&events));
+        let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                Code::DegradedBddPath,
+                Code::DegradedShannon,
+                Code::DegradedDirectCover,
+                Code::ChaosInjected,
+            ]
+        );
+        assert!(!hyde_logic::diag::any_deny(&diags), "degradations warn");
+        assert!(diags[0].message.contains("c17/o0"));
+    }
+}

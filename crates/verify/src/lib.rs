@@ -18,6 +18,8 @@
 //! * [`hyper`] — `HY2xx`: pseudo-input leaks, duplication-cone
 //!   bookkeeping, ingredient recovery.
 //! * [`bdd`] — `HY3xx`: ROBDD ordering/reduction and unique-table audits.
+//! * [`guard`] — `HY5xx`: graceful-degradation reports from the budgeted
+//!   mapping ladder, including chaos-injected faults.
 //! * [`deep`] — `HY4xx`: SAT/BDD-backed semantic *proofs* — combinational
 //!   equivalence, encoding injectivity, collapse/recovery correctness and
 //!   stuck-at sweeps — opt-in via [`deep::register_deep`] and
@@ -49,6 +51,7 @@
 pub mod bdd;
 pub mod deep;
 pub mod encoding;
+pub mod guard;
 pub mod hyper;
 pub mod network;
 pub mod registry;

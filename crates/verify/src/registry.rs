@@ -62,6 +62,9 @@ pub enum Artifact<'a> {
     },
     /// A BDD manager.
     Bdd(&'a Bdd),
+    /// Degradation events recorded by the guard layer during a mapping
+    /// run (`HY5xx`).
+    Degradations(&'a [hyde_guard::DegradationEvent]),
 }
 
 impl<'a> Artifact<'a> {
@@ -113,6 +116,7 @@ impl Registry {
         r.register(Box::new(crate::hyper::ConeBookkeepingLint));
         r.register(Box::new(crate::hyper::RecoveryLint));
         r.register(Box::new(crate::bdd::BddAuditLint));
+        r.register(Box::new(crate::guard::DegradationLint));
         r
     }
 

@@ -18,6 +18,14 @@
 //!   plus `TRACE_<circuit>.folded` (collapsed stacks, feed to
 //!   `flamegraph.pl`), then validate the trace: parseable JSON, balanced
 //!   begin/end per track, and spans covering most of the wall time
+//! * `chaos` — the resilience drill: for each fixed seed, run
+//!   `hyde-bench --chaos <seed>` over all 25 circuits (fault injection
+//!   with per-circuit isolation, writing `CHAOS_chaos_s<seed>.json`) and
+//!   then `hyde-lint --suite --deep` with `HYDE_CHAOS=<seed>`, which
+//!   CEC-proves every degraded network against its specification
+//! * `unwrap-gate` — deny *new* `.unwrap()` / `.expect(` in
+//!   `crates/core/src` by comparing per-file counts against the ratchet
+//!   in `crates/core/unwrap_allowlist.txt`
 //! * `all` — everything above (with `--deep` and the smoke-circuit
 //!   trace), in that order
 
@@ -37,10 +45,18 @@ fn workspace_root() -> PathBuf {
 }
 
 fn run(root: &Path, args: &[&str]) -> Result<(), String> {
-    println!("xtask: cargo {}", args.join(" "));
-    let status = Command::new("cargo")
-        .args(args)
-        .current_dir(root)
+    run_env(root, args, &[])
+}
+
+fn run_env(root: &Path, args: &[&str], env: &[(&str, String)]) -> Result<(), String> {
+    let prefix: String = env.iter().map(|(k, v)| format!("{k}={v} ")).collect();
+    println!("xtask: {prefix}cargo {}", args.join(" "));
+    let mut cmd = Command::new("cargo");
+    cmd.args(args).current_dir(root);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let status = cmd
         .status()
         .map_err(|e| format!("failed to spawn cargo: {e}"))?;
     if status.success() {
@@ -172,6 +188,139 @@ fn trace(root: &Path, circuit: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Fixed seeds for the `chaos` drill. Three seeds give three distinct
+/// fault schedules (the injection sites hash the seed with the circuit
+/// and output names) while keeping CI deterministic and diffable.
+const CHAOS_SEEDS: [u64; 3] = [42, 1998, 0xC0FFEE];
+
+fn chaos(root: &Path) -> Result<(), String> {
+    for seed in CHAOS_SEEDS {
+        let name = format!("chaos_s{seed}");
+        let seed_str = seed.to_string();
+        // Phase 1: the bench drill — fault injection with per-circuit
+        // panic isolation. Exit status is non-zero only on *typed*
+        // mapping errors (a broken ladder rung), never on injected
+        // panics or degradations.
+        run(
+            root,
+            &[
+                "run",
+                "-q",
+                "--release",
+                "-p",
+                "hyde-bench",
+                "--bin",
+                "hyde-bench",
+                "--",
+                "--chaos",
+                &seed_str,
+                "--name",
+                &name,
+            ],
+        )?;
+        let path = root.join(format!("CHAOS_{name}.json"));
+        let json =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        hyde_bench::perf::validate_chaos_json(&json)
+            .map_err(|e| format!("{}: chaos report validation failed: {e}", path.display()))?;
+        println!(
+            "xtask: {} parses as {}",
+            path.display(),
+            hyde_bench::perf::CHAOS_SCHEMA
+        );
+        // Phase 2: the same seed under the deep lint suite. Degradations
+        // surface as HY501-HY503/HY505 (warn/note); the HY401 CEC proofs
+        // then hold every *degraded* network to the same semantic bar as
+        // an exact one, so a wrong fallback fails this step as a deny.
+        run_env(
+            root,
+            &[
+                "run",
+                "-q",
+                "--release",
+                "-p",
+                "hyde-verify",
+                "--features",
+                "strict-checks",
+                "--bin",
+                "hyde-lint",
+                "--",
+                "--suite",
+                "--deep",
+                "--proof-budget",
+                "200000",
+            ],
+            &[("HYDE_CHAOS", seed_str)],
+        )?;
+    }
+    Ok(())
+}
+
+/// The `.unwrap()` / `.expect(` ratchet for `crates/core/src`: per-file
+/// counts may shrink but never grow past the committed allowlist. New
+/// fallible paths in the decomposition core must use typed `Result`s
+/// (`CoreError::OutOfBudget` and friends), not panics.
+fn unwrap_gate(root: &Path) -> Result<(), String> {
+    let allow_path = root.join("crates/core/unwrap_allowlist.txt");
+    let allow_text = std::fs::read_to_string(&allow_path)
+        .map_err(|e| format!("{}: {e}", allow_path.display()))?;
+    let mut allowed = std::collections::BTreeMap::new();
+    for line in allow_text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (count, file) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("{}: malformed line '{line}'", allow_path.display()))?;
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("{}: bad count in '{line}'", allow_path.display()))?;
+        allowed.insert(file.trim().to_owned(), count);
+    }
+    let src = root.join("crates/core/src");
+    let mut violations = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&src)
+        .map_err(|e| format!("{}: {e}", src.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let count = text.matches(".unwrap()").count() + text.matches(".expect(").count();
+        let file = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        let cap = allowed.get(&file).copied().unwrap_or(0);
+        match count.cmp(&cap) {
+            std::cmp::Ordering::Greater => violations.push(format!(
+                "{file}: {count} unwrap/expect sites (allowlist caps it at {cap})"
+            )),
+            std::cmp::Ordering::Less => println!(
+                "xtask: unwrap-gate: {file} is down to {count} (allowlist says {cap}; \
+                 consider ratcheting crates/core/unwrap_allowlist.txt down)"
+            ),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    if violations.is_empty() {
+        println!("xtask: unwrap-gate: crates/core/src within the allowlist");
+        Ok(())
+    } else {
+        Err(format!(
+            "unwrap-gate: new panics in crates/core/src — return typed errors instead, or \
+             (for genuinely unreachable cases) justify the bump in \
+             crates/core/unwrap_allowlist.txt:\n  {}",
+            violations.join("\n  ")
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let root = workspace_root();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -188,15 +337,19 @@ fn main() -> ExitCode {
             Some(circuit) => trace(&root, circuit),
             None => Err("trace needs a circuit name, e.g. `cargo xtask trace rd73`".into()),
         },
+        "chaos" => chaos(&root),
+        "unwrap-gate" => unwrap_gate(&root),
         "all" => fmt(&root)
             .and_then(|()| clippy(&root))
+            .and_then(|()| unwrap_gate(&root))
             .and_then(|()| test(&root))
             .and_then(|()| lint_suite(&root, true))
             .and_then(|()| bench(&root, true))
-            .and_then(|()| trace(&root, "rd73")),
+            .and_then(|()| trace(&root, "rd73"))
+            .and_then(|()| chaos(&root)),
         other => Err(format!(
             "unknown task '{other}' (expected fmt | clippy | test | lint-suite [--deep] | \
-             bench [--smoke] | trace <circuit> | all)"
+             bench [--smoke] | trace <circuit> | chaos | unwrap-gate | all)"
         )),
     };
     match result {
