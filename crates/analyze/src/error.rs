@@ -1,0 +1,21 @@
+//! Typed analyzer errors — hyde-sa itself keeps a zero panic surface.
+
+/// Anything that can stop an analysis run before findings are produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SaError {
+    /// Filesystem problem reading the workspace.
+    Io(String),
+    /// Bad command line or configuration input.
+    Usage(String),
+}
+
+impl std::fmt::Display for SaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SaError::Io(m) => write!(f, "io error: {m}"),
+            SaError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SaError {}

@@ -1,0 +1,490 @@
+//! A small Rust lexer: just enough tokenization for source-level
+//! invariant checks.
+//!
+//! The passes match *token* patterns, not raw text, so a `".unwrap()"`
+//! inside a string literal or a `HashMap` in a doc comment never counts
+//! as a violation — which is also what lets hyde-sa analyze its own
+//! sources clean. The lexer understands line/block comments (nested),
+//! plain and raw (byte) strings, char literals vs lifetimes, numbers,
+//! raw identifiers and single-char punctuation; everything it does not
+//! recognize degrades to punctuation rather than an error, since the
+//! input is already known to compile.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// String literal (plain, raw or byte); `text` is the content
+    /// between the quotes, escapes untouched.
+    Str,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Any single punctuation character (`.`, `[`, `!`, `:`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what it holds per kind).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is an identifier equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One `//` line comment (doc comments included), kept out of the token
+/// stream but preserved for `sa:allow` directive scanning.
+#[derive(Clone, Debug)]
+pub struct LineComment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text after the leading `//`, `///` or `//!`.
+    pub text: String,
+    /// True for inner (`//!`) comments, which scope to the whole file.
+    pub inner: bool,
+}
+
+/// Lexer output: the token stream plus the line comments.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(ch) = c {
+            self.i += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn lex_ident(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            s.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// Consumes a plain string body after the opening quote; returns the
+/// content (escapes untouched, closing quote consumed).
+fn lex_str_body(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                s.push(c);
+                if let Some(e) = cur.bump() {
+                    s.push(e);
+                }
+            }
+            '"' => break,
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+/// Consumes a raw string body after `r##...`: expects `"`, reads until
+/// `"` followed by `hashes` `#`s.
+fn lex_raw_str_body(cur: &mut Cursor, hashes: usize) -> String {
+    let mut s = String::new();
+    if cur.peek() == Some('"') {
+        cur.bump();
+    }
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let closed = (0..hashes).all(|k| cur.peek_at(k) == Some('#'));
+            if closed {
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+        s.push(c);
+    }
+    s
+}
+
+fn lex_number(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            s.push(c);
+            cur.bump();
+        } else if c == '.' {
+            // `1.5` continues the number; `0..n` and `1.method()` stop it.
+            match cur.peek_at(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    s.push(c);
+                    cur.bump();
+                }
+                _ => break,
+            }
+        } else if (c == '+' || c == '-') && s.ends_with(['e', 'E']) {
+            s.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// After a `'`: decides char literal vs lifetime.
+fn lex_quote(cur: &mut Cursor, line: u32) -> Tok {
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume `\x`, then to the closing quote.
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            if cur.peek_at(1) == Some('\'') {
+                // 'a'
+                cur.bump();
+                cur.bump();
+                Tok {
+                    kind: TokKind::Char,
+                    text: c.to_string(),
+                    line,
+                }
+            } else {
+                // 'lifetime
+                let name = lex_ident(cur);
+                Tok {
+                    kind: TokKind::Lifetime,
+                    text: name,
+                    line,
+                }
+            }
+        }
+        Some(c) => {
+            // Non-identifier char literal like ' ' or '.'.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            Tok {
+                kind: TokKind::Char,
+                text: c.to_string(),
+                line,
+            }
+        }
+        None => Tok {
+            kind: TokKind::Punct,
+            text: "'".into(),
+            line,
+        },
+    }
+}
+
+/// Lexes `src` into tokens and line comments. Never fails: unrecognized
+/// bytes become punctuation tokens.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let inner = cur.peek() == Some('!');
+            if inner || cur.peek() == Some('/') {
+                cur.bump();
+            }
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(LineComment { line, text, inner });
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(), cur.peek_at(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            let text = lex_str_body(&mut cur);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+            });
+            continue;
+        }
+        // r"...", r#"..."#, b"...", br#"..."#, b'...', r#ident
+        if c == 'r' || c == 'b' {
+            let mut j = 1usize;
+            if c == 'b' && cur.peek_at(1) == Some('r') {
+                j = 2;
+            }
+            let raw = c == 'r' || j == 2;
+            let mut hashes = 0usize;
+            while raw && cur.peek_at(j + hashes) == Some('#') {
+                hashes += 1;
+            }
+            let after = cur.peek_at(j + hashes);
+            if raw && after == Some('"') {
+                for _ in 0..j + hashes {
+                    cur.bump();
+                }
+                let text = lex_raw_str_body(&mut cur, hashes);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                continue;
+            }
+            if c == 'r' && hashes == 1 && after.is_some_and(is_ident_start) {
+                // raw identifier r#name
+                cur.bump();
+                cur.bump();
+                let text = lex_ident(&mut cur);
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                continue;
+            }
+            if c == 'b' && j == 1 && hashes == 0 {
+                if cur.peek_at(1) == Some('"') {
+                    cur.bump();
+                    cur.bump();
+                    let text = lex_str_body(&mut cur);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                    });
+                    continue;
+                }
+                if cur.peek_at(1) == Some('\'') {
+                    cur.bump();
+                    cur.bump();
+                    let tok = lex_quote(&mut cur, line);
+                    out.toks.push(tok);
+                    continue;
+                }
+            }
+            // plain identifier starting with r/b
+            let text = lex_ident(&mut cur);
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        if c == '\'' {
+            cur.bump();
+            let tok = lex_quote(&mut cur, line);
+            out.toks.push(tok);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let text = lex_number(&mut cur);
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+            });
+            continue;
+        }
+        if is_ident_start(c) {
+            let text = lex_ident(&mut cur);
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        cur.bump();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+    }
+    out
+}
+
+/// Rust keywords that can precede `[` without forming an index
+/// expression (`return [..]`, `in [..]`, ...). Used by the
+/// panic-surface pass; kept here next to the lexer so the token
+/// vocabulary lives in one place.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "unsafe", "use", "where", "while", "yield",
+];
+
+/// True when `s` is a Rust keyword.
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let l = lex("let s = \".unwrap()\"; // .expect( in a comment\n/* panic! */ x");
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "x"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments.iter().any(|c| c.text.contains(".expect(")));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a str) { let r = r#\"[0].unwrap()\"#; let c = 'x'; }");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "[0].unwrap()"));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
+        assert!(!l.toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let l = lex("for i in 0..10 { let f = 1.5e3; let h = 0xFFu32; }");
+        let nums: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e3", "0xFFu32"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn inner_comments_are_marked() {
+        let l = lex("//! file scope\n// normal\nfn f() {}");
+        assert!(l.comments.iter().any(|c| c.inner));
+        assert!(l.comments.iter().any(|c| !c.inner));
+    }
+}

@@ -1,0 +1,87 @@
+//! hyde-sa: workspace static analysis for the HYDE codebase.
+//!
+//! A dependency-free analyzer built the same way the rest of the
+//! workspace is built: a small hand-rolled lexer ([`lexer`]), an
+//! item-aware source model ([`source`]), a manifest model
+//! ([`manifest`]), and a [`registry::Pass`] registry mirroring
+//! hyde-verify's `Lint`/`Registry` design — over source files instead
+//! of pipeline artifacts. It enforces the invariants the test suite
+//! cannot see from outputs alone:
+//!
+//! | pass | codes | invariant |
+//! |------|-------|-----------|
+//! | determinism | SA001, SA002 | no order-sensitive `HashMap`/`HashSet` iteration, no wall-clock/thread/env reads in result-affecting crates |
+//! | panic-surface | SA003 | per-file ratcheted panic surface across the whole workspace |
+//! | budget-propagation | SA004 | pub fns constructing BDD/SAT work thread a `guard::Budget` |
+//! | obs-coverage | SA005, SA006 | span/counter literals match the documented taxonomy |
+//! | diag-registry | SA007 | `HY`/`SA` codes declared once, documented, and exercised |
+//! | feature-hygiene | SA008 | `obs-rt`/`strict-checks` forwarding chains stay correct |
+//!
+//! Violations are suppressed site-by-site with
+//! `// sa:allow(SAxxx): reason` directives (a non-empty justification is
+//! mandatory; `//!` makes the directive file-scoped), or — for the
+//! counting passes — capped by committed ratchet files under
+//! `crates/analyze/ratchets/`. Run it as `cargo xtask analyze` or via
+//! the `hyde-sa` binary; both exit nonzero when findings survive.
+//!
+//! hyde-sa is self-hosting: the analyzer's own sources are part of the
+//! analyzed workspace and must come out clean. Token-level matching is
+//! what makes that possible — the pattern strings this crate is full of
+//! never lex as code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod lexer;
+pub mod manifest;
+pub mod ratchet;
+pub mod registry;
+pub mod report;
+pub mod source;
+pub mod workspace;
+
+pub mod passes;
+
+use std::path::Path;
+
+use error::SaError;
+use registry::Registry;
+use report::Report;
+use workspace::Workspace;
+
+/// Reads the workspace at `root` and runs the default pass registry.
+///
+/// # Errors
+///
+/// Fails with [`SaError::Io`] when the workspace cannot be read.
+pub fn analyze_root(root: &Path) -> Result<Report, SaError> {
+    let ws = Workspace::from_root(root)?;
+    Ok(Registry::with_defaults().run(&ws))
+}
+
+/// Regenerates the committed ratchet files from the current workspace
+/// state and returns the workspace-relative paths written.
+///
+/// # Errors
+///
+/// Fails with [`SaError::Io`] when the workspace cannot be read or a
+/// ratchet file cannot be written.
+pub fn update_ratchets(root: &Path) -> Result<Vec<String>, SaError> {
+    let ws = Workspace::from_root(root)?;
+    let dir = root.join(workspace::RATCHET_DIR);
+    std::fs::create_dir_all(&dir).map_err(|e| SaError::Io(format!("{}: {e}", dir.display())))?;
+    let mut written = Vec::new();
+    let targets = [(
+        passes::panic_surface::RATCHET_FILE,
+        passes::panic_surface::render_ratchet(&ws),
+    )];
+    for (name, content) in targets {
+        let path = dir.join(name);
+        std::fs::write(&path, content)
+            .map_err(|e| SaError::Io(format!("{}: {e}", path.display())))?;
+        written.push(format!("{}/{name}", workspace::RATCHET_DIR));
+    }
+    Ok(written)
+}

@@ -1,0 +1,226 @@
+//! Minimal `Cargo.toml` model for the feature-hygiene pass.
+//!
+//! This is not a TOML parser — it understands exactly the subset the
+//! workspace manifests use (section headers, `key = value` lines,
+//! inline tables, single- and multi-line string arrays), mirroring the
+//! hand-rolled philosophy of `hyde-obs`'s JSON emitter.
+
+/// One dependency entry.
+#[derive(Clone, Debug, Default)]
+pub struct Dep {
+    /// Dependency package name.
+    pub name: String,
+    /// `default-features = false` written at this use site, when given.
+    pub default_features: Option<bool>,
+    /// `workspace = true` inheritance.
+    pub workspace: bool,
+    /// `path = "..."` for internal crates.
+    pub path: Option<String>,
+    /// True when the entry came from `[dev-dependencies]`.
+    pub dev: bool,
+}
+
+/// One parsed manifest.
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    /// Workspace-relative path of the `Cargo.toml`.
+    pub path: String,
+    /// `[package] name`, empty for a virtual manifest.
+    pub package: String,
+    /// `[features]` table: `(feature, forwarded entries)`.
+    pub features: Vec<(String, Vec<String>)>,
+    /// `[dependencies]` + `[dev-dependencies]` entries.
+    pub deps: Vec<Dep>,
+    /// `[workspace.dependencies]` entries (workspace root only).
+    pub workspace_deps: Vec<Dep>,
+}
+
+impl Manifest {
+    /// Looks up a feature's forwarding list.
+    pub fn feature(&self, name: &str) -> Option<&[String]> {
+        self.features
+            .iter()
+            .find(|(f, _)| f == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Non-dev dependency lookup.
+    pub fn dep(&self, name: &str) -> Option<&Dep> {
+        self.deps.iter().find(|d| !d.dev && d.name == name)
+    }
+}
+
+/// Strips a trailing `# comment` (outside strings) and whitespace.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return line.get(..i).unwrap_or(line).trim(),
+            _ => {}
+        }
+    }
+    line.trim()
+}
+
+/// Extracts the string elements of `[ "a", "b/c" ]`.
+fn parse_string_array(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(start) = rest.find('"') {
+        let Some(tail) = rest.get(start + 1..) else {
+            break;
+        };
+        let Some(end) = tail.find('"') else { break };
+        if let Some(s) = tail.get(..end) {
+            out.push(s.to_owned());
+        }
+        rest = tail.get(end + 1..).unwrap_or("");
+    }
+    out
+}
+
+/// Parses one inline-table dependency value like
+/// `{ path = "../bdd", default-features = false }`.
+fn parse_dep_value(name: &str, value: &str, dev: bool) -> Dep {
+    let mut dep = Dep {
+        name: name.to_owned(),
+        dev,
+        ..Dep::default()
+    };
+    if value.contains("workspace") && value.contains("true") {
+        dep.workspace = true;
+    }
+    if let Some(pos) = value.find("path") {
+        if let Some(tail) = value.get(pos..) {
+            if let Some(p) = parse_string_array(tail).into_iter().next() {
+                dep.path = Some(p);
+            }
+        }
+    }
+    if let Some(pos) = value.find("default-features") {
+        let tail = value.get(pos..).unwrap_or("");
+        if tail.contains("false") {
+            dep.default_features = Some(false);
+        } else if tail.contains("true") {
+            dep.default_features = Some(true);
+        }
+    }
+    dep
+}
+
+/// Parses `text` as the manifest at workspace-relative `path`.
+pub fn parse(path: &str, text: &str) -> Manifest {
+    let mut m = Manifest {
+        path: path.to_owned(),
+        ..Manifest::default()
+    };
+    let mut section = String::new();
+    let mut pending: Option<(String, String, String)> = None; // (section, key, accumulated)
+    for raw in text.lines() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((sec, key, mut acc)) = pending.take() {
+            acc.push(' ');
+            acc.push_str(line);
+            if line.contains(']') {
+                finish_entry(&mut m, &sec, &key, &acc);
+            } else {
+                pending = Some((sec, key, acc));
+            }
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_owned();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().to_owned();
+        let value = value.trim().to_owned();
+        if value.starts_with('[') && !value.contains(']') {
+            pending = Some((section.clone(), key, value));
+            continue;
+        }
+        finish_entry(&mut m, &section, &key, &value);
+    }
+    m
+}
+
+fn finish_entry(m: &mut Manifest, section: &str, key: &str, value: &str) {
+    match section {
+        "package" if key == "name" => {
+            if let Some(name) = parse_string_array(value).into_iter().next() {
+                m.package = name;
+            }
+        }
+        "features" => {
+            m.features.push((key.to_owned(), parse_string_array(value)));
+        }
+        "dependencies" | "dev-dependencies" | "build-dependencies" => {
+            let dev = section != "dependencies";
+            // `foo.workspace = true` spelling.
+            if let Some(base) = key.strip_suffix(".workspace") {
+                let mut dep = Dep {
+                    name: base.trim().to_owned(),
+                    dev,
+                    ..Dep::default()
+                };
+                dep.workspace = value.contains("true");
+                m.deps.push(dep);
+            } else {
+                m.deps.push(parse_dep_value(key, value, dev));
+            }
+        }
+        "workspace.dependencies" => {
+            m.workspace_deps.push(parse_dep_value(key, value, false));
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "hyde-bdd"
+
+[features]
+default = ["obs-rt"]
+obs-rt = [
+    "hyde-obs/rt",
+    "hyde-guard/obs-rt",
+]
+
+[dependencies]
+hyde-obs = { workspace = true, default-features = false }
+hyde-guard = { path = "../guard", default-features = false }
+plain = "1.0"
+
+[dev-dependencies]
+rand.workspace = true
+"#;
+
+    #[test]
+    fn parses_workspace_style_manifest() {
+        let m = parse("crates/bdd/Cargo.toml", SAMPLE);
+        assert_eq!(m.package, "hyde-bdd");
+        assert_eq!(
+            m.feature("obs-rt"),
+            Some(&["hyde-obs/rt".to_owned(), "hyde-guard/obs-rt".to_owned()][..])
+        );
+        let obs = m.dep("hyde-obs").map(|d| (d.workspace, d.default_features));
+        assert_eq!(obs, Some((true, Some(false))));
+        let guard = m.dep("hyde-guard").map(|d| d.path.clone());
+        assert_eq!(guard, Some(Some("../guard".to_owned())));
+        assert!(m
+            .deps
+            .iter()
+            .any(|d| d.dev && d.name == "rand" && d.workspace));
+    }
+}

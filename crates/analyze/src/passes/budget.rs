@@ -1,0 +1,106 @@
+//! SA004 — budget propagation: the admission-control invariant of the
+//! degradation ladder (`hyde-guard`).
+//!
+//! Public functions in the budgeted crates (`core`, `map`) that
+//! construct BDD nodes (`ite`/`and`/`from_fn`/…, `Bdd::new`) or invoke
+//! the SAT solver must thread a `guard::Budget` — or an explicit node
+//! cap — through their signature or body. A public entry point that
+//! builds BDD work with no budget in scope is an unbounded-work hole:
+//! it can blow past `max_bdd_nodes` with no `OutOfBudget` off-ramp.
+
+use crate::config;
+use crate::lexer::{Tok, TokKind};
+use crate::registry::{Emitter, Pass};
+use crate::source::{FileKind, FnItem, SourceFile};
+use crate::workspace::Workspace;
+
+/// The budget-propagation pass (SA004).
+pub struct BudgetPass;
+
+fn eligible(f: &SourceFile) -> bool {
+    config::BUDGETED.contains(&f.crate_name.as_str()) && f.kind == FileKind::Lib
+}
+
+/// True when the token window contains a BDD-constructing or
+/// SAT-invoking call.
+fn constructs_bounded_work(toks: &[Tok]) -> bool {
+    for (i, t) in toks.iter().enumerate() {
+        // `.ite(` / `.and(` / ... method calls.
+        if t.is_punct('.') {
+            if let Some(m) = toks.get(i + 1).filter(|m| m.kind == TokKind::Ident) {
+                if toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+                    && (config::BDD_CONSTRUCTORS.contains(&m.text.as_str()) || m.text == "solve")
+                {
+                    return true;
+                }
+            }
+        }
+        // `Bdd::new(` / `Bdd::with_capacity(`.
+        if t.is_ident("Bdd")
+            && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|b| b.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|m| m.is_ident("new") || m.is_ident("with_capacity"))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// True when the signature-plus-body window shows budget evidence.
+fn has_budget_evidence(toks: &[Tok]) -> bool {
+    toks.iter()
+        .any(|t| t.kind == TokKind::Ident && config::BUDGET_EVIDENCE.contains(&t.text.as_str()))
+}
+
+fn check_file(file: &SourceFile, out: &mut Emitter) {
+    let toks = file.toks();
+    for f in file.fns() {
+        if !f.is_pub || file.in_test_code(f.line) {
+            continue;
+        }
+        let Some((body_open, body_close)) = f.body else {
+            continue;
+        };
+        let Some(window) = toks.get(f.fn_tok..=body_close) else {
+            continue;
+        };
+        let Some(body) = toks.get(body_open..=body_close) else {
+            continue;
+        };
+        if constructs_bounded_work(body) && !has_budget_evidence(window) {
+            emit_fn(file, &f, out);
+        }
+    }
+}
+
+fn emit_fn(file: &SourceFile, f: &FnItem, out: &mut Emitter) {
+    out.emit(
+        file,
+        "SA004",
+        f.line,
+        format!(
+            "pub fn `{}` constructs BDD/SAT work without threading a `guard::Budget` \
+             (or an explicit node cap); unbounded work has no `OutOfBudget` off-ramp",
+            f.name
+        ),
+    );
+}
+
+impl Pass for BudgetPass {
+    fn name(&self) -> &'static str {
+        "budget-propagation"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SA004"]
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Emitter) {
+        for file in ws.files.iter().filter(|f| eligible(f)) {
+            check_file(file, out);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! SA001/SA002 — determinism: the byte-identical-output guarantee of
+//! `tests/parallel_determinism.rs`, checked at the source level.
+//!
+//! * **SA001** denies order-sensitive iteration of `HashMap`/`HashSet`
+//!   in result-affecting crates. Identifiers are tracked from their
+//!   declarations (`let m: HashMap<..>`, `let m = HashMap::new()`,
+//!   struct fields, fn params); iteration through `.iter()`, `.keys()`,
+//!   `.values()`, `.drain()`, bare `for _ in &m`, etc. is flagged
+//!   unless the statement terminates in an order-insensitive sink
+//!   (`count`/`sum`/`min`/`max`/`all`/`any`) or collects back into an
+//!   unordered/ordered set type. Merge-safe sites carry an
+//!   `sa:allow(SA001)` directive.
+//! * **SA002** denies wall-clock, thread-identity and environment reads
+//!   (`Instant::now`, `SystemTime::*`, `thread::current`, `env::var`,
+//!   `ThreadId`, `available_parallelism`) in the same crates; the
+//!   sanctioned sites (deadline budgets, `HYDE_THREADS` chunking) carry
+//!   directives explaining why they cannot leak into results.
+
+use crate::config;
+use crate::lexer::{Tok, TokKind};
+use crate::registry::{Emitter, Pass};
+use crate::source::{FileKind, SourceFile};
+use crate::workspace::Workspace;
+
+/// The determinism pass (SA001 + SA002).
+pub struct DeterminismPass;
+
+const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ORDERED_COLLECTS: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+fn eligible(f: &SourceFile) -> bool {
+    config::RESULT_AFFECTING.contains(&f.crate_name.as_str())
+        && matches!(f.kind, FileKind::Lib | FileKind::Bin)
+}
+
+/// Identifiers declared with an unordered collection type in this file.
+fn tracked_idents(toks: &[Tok]) -> Vec<String> {
+    let mut tracked = Vec::new();
+    let mut track = |name: &str| {
+        if !tracked.iter().any(|t| t == name) {
+            tracked.push(name.to_owned());
+        }
+    };
+    for (i, t) in toks.iter().enumerate() {
+        // `name: ... HashMap/HashSet ...` (field, param or typed let).
+        if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            for j in i + 2..(i + 12).min(toks.len()) {
+                let Some(tj) = toks.get(j) else { break };
+                if tj.is_punct(';')
+                    || tj.is_punct('=')
+                    || tj.is_punct('{')
+                    || tj.is_punct(',')
+                    || tj.is_punct(')')
+                {
+                    break;
+                }
+                if tj.kind == TokKind::Ident && UNORDERED_TYPES.contains(&tj.text.as_str()) {
+                    track(&t.text);
+                    break;
+                }
+            }
+        }
+        // `let [mut] name = ... HashMap::new() ... ;`
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            if !toks.get(j + 1).is_some_and(|n| n.is_punct('=')) {
+                continue;
+            }
+            for k in j + 2..(j + 24).min(toks.len()) {
+                let Some(tk) = toks.get(k) else { break };
+                if tk.is_punct(';') {
+                    break;
+                }
+                if tk.kind == TokKind::Ident
+                    && UNORDERED_TYPES.contains(&tk.text.as_str())
+                    && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                {
+                    track(&name.text);
+                    break;
+                }
+            }
+        }
+    }
+    tracked
+}
+
+/// True when the statement starting at the flagged call reduces through
+/// an order-insensitive sink before its end.
+fn order_safe_statement(toks: &[Tok], from: usize) -> bool {
+    let mut i = from;
+    let mut paren = 0usize;
+    let mut steps = 0;
+    while let Some(t) = toks.get(i) {
+        steps += 1;
+        if steps > 120 {
+            break;
+        }
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            if paren == 0 {
+                break;
+            }
+            paren -= 1;
+        } else if paren == 0 && (t.is_punct(';') || t.is_punct('{')) {
+            break;
+        } else if t.is_punct('.') {
+            if let Some(m) = toks.get(i + 1).filter(|m| m.kind == TokKind::Ident) {
+                if config::ORDER_SAFE_SINKS.contains(&m.text.as_str()) {
+                    return true;
+                }
+                if m.text == "collect" {
+                    // `.collect::<HashSet<_>>()` and friends stay
+                    // unordered end-to-end.
+                    for k in i + 2..(i + 8).min(toks.len()) {
+                        if toks.get(k).is_some_and(|t| {
+                            t.kind == TokKind::Ident && ORDERED_COLLECTS.contains(&t.text.as_str())
+                        }) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+fn check_sa001(file: &SourceFile, out: &mut Emitter) {
+    let toks = file.toks();
+    let tracked = tracked_idents(toks);
+    if tracked.is_empty() {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !tracked.iter().any(|n| n == &t.text) {
+            continue;
+        }
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        // `name.iter()` / `name.keys()` / ...
+        if toks.get(i + 1).is_some_and(|d| d.is_punct('.')) {
+            let Some(m) = toks.get(i + 2).filter(|m| m.kind == TokKind::Ident) else {
+                continue;
+            };
+            if config::ORDER_SENSITIVE_METHODS.contains(&m.text.as_str())
+                && toks.get(i + 3).is_some_and(|p| p.is_punct('('))
+                && !order_safe_statement(toks, i + 3)
+            {
+                out.emit(
+                    file,
+                    "SA001",
+                    t.line,
+                    format!(
+                        "order-sensitive iteration `{}.{}()` of an unordered collection; \
+                         iterate a sorted view, reduce through an order-insensitive sink, \
+                         or justify with `sa:allow(SA001)`",
+                        t.text, m.text
+                    ),
+                );
+            }
+        }
+    }
+    // `for x in &name { .. }` — bare iteration without a method call.
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("for") || file.in_test_code(t.line) {
+            continue;
+        }
+        let Some(in_pos) = (i + 1..(i + 24).min(toks.len()))
+            .find(|&j| toks.get(j).is_some_and(|t| t.is_ident("in")))
+        else {
+            continue;
+        };
+        for j in in_pos + 1..(in_pos + 16).min(toks.len()) {
+            let Some(tj) = toks.get(j) else { break };
+            if tj.is_punct('{') {
+                break;
+            }
+            if tj.kind == TokKind::Ident
+                && tracked.iter().any(|n| n == &tj.text)
+                && !toks.get(j + 1).is_some_and(|n| n.is_punct('.'))
+            {
+                out.emit(
+                    file,
+                    "SA001",
+                    tj.line,
+                    format!(
+                        "order-sensitive `for` iteration over unordered collection `{}`",
+                        tj.text
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+const CLOCK_PAIRS: &[(&str, &str)] = &[
+    ("Instant", "now"),
+    ("SystemTime", "now"),
+    ("SystemTime", "UNIX_EPOCH"),
+    ("thread", "current"),
+    ("thread", "available_parallelism"),
+    ("env", "var"),
+    ("env", "var_os"),
+    ("env", "vars"),
+];
+
+fn check_sa002(file: &SourceFile, out: &mut Emitter) {
+    let toks = file.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.in_test_code(t.line) {
+            continue;
+        }
+        if t.text == "ThreadId" {
+            out.emit(
+                file,
+                "SA002",
+                t.line,
+                "thread identity is a nondeterminism source in a result-affecting crate".into(),
+            );
+            continue;
+        }
+        let is_path = toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|b| b.is_punct(':'));
+        if !is_path {
+            continue;
+        }
+        let Some(seg) = toks.get(i + 3).filter(|s| s.kind == TokKind::Ident) else {
+            continue;
+        };
+        if CLOCK_PAIRS
+            .iter()
+            .any(|(a, b)| t.text == *a && seg.text == *b)
+        {
+            out.emit(
+                file,
+                "SA002",
+                t.line,
+                format!(
+                    "`{}::{}` is a wall-clock/thread/environment read inside a \
+                     result-affecting crate; thread a `guard::Budget` or justify with \
+                     `sa:allow(SA002)`",
+                    t.text, seg.text
+                ),
+            );
+        }
+    }
+}
+
+impl Pass for DeterminismPass {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SA001", "SA002"]
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Emitter) {
+        for file in ws.files.iter().filter(|f| eligible(f)) {
+            check_sa001(file, out);
+            check_sa002(file, out);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! SA007 — diagnostic-registry consistency: the `HY`/`SA` code spaces
+//! stay closed, documented and exercised.
+//!
+//! The `HYxxx` codes are canonically declared in the `Code::as_str`
+//! match of `crates/logic/src/diag.rs`. This pass checks that
+//!
+//! * every declared code's exact string literal appears exactly once in
+//!   production code (the declaration itself) — a second bare literal
+//!   means someone bypassed the `Code` enum;
+//! * every declared code appears in `DESIGN.md`'s diagnostic tables;
+//! * every declared code is exercised by at least one test (by variant
+//!   name or by code string inside test code);
+//! * every `HYxxx` mentioned in `DESIGN.md` is actually declared (no
+//!   stale doc rows);
+//! * every `SAxxx` code shipped by this analyzer is documented in
+//!   `DESIGN.md` and exercised by a test.
+
+use crate::config;
+use crate::lexer::TokKind;
+use crate::registry::{Emitter, Pass, Registry};
+use crate::source::{FileKind, SourceFile};
+use crate::workspace::Workspace;
+
+/// The diag-registry consistency pass (SA007).
+pub struct DiagRegistryPass;
+
+/// Parses `Code::Variant => "HYxxx"` arms out of the declaration file.
+fn declared_codes(file: &SourceFile) -> Vec<(String, String)> {
+    let toks = file.toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("Code")
+            || !toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            || !toks.get(i + 2).is_some_and(|b| b.is_punct(':'))
+        {
+            continue;
+        }
+        let Some(variant) = toks.get(i + 3).filter(|v| v.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !toks.get(i + 4).is_some_and(|e| e.is_punct('='))
+            || !toks.get(i + 5).is_some_and(|g| g.is_punct('>'))
+        {
+            continue;
+        }
+        let Some(code) = toks
+            .get(i + 6)
+            .filter(|c| c.kind == TokKind::Str && is_hy_code(&c.text))
+        else {
+            continue;
+        };
+        out.push((variant.text.clone(), code.text.clone()));
+    }
+    out
+}
+
+fn is_hy_code(s: &str) -> bool {
+    // sa:allow(SA003): the slice is guarded by the length check before it
+    s.len() == 5 && s.starts_with("HY") && s[2..].bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Every `HYxxx` substring mentioned in free text (DESIGN.md).
+fn codes_in_text(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i + 5 <= bytes.len() {
+        // sa:allow(SA003): both ranges are guarded by the loop condition
+        if &bytes[i..i + 2] == b"HY" && bytes[i + 2..i + 5].iter().all(u8::is_ascii_digit) {
+            // Reject longer runs like HY1234.
+            if bytes.get(i + 5).is_none_or(|b| !b.is_ascii_digit()) {
+                // sa:allow(SA003): in-bounds and ASCII per the match above
+                let code = &text[i..i + 5];
+                if !out.iter().any(|c| c == code) {
+                    out.push(code.to_owned());
+                }
+            }
+            i += 5;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when `code` (exact string) or `variant` (identifier) appears in
+/// any test code in the workspace.
+fn exercised_by_test(ws: &Workspace, variant: &str, code: &str) -> bool {
+    ws.files.iter().any(|f| {
+        f.toks().iter().any(|t| {
+            f.in_test_code(t.line)
+                && ((t.kind == TokKind::Str && t.text == code)
+                    || (t.kind == TokKind::Ident && t.text == variant))
+        })
+    })
+}
+
+/// Production occurrences of `code` as an exact string literal.
+fn production_literal_count(ws: &Workspace, code: &str) -> usize {
+    ws.files
+        .iter()
+        .filter(|f| matches!(f.kind, FileKind::Lib | FileKind::Bin))
+        .flat_map(|f| {
+            f.toks()
+                .iter()
+                .filter(|t| t.kind == TokKind::Str && t.text == code && !f.in_test_code(t.line))
+                .map(move |_| ())
+        })
+        .count()
+}
+
+impl Pass for DiagRegistryPass {
+    fn name(&self) -> &'static str {
+        "diag-registry"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SA007"]
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Emitter) {
+        let Some(decl_file) = ws.files.iter().find(|f| f.path == config::DIAG_DECL_FILE) else {
+            out.emit_path(
+                config::DIAG_DECL_FILE,
+                "SA007",
+                0,
+                "diagnostic declaration file is missing from the workspace".into(),
+            );
+            return;
+        };
+        let declared = declared_codes(decl_file);
+        if declared.is_empty() {
+            out.emit_path(
+                config::DIAG_DECL_FILE,
+                "SA007",
+                0,
+                "no `Code::Variant => \"HYxxx\"` declarations found".into(),
+            );
+            return;
+        }
+        for (variant, code) in &declared {
+            // Declared exactly once: the as_str arm is the only bare
+            // literal in production code.
+            let n = production_literal_count(ws, code);
+            if n != 1 {
+                out.emit_path(
+                    config::DIAG_DECL_FILE,
+                    "SA007",
+                    0,
+                    format!(
+                        "code {code} appears {n} times as a bare string literal in \
+                         production code (expected exactly once, in `Code::as_str`); \
+                         route extra uses through `Code::{variant}`"
+                    ),
+                );
+            }
+            if let Some(design) = &ws.design {
+                if !design.contains(code) {
+                    out.emit_path(
+                        "DESIGN.md",
+                        "SA007",
+                        0,
+                        format!("declared code {code} ({variant}) is undocumented"),
+                    );
+                }
+            }
+            if !exercised_by_test(ws, variant, code) {
+                out.emit_path(
+                    config::DIAG_DECL_FILE,
+                    "SA007",
+                    0,
+                    format!("code {code} (Code::{variant}) is not exercised by any test"),
+                );
+            }
+        }
+        // Stale doc rows: DESIGN.md mentions an HY code nobody declares.
+        if let Some(design) = &ws.design {
+            for code in codes_in_text(design) {
+                if !declared.iter().any(|(_, c)| c == &code) {
+                    out.emit_path(
+                        "DESIGN.md",
+                        "SA007",
+                        0,
+                        format!("DESIGN.md mentions undeclared code {code}"),
+                    );
+                }
+            }
+        }
+        // The analyzer's own SA codes are held to the same standard.
+        for code in Registry::with_defaults().all_codes() {
+            if let Some(design) = &ws.design {
+                if !design.contains(code) {
+                    out.emit_path(
+                        "DESIGN.md",
+                        "SA007",
+                        0,
+                        format!("analyzer code {code} is undocumented in DESIGN.md"),
+                    );
+                }
+            }
+            let tested = ws.files.iter().any(|f| {
+                f.toks().iter().any(|t| {
+                    f.in_test_code(t.line) && t.kind == TokKind::Str && t.text.contains(code)
+                })
+            });
+            if !tested {
+                out.emit_path(
+                    "crates/analyze",
+                    "SA007",
+                    0,
+                    format!("analyzer code {code} is not exercised by any test"),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! SA008 — feature hygiene: the `obs-rt` and `strict-checks` forwarding
+//! chains stay `default-features = false`-correct.
+//!
+//! The compile-out guarantee ("build with `--no-default-features` and
+//! the instrumentation is literally absent") only holds when every link
+//! of the chain is right, in both directions:
+//!
+//! * a crate exposing `obs-rt` must depend on its instrumented internal
+//!   deps with effective `default-features = false` (otherwise the dep's
+//!   own `default = ["obs-rt"]` re-enables what the feature was supposed
+//!   to gate), **and** must forward `dep/obs-rt` (`hyde-obs/rt`) from
+//!   its own `obs-rt` feature (otherwise enabling the feature leaves the
+//!   dependency dark);
+//! * a crate exposing `strict-checks` must forward `dep/strict-checks`
+//!   to every internal dep that has the feature;
+//! * a crate exposing `obs-rt` must keep it in `default` — on-by-default
+//!   everywhere is the documented workspace policy.
+
+use crate::manifest::{Dep, Manifest};
+use crate::registry::{Emitter, Pass};
+use crate::workspace::Workspace;
+
+/// The feature-hygiene pass (SA008).
+pub struct FeatureHygienePass;
+
+/// The name a crate gives its runtime-tracing feature.
+fn rt_feature_of(package: &str) -> &'static str {
+    if package == "hyde-obs" {
+        "rt"
+    } else {
+        "obs-rt"
+    }
+}
+
+/// The workspace-root manifest (the one carrying
+/// `[workspace.dependencies]`).
+fn root_manifest(ws: &Workspace) -> Option<&Manifest> {
+    ws.manifests
+        .iter()
+        .find(|m| !m.workspace_deps.is_empty())
+        .or_else(|| ws.manifests.iter().find(|m| m.path == "Cargo.toml"))
+}
+
+/// Resolves the effective `default-features` of a use site, falling
+/// back through `workspace = true` inheritance. Cargo defaults to
+/// `true`.
+fn effective_default_features(ws: &Workspace, dep: &Dep) -> bool {
+    if let Some(df) = dep.default_features {
+        return df;
+    }
+    if dep.workspace {
+        if let Some(root) = root_manifest(ws) {
+            if let Some(spec) = root.workspace_deps.iter().find(|d| d.name == dep.name) {
+                return spec.default_features.unwrap_or(true);
+            }
+        }
+    }
+    true
+}
+
+/// Checks one forwarding chain (`obs-rt` or `strict-checks`) of one
+/// manifest.
+fn check_chain(ws: &Workspace, m: &Manifest, feature: &str, out: &mut Emitter) {
+    let Some(forwards) = m.feature(feature) else {
+        return;
+    };
+    for dep in m.deps.iter().filter(|d| !d.dev) {
+        // Only internal crates participate in the chains.
+        let Some(dep_manifest) = ws.manifest_for(&dep.name) else {
+            continue;
+        };
+        let dep_feature = if feature == "obs-rt" {
+            rt_feature_of(&dep.name)
+        } else {
+            feature
+        };
+        if dep_manifest.feature(dep_feature).is_none() {
+            continue;
+        }
+        let spec = format!("{}/{}", dep.name, dep_feature);
+        if !forwards.iter().any(|f| f == &spec) {
+            out.emit_path(
+                &m.path,
+                "SA008",
+                0,
+                format!(
+                    "feature `{feature}` does not forward `{spec}`; enabling `{feature}` \
+                     on `{}` leaves `{}` un-instrumented",
+                    m.package, dep.name
+                ),
+            );
+        }
+        // Forwarding only gates anything if the dep's defaults are off.
+        if feature == "obs-rt" && effective_default_features(ws, dep) {
+            out.emit_path(
+                &m.path,
+                "SA008",
+                0,
+                format!(
+                    "dependency `{}` is taken with default features on, so its \
+                     `{dep_feature}` cannot be compiled out; add `default-features = false` \
+                     at the use site (or in `[workspace.dependencies]`)",
+                    dep.name
+                ),
+            );
+        }
+    }
+}
+
+impl Pass for FeatureHygienePass {
+    fn name(&self) -> &'static str {
+        "feature-hygiene"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SA008"]
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Emitter) {
+        for m in &ws.manifests {
+            if m.package.is_empty() {
+                continue;
+            }
+            check_chain(ws, m, "obs-rt", out);
+            check_chain(ws, m, "strict-checks", out);
+            // Workspace policy: tracing hooks are on by default.
+            if m.feature("obs-rt").is_some() {
+                let in_default = m
+                    .feature("default")
+                    .is_some_and(|d| d.iter().any(|f| f == "obs-rt"));
+                if !in_default {
+                    out.emit_path(
+                        &m.path,
+                        "SA008",
+                        0,
+                        format!(
+                            "`{}` exposes `obs-rt` but does not include it in `default`; \
+                             the workspace policy is tracing-on-by-default",
+                            m.package
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! The shipped passes, one module per concern.
+
+pub mod budget;
+pub mod determinism;
+pub mod diag;
+pub mod features;
+pub mod obs;
+pub mod panic_surface;

@@ -1,0 +1,90 @@
+//! Per-pass ratchet files: committed per-file caps that may go down
+//! freely but only up with a justified diff.
+//!
+//! Format (one entry per line, `#` comments):
+//!
+//! ```text
+//! <max-count> <workspace-relative-path>
+//! ```
+//!
+//! Successor of `crates/core/unwrap_allowlist.txt`, generalized to any
+//! counting pass and to workspace-relative paths.
+
+/// A parsed ratchet: `(path, cap)` entries in file order.
+#[derive(Clone, Debug, Default)]
+pub struct Ratchet {
+    /// Entries as committed.
+    pub entries: Vec<(String, usize)>,
+}
+
+impl Ratchet {
+    /// Parses ratchet `text`; malformed lines are reported as `Err`
+    /// entries by the caller via the returned issues list.
+    pub fn parse(text: &str) -> (Ratchet, Vec<String>) {
+        let mut r = Ratchet::default();
+        let mut issues = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match line.split_once(char::is_whitespace) {
+                Some((count, path)) => match count.parse::<usize>() {
+                    Ok(cap) => r.entries.push((path.trim().to_owned(), cap)),
+                    Err(_) => issues.push(format!("line {}: bad count in '{line}'", i + 1)),
+                },
+                None => issues.push(format!("line {}: malformed entry '{line}'", i + 1)),
+            }
+        }
+        (r, issues)
+    }
+
+    /// The committed cap for `path` (absent entries cap at 0: new files
+    /// start clean).
+    pub fn cap(&self, path: &str) -> usize {
+        self.entries
+            .iter()
+            .find(|(p, _)| p == path)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    /// Serializes observed `(path, count)` pairs as a fresh ratchet
+    /// file (zero-count files are omitted).
+    pub fn render(header: &str, counts: &[(String, usize)]) -> String {
+        let mut out = String::new();
+        for line in header.lines() {
+            out.push_str("# ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("#\n# Format: <max-count> <workspace-relative-path>\n");
+        for (path, count) in counts {
+            if *count > 0 {
+                out.push_str(&format!("{count} {path}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_cap() {
+        let (r, issues) = Ratchet::parse("# c\n3 crates/core/src/a.rs\n\n0 b.rs\nbroken\n");
+        assert!(issues.iter().any(|i| i.contains("broken")));
+        assert_eq!(r.cap("crates/core/src/a.rs"), 3);
+        assert_eq!(r.cap("b.rs"), 0);
+        assert_eq!(r.cap("unknown.rs"), 0);
+    }
+
+    #[test]
+    fn render_skips_zeroes() {
+        let s = Ratchet::render("hdr", &[("a.rs".into(), 2), ("b.rs".into(), 0)]);
+        assert!(s.contains("# hdr"));
+        assert!(s.contains("2 a.rs"));
+        assert!(!s.contains("b.rs"));
+    }
+}

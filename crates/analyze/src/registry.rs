@@ -1,0 +1,140 @@
+//! The pass registry: the [`Pass`] trait and the [`Registry`] that fans
+//! the workspace out to every pass — the same shape as hyde-verify's
+//! `Lint`/`Registry` pair, over source files instead of pipeline
+//! artifacts.
+
+use crate::report::{Finding, PassSummary, Report};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// Collects findings for one pass, applying `sa:allow` directives.
+pub struct Emitter {
+    pass: &'static str,
+    findings: Vec<Finding>,
+    allowed: usize,
+    notes: Vec<String>,
+}
+
+impl Emitter {
+    fn new(pass: &'static str) -> Emitter {
+        Emitter {
+            pass,
+            findings: Vec::new(),
+            allowed: 0,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Emits a finding anchored in `file`, honoring its allow
+    /// directives.
+    pub fn emit(&mut self, file: &SourceFile, code: &'static str, line: u32, message: String) {
+        if file.allowed(code, line) {
+            self.allowed += 1;
+        } else {
+            self.findings.push(Finding {
+                code,
+                pass: self.pass,
+                file: file.path.clone(),
+                line,
+                message,
+            });
+        }
+    }
+
+    /// Emits a finding against a path with no allow-directive support
+    /// (manifests, `DESIGN.md`, ratchet files, workspace-level checks).
+    pub fn emit_path(&mut self, path: &str, code: &'static str, line: u32, message: String) {
+        self.findings.push(Finding {
+            code,
+            pass: self.pass,
+            file: path.to_owned(),
+            line,
+            message,
+        });
+    }
+
+    /// Records a non-failing improvement note (e.g. a ratchet count
+    /// below its committed cap).
+    pub fn note(&mut self, message: String) {
+        self.notes.push(message);
+    }
+}
+
+/// One static-analysis pass.
+pub trait Pass {
+    /// Short kebab-case name, e.g. `"determinism"`.
+    fn name(&self) -> &'static str;
+    /// The stable `SAxxx` codes this pass can emit.
+    fn codes(&self) -> &'static [&'static str];
+    /// Appends findings on `ws` to `out`.
+    fn check(&self, ws: &Workspace, out: &mut Emitter);
+}
+
+/// An ordered collection of passes run as one analysis.
+pub struct Registry {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Registry {
+        Registry { passes: Vec::new() }
+    }
+
+    /// A registry with every pass shipped by this crate.
+    pub fn with_defaults() -> Registry {
+        let mut r = Registry::empty();
+        r.register(Box::new(crate::passes::determinism::DeterminismPass));
+        r.register(Box::new(crate::passes::panic_surface::PanicSurfacePass));
+        r.register(Box::new(crate::passes::budget::BudgetPass));
+        r.register(Box::new(crate::passes::obs::ObsPass));
+        r.register(Box::new(crate::passes::diag::DiagRegistryPass));
+        r.register(Box::new(crate::passes::features::FeatureHygienePass));
+        r
+    }
+
+    /// Adds a pass to the end of the run order.
+    pub fn register(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// `(name, codes)` of the registered passes, in run order.
+    pub fn pass_list(&self) -> Vec<(&'static str, &'static [&'static str])> {
+        self.passes.iter().map(|p| (p.name(), p.codes())).collect()
+    }
+
+    /// Every code any registered pass can emit, in run order.
+    pub fn all_codes(&self) -> Vec<&'static str> {
+        self.passes
+            .iter()
+            .flat_map(|p| p.codes().iter().copied())
+            .collect()
+    }
+
+    /// Runs every pass over `ws` and collects the report.
+    pub fn run(&self, ws: &Workspace) -> Report {
+        let mut report = Report {
+            files_scanned: ws.files.len(),
+            ..Report::default()
+        };
+        for pass in &self.passes {
+            let mut em = Emitter::new(pass.name());
+            pass.check(ws, &mut em);
+            report.passes.push(PassSummary {
+                pass: pass.name(),
+                codes: pass.codes().to_vec(),
+                findings: em.findings.len(),
+                allowed: em.allowed,
+            });
+            report.findings.extend(em.findings);
+            report.notes.extend(em.notes);
+        }
+        report
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_defaults()
+    }
+}

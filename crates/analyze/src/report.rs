@@ -1,0 +1,179 @@
+//! Findings, per-pass summaries and the `ANALYZE.json` emitter.
+
+/// JSON schema tag written into `ANALYZE.json`.
+pub const SCHEMA: &str = "hyde-sa-v1";
+
+/// One analyzer finding. Every finding is deny-level: the run fails if
+/// any survive allow directives and ratchets.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable code, e.g. `SA001`.
+    pub code: &'static str,
+    /// Pass name, e.g. `determinism`.
+    pub pass: &'static str,
+    /// Workspace-relative file (or `Cargo.toml` / `DESIGN.md` path).
+    pub file: String,
+    /// 1-based line, 0 when the finding is file- or workspace-level.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(
+                f,
+                "{} [{}] {}: {}",
+                self.code, self.pass, self.file, self.message
+            )
+        } else {
+            write!(
+                f,
+                "{} [{}] {}:{}: {}",
+                self.code, self.pass, self.file, self.line, self.message
+            )
+        }
+    }
+}
+
+/// Per-pass roll-up.
+#[derive(Clone, Debug)]
+pub struct PassSummary {
+    /// Pass name.
+    pub pass: &'static str,
+    /// Codes the pass can emit.
+    pub codes: Vec<&'static str>,
+    /// Findings that survived allows/ratchets.
+    pub findings: usize,
+    /// Findings suppressed by `sa:allow` directives.
+    pub allowed: usize,
+}
+
+/// The result of one full analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Surviving findings, in pass order.
+    pub findings: Vec<Finding>,
+    /// Per-pass summaries, in pass order.
+    pub passes: Vec<PassSummary>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Ratchet improvement notes (counts below their committed cap).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// True when no finding survived.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Total suppressed findings across passes.
+    pub fn allowed(&self) -> usize {
+        self.passes.iter().map(|p| p.allowed).sum()
+    }
+
+    /// Serializes the report as `hyde-sa-v1` JSON (hand-rolled, no
+    /// serde — the build is offline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": {},\n", json_str(SCHEMA)));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"allowed\": {},\n", self.allowed()));
+        s.push_str("  \"passes\": [\n");
+        let passes: Vec<String> = self
+            .passes
+            .iter()
+            .map(|p| {
+                let codes: Vec<String> = p.codes.iter().map(|c| json_str(c)).collect();
+                format!(
+                    "    {{\"pass\": {}, \"codes\": [{}], \"findings\": {}, \"allowed\": {}}}",
+                    json_str(p.pass),
+                    codes.join(", "),
+                    p.findings,
+                    p.allowed
+                )
+            })
+            .collect();
+        s.push_str(&passes.join(",\n"));
+        s.push_str("\n  ],\n");
+        s.push_str("  \"findings\": [\n");
+        let findings: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "    {{\"code\": {}, \"pass\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                    json_str(f.code),
+                    json_str(f.pass),
+                    json_str(&f.file),
+                    f.line,
+                    json_str(&f.message)
+                )
+            })
+            .collect();
+        s.push_str(&findings.join(",\n"));
+        s.push_str("\n  ],\n");
+        s.push_str("  \"notes\": [\n");
+        let notes: Vec<String> = self
+            .notes
+            .iter()
+            .map(|n| format!("    {}", json_str(n)))
+            .collect();
+        s.push_str(&notes.join(",\n"));
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_schema() {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Report::default()
+        };
+        r.passes.push(PassSummary {
+            pass: "determinism",
+            codes: vec!["SA001", "SA002"],
+            findings: 1,
+            allowed: 3,
+        });
+        r.findings.push(Finding {
+            code: "SA001",
+            pass: "determinism",
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            message: "iterates a \"HashMap\"".into(),
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"hyde-sa-v1\""));
+        assert!(json.contains("\\\"HashMap\\\""));
+        assert!(json.contains("\"allowed\": 3"));
+        assert!(!r.clean());
+    }
+}

@@ -1,0 +1,427 @@
+//! Source-file model: a lexed `.rs` file with item structure
+//! (functions, `#[cfg(test)]` regions) and `sa:allow` directives.
+
+use crate::lexer::{self, Lexed, Tok, TokKind};
+
+/// What role a file plays in its crate, derived from its path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source under `src/` (excluding `src/bin`).
+    Lib,
+    /// Binary source under `src/bin/`.
+    Bin,
+    /// Test or bench source (`tests/`, `benches/`).
+    Test,
+    /// Example source (`examples/`).
+    Example,
+}
+
+/// One `sa:allow(CODE): reason` directive parsed from a comment.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The `SAxxx` code being allowed.
+    pub code: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// True for `//!` directives, which cover the whole file.
+    pub file_scope: bool,
+}
+
+/// A function item found by the token scanner.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the function has any `pub` qualifier.
+    pub is_pub: bool,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token range of the body, `None` for bodiless declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One analyzed source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Crate directory name (`core`, `bdd`, ...; `hyde` for the root
+    /// package).
+    pub crate_name: String,
+    /// Role of the file.
+    pub kind: FileKind,
+    /// Lexed token stream and comments.
+    pub lexed: Lexed,
+    /// Parsed allow directives.
+    pub allows: Vec<Allow>,
+    /// 1-based line ranges (inclusive) covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+/// Derives `(crate_name, kind)` from a workspace-relative path.
+pub fn classify_path(path: &str) -> (String, FileKind) {
+    let parts: Vec<&str> = path.split('/').collect();
+    let (crate_name, rest) = match parts.split_first() {
+        Some((&"crates", rest)) => match rest.split_first() {
+            Some((name, tail)) => ((*name).to_owned(), tail.to_vec()),
+            None => ("hyde".to_owned(), Vec::new()),
+        },
+        _ => ("hyde".to_owned(), parts),
+    };
+    let kind = match rest.first().copied() {
+        Some("tests") | Some("benches") => FileKind::Test,
+        Some("examples") => FileKind::Example,
+        Some("src") if rest.get(1).copied() == Some("bin") => FileKind::Bin,
+        _ => FileKind::Lib,
+    };
+    (crate_name, kind)
+}
+
+/// Finds the token index of the `}` matching the `{` at `open`, or the
+/// end of the stream when unbalanced.
+pub fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while let Some(t) = toks.get(i) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Finds the token index of the `]` matching the `[` at `open`.
+fn match_bracket(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while let Some(t) = toks.get(i) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find("sa:allow(") else {
+            continue;
+        };
+        let Some(tail) = c.text.get(pos + "sa:allow(".len()..) else {
+            continue;
+        };
+        let Some(close) = tail.find(')') else {
+            continue;
+        };
+        let Some(code) = tail.get(..close) else {
+            continue;
+        };
+        // Require a non-empty justification after "): ".
+        let justified = tail
+            .get(close + 1..)
+            .map(|r| r.trim_start_matches(':').trim())
+            .is_some_and(|r| !r.is_empty());
+        if !justified {
+            continue;
+        }
+        out.push(Allow {
+            code: code.trim().to_owned(),
+            line: c.line,
+            file_scope: c.inner,
+        });
+    }
+    out
+}
+
+/// Scans for `#[cfg(test)]`-gated items (and `#[test]` functions) and
+/// returns their inclusive line ranges.
+fn parse_test_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while let Some(t) = toks.get(i) {
+        if !t.is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let Some(open) = toks.get(i + 1).filter(|t| t.is_punct('[')) else {
+            i += 1;
+            continue;
+        };
+        let _ = open;
+        let close = match_bracket(toks, i + 1);
+        let attr = toks.get(i + 1..=close).unwrap_or_default();
+        let is_cfg_test = attr.iter().any(|t| t.is_ident("cfg"))
+            && attr
+                .iter()
+                .any(|t| t.is_ident("test") || t.is_ident("tests"));
+        let is_test_attr = attr.len() == 3 && attr.iter().any(|t| t.is_ident("test"));
+        if !is_cfg_test && !is_test_attr {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item's body braces.
+        let mut j = close + 1;
+        while toks.get(j).is_some_and(|t| t.is_punct('#'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            j = match_bracket(toks, j + 1) + 1;
+        }
+        let mut k = j;
+        let mut found = None;
+        while let Some(t) = toks.get(k) {
+            if t.is_punct('{') {
+                found = Some(k);
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        if let Some(body_open) = found {
+            let body_close = match_brace(toks, body_open);
+            let start = toks.get(i).map_or(1, |t| t.line);
+            let end = toks.get(body_close).map_or(start, |t| t.line);
+            out.push((start, end));
+            i = body_close + 1;
+        } else {
+            i = k + 1;
+        }
+    }
+    out
+}
+
+impl SourceFile {
+    /// Lexes and scans `text` as the file at workspace-relative `path`.
+    pub fn new(path: &str, text: &str) -> SourceFile {
+        let (crate_name, kind) = classify_path(path);
+        let lexed = lexer::lex(text);
+        let allows = parse_allows(&lexed);
+        let test_ranges = parse_test_ranges(&lexed.toks);
+        SourceFile {
+            path: path.to_owned(),
+            crate_name,
+            kind,
+            lexed,
+            allows,
+            test_ranges,
+        }
+    }
+
+    /// Token stream shorthand.
+    pub fn toks(&self) -> &[Tok] {
+        &self.lexed.toks
+    }
+
+    /// True when `line` falls inside test code (a test file, or a
+    /// `#[cfg(test)]` / `#[test]` region of a production file).
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.kind == FileKind::Test
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(s, e)| line >= s && line <= e)
+    }
+
+    /// True when a finding for `code` at `line` is covered by an
+    /// `sa:allow` directive: a file-scope `//! sa:allow`, a trailing
+    /// comment on the same line, or a comment (block) directly above —
+    /// the directive covers the next line of code after it, however many
+    /// comment lines the justification takes.
+    pub fn allowed(&self, code: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.code == code
+                && (a.file_scope || a.line == line || self.next_code_line(a.line) == Some(line))
+        })
+    }
+
+    /// The line of the first token after `line` (comments are not
+    /// tokens, so this skips over the rest of a comment block).
+    fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.toks().iter().find(|t| t.line > line).map(|t| t.line)
+    }
+
+    /// Scans the token stream for function items.
+    pub fn fns(&self) -> Vec<FnItem> {
+        let toks = self.toks();
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while let Some(t) = toks.get(i) {
+            if !t.is_ident("fn") {
+                i += 1;
+                continue;
+            }
+            // `fn(args) -> ret` is a function-pointer type, not an item.
+            let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            let is_pub = Self::pub_before(toks, i);
+            // Find the body `{` at paren depth 0, stopping at `;`.
+            let mut j = i + 2;
+            let mut paren = 0usize;
+            let mut body = None;
+            while let Some(tj) = toks.get(j) {
+                if tj.is_punct('(') {
+                    paren += 1;
+                } else if tj.is_punct(')') {
+                    paren = paren.saturating_sub(1);
+                } else if paren == 0 && tj.is_punct('{') {
+                    body = Some((j, match_brace(toks, j)));
+                    break;
+                } else if paren == 0 && tj.is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            out.push(FnItem {
+                name: name_tok.text.clone(),
+                line: t.line,
+                is_pub,
+                fn_tok: i,
+                body,
+            });
+            // Continue scanning *inside* the body too (nested fns are
+            // rare but cheap to support); just advance past the name.
+            i += 2;
+        }
+        out
+    }
+
+    /// Looks backwards from the `fn` keyword for a `pub` qualifier,
+    /// skipping `const`/`unsafe`/`async`/`extern "C"` and a
+    /// `pub(crate)`-style restriction.
+    fn pub_before(toks: &[Tok], fn_idx: usize) -> bool {
+        let mut i = fn_idx;
+        let mut steps = 0;
+        while i > 0 && steps < 8 {
+            i -= 1;
+            steps += 1;
+            let Some(t) = toks.get(i) else { break };
+            match t.kind {
+                TokKind::Ident
+                    if matches!(t.text.as_str(), "const" | "unsafe" | "async" | "extern") =>
+                {
+                    continue;
+                }
+                TokKind::Ident if matches!(t.text.as_str(), "crate" | "super" | "self" | "in") => {
+                    continue;
+                }
+                TokKind::Str => continue,
+                TokKind::Punct if t.is_punct(')') || t.is_punct('(') => continue,
+                TokKind::Ident if t.text == "pub" => return true,
+                _ => break,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_paths() {
+        assert_eq!(
+            classify_path("crates/core/src/varpart.rs"),
+            ("core".to_owned(), FileKind::Lib)
+        );
+        assert_eq!(
+            classify_path("crates/verify/src/bin/hyde-lint.rs"),
+            ("verify".to_owned(), FileKind::Bin)
+        );
+        assert_eq!(
+            classify_path("crates/logic/tests/malformed.rs"),
+            ("logic".to_owned(), FileKind::Test)
+        );
+        assert_eq!(
+            classify_path("tests/end_to_end.rs"),
+            ("hyde".to_owned(), FileKind::Test)
+        );
+        assert_eq!(
+            classify_path("src/lib.rs"),
+            ("hyde".to_owned(), FileKind::Lib)
+        );
+    }
+
+    #[test]
+    fn finds_fns_and_visibility() {
+        let f = SourceFile::new(
+            "crates/core/src/x.rs",
+            "pub fn a() {}\nfn b() { fn inner() {} }\npub(crate) fn c() -> u8 { 0 }\n\
+             pub const fn d() {}\ntrait T { fn e(&self); }",
+        );
+        let fns = f.fns();
+        let names: Vec<(&str, bool)> = fns.iter().map(|f| (f.name.as_str(), f.is_pub)).collect();
+        assert_eq!(
+            names,
+            [
+                ("a", true),
+                ("b", false),
+                ("inner", false),
+                ("c", true),
+                ("d", true),
+                ("e", false)
+            ]
+        );
+        assert!(fns
+            .iter()
+            .find(|f| f.name == "e")
+            .is_some_and(|f| f.body.is_none()));
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_mod() {
+        let f = SourceFile::new(
+            "crates/core/src/x.rs",
+            "pub fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n",
+        );
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(3));
+        assert!(f.in_test_code(5));
+    }
+
+    #[test]
+    fn allow_directives_cover_lines() {
+        let f = SourceFile::new(
+            "crates/core/src/x.rs",
+            "// sa:allow(SA001): iteration feeds an order-insensitive sum\nlet x = 1;\n\
+             let y = 2; // sa:allow(SA003): bounded by construction\n",
+        );
+        assert!(f.allowed("SA001", 2));
+        assert!(!f.allowed("SA001", 3));
+        assert!(f.allowed("SA003", 3));
+        assert!(!f.allowed("SA002", 2));
+    }
+
+    #[test]
+    fn file_scope_allow() {
+        let f = SourceFile::new(
+            "crates/core/src/x.rs",
+            "//! sa:allow(SA002): deadline checks are the sanctioned budget path\nfn f() {}\n",
+        );
+        assert!(f.allowed("SA002", 40));
+    }
+
+    #[test]
+    fn allow_requires_justification() {
+        let f = SourceFile::new("crates/core/src/x.rs", "// sa:allow(SA001)\nlet x = 1;\n");
+        assert!(!f.allowed("SA001", 2));
+    }
+}

@@ -1,0 +1,189 @@
+//! Mutation drill: prove every pass actually fires. Each test takes the
+//! real (clean) workspace, plants one violation in memory, and asserts
+//! the responsible pass reports it. A pass that silently stops matching
+//! fails here, not in production.
+
+use hyde_analyze::manifest;
+use hyde_analyze::passes;
+use hyde_analyze::registry::{Pass, Registry};
+use hyde_analyze::source::SourceFile;
+use hyde_analyze::workspace::Workspace;
+use std::path::{Path, PathBuf};
+
+fn root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn workspace() -> Workspace {
+    Workspace::from_root(&root()).expect("workspace readable")
+}
+
+/// Replaces `path`'s source with `mutate(original text)`.
+fn mutate_file(ws: &mut Workspace, path: &str, mutate: impl Fn(&str) -> String) {
+    let text = std::fs::read_to_string(root().join(path)).expect("file readable");
+    let pos = ws
+        .files
+        .iter()
+        .position(|f| f.path == path)
+        .unwrap_or_else(|| panic!("{path} not in workspace"));
+    ws.files[pos] = SourceFile::new(path, &mutate(&text));
+}
+
+/// Runs a single pass and returns true when `code` fired against a file
+/// whose path contains `file_contains`.
+fn fires(ws: &Workspace, pass: Box<dyn Pass>, code: &str, file_contains: &str) -> bool {
+    let mut r = Registry::empty();
+    r.register(pass);
+    r.run(ws)
+        .findings
+        .iter()
+        .any(|f| f.code == code && f.file.contains(file_contains))
+}
+
+#[test]
+fn sa001_fires_on_injected_unordered_iteration() {
+    let mut ws = workspace();
+    let file = "crates/core/src/varpart.rs";
+    mutate_file(&mut ws, file, |t| {
+        format!(
+            "{t}\npub fn mutated(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {{\n\
+             \x20   m.values().copied().collect()\n}}\n"
+        )
+    });
+    assert!(fires(
+        &ws,
+        Box::new(passes::determinism::DeterminismPass),
+        "SA001",
+        file
+    ));
+}
+
+#[test]
+fn sa002_fires_on_injected_clock_read() {
+    let mut ws = workspace();
+    let file = "crates/bdd/src/manager.rs";
+    mutate_file(&mut ws, file, |t| {
+        format!("{t}\npub fn mutated_now() -> std::time::Instant {{ std::time::Instant::now() }}\n")
+    });
+    assert!(fires(
+        &ws,
+        Box::new(passes::determinism::DeterminismPass),
+        "SA002",
+        file
+    ));
+}
+
+#[test]
+fn sa003_fires_on_panic_surface_growth() {
+    let mut ws = workspace();
+    let file = "crates/core/src/classes.rs";
+    mutate_file(&mut ws, file, |t| {
+        format!("{t}\npub fn mutated_unwrap(v: &[u32]) -> u32 {{ v.first().copied().unwrap() }}\n")
+    });
+    assert!(fires(
+        &ws,
+        Box::new(passes::panic_surface::PanicSurfacePass),
+        "SA003",
+        file
+    ));
+}
+
+#[test]
+fn sa004_fires_on_budget_less_entry_point() {
+    let mut ws = workspace();
+    let file = "crates/core/src/classes.rs";
+    mutate_file(&mut ws, file, |t| {
+        format!(
+            "{t}\npub fn mutated_work(m: &mut hyde_bdd::Bdd, a: hyde_bdd::Ref) -> hyde_bdd::Ref {{\n\
+             \x20   m.not(a)\n}}\n"
+        )
+    });
+    assert!(fires(
+        &ws,
+        Box::new(passes::budget::BudgetPass),
+        "SA004",
+        file
+    ));
+}
+
+#[test]
+fn sa005_fires_on_renamed_span() {
+    let mut ws = workspace();
+    let file = "crates/map/src/flow.rs";
+    mutate_file(&mut ws, file, |t| {
+        assert!(
+            t.contains("map.outputs"),
+            "expected flow.rs to open map.outputs"
+        );
+        t.replace("map.outputs", "map.mutated")
+    });
+    // Three facets at once: the literal is undocumented, the phase fn no
+    // longer opens its documented span, and `map.outputs` goes unopened.
+    assert!(fires(&ws, Box::new(passes::obs::ObsPass), "SA005", file));
+    assert!(fires(
+        &ws,
+        Box::new(passes::obs::ObsPass),
+        "SA005",
+        "DESIGN.md"
+    ));
+}
+
+#[test]
+fn sa006_fires_on_injected_counter() {
+    let mut ws = workspace();
+    let file = "crates/sat/src/solver.rs";
+    mutate_file(&mut ws, file, |t| {
+        format!("{t}\npub fn mutated_counter() {{ hyde_obs::counter(\"mutated.counter\", 1); }}\n")
+    });
+    assert!(fires(&ws, Box::new(passes::obs::ObsPass), "SA006", file));
+}
+
+#[test]
+fn sa007_fires_on_dropped_design_row() {
+    let mut ws = workspace();
+    let design = ws.design.take().expect("DESIGN.md present");
+    assert!(design.contains("HY504"), "expected HY504 documented");
+    ws.design = Some(design.replace("HY504", "HYxxx"));
+    let mut r = Registry::empty();
+    r.register(Box::new(passes::diag::DiagRegistryPass));
+    let report = r.run(&ws);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code == "SA007" && f.message.contains("HY504")),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn sa008_fires_on_dropped_feature_forward() {
+    let mut ws = workspace();
+    let text = std::fs::read_to_string(root().join("Cargo.toml")).expect("root manifest");
+    assert!(
+        text.contains("\"hyde-verify/strict-checks\""),
+        "expected the root strict-checks chain to forward hyde-verify"
+    );
+    let broken = text.replace(
+        "\"hyde-verify/strict-checks\"",
+        "\"hyde-core/strict-checks\"",
+    );
+    let pos = ws
+        .manifests
+        .iter()
+        .position(|m| m.path == "Cargo.toml")
+        .expect("root manifest in workspace");
+    ws.manifests[pos] = manifest::parse("Cargo.toml", &broken);
+    let mut r = Registry::empty();
+    r.register(Box::new(passes::features::FeatureHygienePass));
+    let report = r.run(&ws);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code == "SA008" && f.message.contains("hyde-verify/strict-checks")),
+        "{:?}",
+        report.findings
+    );
+}

@@ -1,0 +1,62 @@
+//! Self-hosting gate: the analyzer runs over the real workspace —
+//! including its own crate — and must come back clean. This is the same
+//! check `cargo xtask analyze` and CI enforce; failing here means a
+//! change landed without updating the ratchets, taxonomies or allows.
+
+use hyde_analyze::registry::Registry;
+use hyde_analyze::workspace::Workspace;
+use std::path::{Path, PathBuf};
+
+fn root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn the_workspace_analyzes_clean() {
+    let ws = Workspace::from_root(&root()).expect("workspace readable");
+    assert!(
+        ws.files.len() > 100,
+        "suspiciously few files ({}) — did workspace discovery break?",
+        ws.files.len()
+    );
+    assert!(ws.design.is_some(), "DESIGN.md must be discovered");
+    assert!(
+        ws.ratchet(hyde_analyze::passes::panic_surface::RATCHET_FILE)
+            .is_some(),
+        "SA003 ratchet file must be committed"
+    );
+    let report = Registry::with_defaults().run(&ws);
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.clean(),
+        "the workspace must analyze clean; findings:\n{}",
+        rendered.join("\n")
+    );
+    // The workspace genuinely relies on allow directives; if this drops
+    // to zero the directive parser has silently stopped matching.
+    assert!(
+        report.allowed() > 0,
+        "expected at least one sa:allow suppression in the workspace"
+    );
+}
+
+#[test]
+fn analyze_root_and_json_roundtrip() {
+    let report = hyde_analyze::analyze_root(&root()).expect("analysis runs");
+    assert!(report.clean());
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"hyde-sa-v1\""));
+    assert!(json.contains("\"pass\": \"determinism\""));
+    assert!(json.contains("\"pass\": \"feature-hygiene\""));
+}
+
+#[test]
+fn default_registry_covers_the_documented_codes() {
+    let codes = Registry::with_defaults().all_codes();
+    for expected in [
+        "SA001", "SA002", "SA003", "SA004", "SA005", "SA006", "SA007", "SA008",
+    ] {
+        assert!(codes.contains(&expected), "missing {expected}");
+    }
+    assert_eq!(Registry::with_defaults().pass_list().len(), 6);
+}

@@ -42,10 +42,14 @@ pub struct CircuitSample {
     /// BDD nodes allocated while building every output of the circuit in
     /// one shared manager (kernel footprint metric).
     pub bdd_nodes: usize,
-    /// Operation-cache hit rate of that manager, when the manager exposes
-    /// statistics (`None` on managers predating [`hyde_bdd::BddStats`]).
+    /// Operation-cache hit rate across every BDD manager this circuit's
+    /// measurement created and dropped — the mapping flow's managers (when
+    /// budget degradation reaches the BDD rung) plus the kernel build —
+    /// measured by delta-ing [`hyde_bdd::global_stats`] around both.
+    /// `None` only when no cached BDD operations ran at all.
     pub bdd_cache_hit_rate: Option<f64>,
-    /// Unique-table probes of that manager, when available.
+    /// Unique-table probes across those same managers (`Some(0)` when no
+    /// unique table was ever touched).
     pub bdd_unique_probes: Option<u64>,
 }
 
@@ -82,19 +86,52 @@ impl BenchRun {
     }
 }
 
-/// Builds every output of `c` in one BDD manager and reports the kernel
-/// footprint: `(allocated nodes, cache hit rate, unique probes)`.
-fn bdd_kernel(c: &Circuit) -> (usize, Option<f64>, Option<u64>) {
+/// Builds every output of `c` in one BDD manager from its ISOP cover —
+/// each cube is an AND of literals, each output an OR of its cubes — and
+/// reports the kernel footprint in allocated nodes.
+///
+/// The symbolic construction matters: the old kernel used `from_fn`,
+/// whose `mk` path never consults the operation cache, so the reported
+/// hit rate was a constant, misleading `0.000`. Driving `and`/`or`/`not`
+/// through the cached apply path produces real cache traffic, and the
+/// manager's stats flush into [`hyde_bdd::global_stats`] when it drops
+/// at the end of this function, landing inside the caller's telemetry
+/// window.
+fn bdd_kernel(c: &Circuit) -> usize {
+    use hyde_logic::{Literal, SopCover};
     let mut bdd = hyde_bdd::Bdd::with_capacity(c.inputs, 1 << 12);
     for f in &c.outputs {
-        let _ = bdd.from_fn(|m| f.eval(m));
+        let mut acc = bdd.zero();
+        for cube in SopCover::isop(f).iter() {
+            let mut term = bdd.one();
+            for var in 0..c.inputs {
+                let lit = match cube.literal(var) {
+                    Literal::DontCare => continue,
+                    Literal::Positive => bdd.var(var),
+                    Literal::Negative => {
+                        let v = bdd.var(var);
+                        bdd.not(v)
+                    }
+                };
+                term = bdd.and(term, lit);
+            }
+            acc = bdd.or(acc, term);
+        }
     }
-    let stats = bdd.stats();
-    (
-        bdd.len(),
-        Some(stats.cache_hit_rate()),
-        Some(stats.unique_probes),
-    )
+    bdd.len()
+}
+
+/// Telemetry deltas of [`hyde_bdd::global_stats`] across one circuit's
+/// flow: `(cache hit rate, unique probes)`.
+fn flow_bdd_telemetry(
+    before: &hyde_bdd::BddStats,
+    after: &hyde_bdd::BddStats,
+) -> (Option<f64>, Option<u64>) {
+    let lookups = after.cache_lookups.saturating_sub(before.cache_lookups);
+    let hits = after.cache_hits.saturating_sub(before.cache_hits);
+    let probes = after.unique_probes.saturating_sub(before.unique_probes);
+    let rate = (lookups > 0).then(|| hits as f64 / lookups as f64);
+    (rate, Some(probes))
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -148,10 +185,14 @@ pub fn run_bench_budgeted(
     let mut samples = Vec::with_capacity(circuits.len());
     for c in circuits {
         let _obs = hyde_obs::span!("bench.circuit");
+        let stats_before = hyde_bdd::global_stats();
         let start = Instant::now();
         let report = map_isolated(&flow, c)?;
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        let (bdd_nodes, bdd_cache_hit_rate, bdd_unique_probes) = bdd_kernel(c);
+        let bdd_nodes = bdd_kernel(c);
+        let stats_after = hyde_bdd::global_stats();
+        let (bdd_cache_hit_rate, bdd_unique_probes) =
+            flow_bdd_telemetry(&stats_before, &stats_after);
         samples.push(CircuitSample {
             name: c.name.clone(),
             inputs: c.inputs,
@@ -703,7 +744,64 @@ mod tests {
         assert!(run.samples[0].wall_ms >= 0.0);
         assert!(run.samples[0].luts > 0);
         assert!(run.samples[0].bdd_nodes > 2);
+        // The kernel's symbolic ISOP build (and, under degradation, the
+        // flow's own BDD rung) drops its managers inside the telemetry
+        // window, so the deltas must show real cache traffic — this is
+        // the regression test for the old `bdd_cache_hit_rate: 0.000`
+        // bug, where the reported stats came from a from_fn-only build
+        // that never probed the op cache.
+        let probes = run.samples[0].bdd_unique_probes.expect("probes recorded");
+        assert!(probes > 0, "kernel did no unique-table work?");
+        let rate = run.samples[0]
+            .bdd_cache_hit_rate
+            .expect("rd73's kernel build performs cached BDD ops");
+        assert!(rate > 0.0 && rate <= 1.0, "implausible hit rate {rate}");
         let json = to_json(&run, None);
         validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn forced_bdd_rung_flushes_flow_stats_into_telemetry() {
+        // Candidate exhaustion degrades Exact -> BddThreshold (the same
+        // forcing trick as hyde-map's ladder tests), so the flow itself
+        // creates and drops BDD managers — their stats must land in the
+        // sample's telemetry window alongside the kernel build's.
+        let circuits = vec![hyde_circuits::rd73()];
+        let dropped_before = hyde_bdd::global_managers_dropped();
+        let budget = hyde_guard::Budget::unlimited().with_candidates(0);
+        let run = run_bench_budgeted("forced", &circuits, 5, budget).unwrap();
+        // At least the kernel's manager plus one flow-rung manager.
+        assert!(
+            hyde_bdd::global_managers_dropped() >= dropped_before + 2,
+            "BDD rung never ran a manager"
+        );
+        let rate = run.samples[0]
+            .bdd_cache_hit_rate
+            .expect("forced BDD rung performs cached ops");
+        assert!(rate > 0.0 && rate <= 1.0, "implausible hit rate {rate}");
+        assert!(run.samples[0].bdd_unique_probes.unwrap() > 0);
+    }
+
+    #[test]
+    fn flow_bdd_telemetry_deltas() {
+        let before = hyde_bdd::BddStats {
+            cache_lookups: 100,
+            cache_hits: 40,
+            unique_probes: 1000,
+            ..Default::default()
+        };
+        let after = hyde_bdd::BddStats {
+            cache_lookups: 300,
+            cache_hits: 140,
+            unique_probes: 1600,
+            ..Default::default()
+        };
+        let (rate, probes) = flow_bdd_telemetry(&before, &after);
+        assert_eq!(rate, Some(0.5));
+        assert_eq!(probes, Some(600));
+        // No traffic at all: rate is unknown, probes are an honest zero.
+        let (rate, probes) = flow_bdd_telemetry(&before, &before);
+        assert_eq!(rate, None);
+        assert_eq!(probes, Some(0));
     }
 }

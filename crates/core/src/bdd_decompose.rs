@@ -41,6 +41,8 @@ pub struct BddDecomposition {
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidBoundSet`] for malformed bound sets.
+// sa:allow(SA004): operates on the caller's manager, whose node cap
+// (`set_node_cap`) already bounds every operation performed here.
 pub fn bdd_decompose(
     bdd: &mut Bdd,
     f: Ref,
@@ -195,6 +197,8 @@ fn copy_rec(src: &Bdd, f: Ref, dst: &mut Bdd, map: &[usize], memo: &mut HashMap<
 /// Compacts `f` onto its support: returns a new manager over exactly the
 /// support variables (in order) plus the translated root, and the support
 /// itself (`support[i]` is the old variable at new position `i`).
+// sa:allow(SA004): a structure-preserving copy bounded by the source
+// node count; it cannot allocate more nodes than already exist.
 pub fn compact_to_support(src: &Bdd, f: Ref) -> (Bdd, Ref, Vec<usize>) {
     let support = src.support(f);
     let mut map = vec![usize::MAX; src.num_vars()];

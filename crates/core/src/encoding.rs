@@ -94,8 +94,8 @@ impl CodeAssignment {
 
     /// Whether each class received a unique code (strict encoding).
     pub fn is_strict(&self) -> bool {
-        let set: HashSet<u32> = self.codes.iter().copied().collect();
-        set.len() == self.codes.len()
+        let distinct: HashSet<u32> = self.codes.iter().copied().collect();
+        distinct.len() == self.codes.len()
     }
 
     /// Whether the code uses the minimum number of bits
@@ -634,6 +634,8 @@ pub fn combine_column_sets(partitions: &[Partition], n_rows: usize) -> Vec<Vec<u
         groups.entry(r).or_default().push(l);
         grouped.insert(l);
     }
+    // sa:allow(SA001): every group is sorted and the outer list re-sorted
+    // with a total order below, so visit order cannot leak into results.
     let mut out: Vec<Vec<usize>> = groups
         .into_values()
         .map(|mut g| {
@@ -681,11 +683,11 @@ pub fn combine_row_sets(
 
     // Global symbol statistics.
     let n_symbols: usize = {
-        let mut set = HashSet::new();
+        let mut symbols = HashSet::new();
         for p in partitions {
-            set.extend(p.symbols().iter().copied());
+            symbols.extend(p.symbols().iter().copied());
         }
-        set.len().max(1)
+        symbols.len().max(1)
     };
 
     let mut row_sets: Vec<Vec<usize>> = (0..partitions.len()).map(|p| vec![p]).collect();
@@ -761,6 +763,8 @@ pub fn combine_row_sets(
         }
         let mut new_sets: Vec<Vec<usize>> = Vec::with_capacity(remaining);
         let mut absorbed: HashMap<usize, Vec<usize>> = HashMap::new();
+        // sa:allow(SA001): accumulation into per-target sets that are
+        // sorted before use; visit order is absorbed by the sort.
         for (&v, &u) in &merged_into {
             absorbed
                 .entry(u)

@@ -254,6 +254,7 @@ impl HyperNetwork {
         for src in self.duplication_source() {
             cone.extend(self.network.transitive_fanout(src));
         }
+        // sa:allow(SA001): collected then sorted, so order cannot leak.
         let mut out: Vec<NodeId> = cone.into_iter().collect();
         out.sort_unstable();
         out
@@ -270,6 +271,7 @@ impl HyperNetwork {
                 }
             }
         }
+        // sa:allow(SA001): collected then sorted, so order cannot leak.
         let mut out: Vec<NodeId> = count
             .into_iter()
             .filter(|&(_, c)| c == m)

@@ -205,6 +205,8 @@ pub fn per_ingredient_view(
     for (c, &own_cls) in ingredient_class_of.iter().enumerate() {
         sets[own_cls].insert(joint_codes.code(joint_class_of[c]));
     }
+    // sa:allow(SA001): `sets` is a Vec visited in index order; each inner
+    // set is sorted after collection.
     sets.into_iter()
         .map(|s| {
             let mut v: Vec<u32> = s.into_iter().collect();

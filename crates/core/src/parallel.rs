@@ -21,11 +21,15 @@ const MAX_THREADS: usize = 256;
 /// clamped, unparsable values ignored), then
 /// [`std::thread::available_parallelism`], then 1.
 pub fn thread_count() -> usize {
+    // sa:allow(SA002): thread count only partitions work; chunked merge
+    // order is fixed, so results stay byte-identical at any width
+    // (tests/parallel_determinism.rs proves it).
     if let Ok(v) = std::env::var("HYDE_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             return n.clamp(1, MAX_THREADS);
         }
     }
+    // sa:allow(SA002): same as above — width never affects results.
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)

@@ -135,6 +135,8 @@ pub fn best_literal(cover: &SopCover, vars: usize) -> Option<SignedLit> {
         }
     }
     let _ = vars;
+    // sa:allow(SA001): max_by_key keys (count, var, phase) are distinct
+    // per entry, so the maximum is unique and visit order cannot matter.
     counts
         .into_iter()
         .filter(|&(_, n)| n >= 2)

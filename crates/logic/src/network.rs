@@ -570,6 +570,8 @@ impl Network {
                 }
                 // The bypassed buffers are dead now; removing them here
                 // also keeps this loop terminating.
+                // sa:allow(SA001): independent per-node flag writes;
+                // visit order is immaterial.
                 for id in forward.keys() {
                     self.nodes[id.0].dead = true;
                 }

@@ -173,6 +173,8 @@ pub fn activity_profile(
             let in_bits: Vec<bool> = net.fanins(id).iter().map(|f| values[f]).collect();
             values.insert(id, net.function(id).eval_bits(&in_bits));
         }
+        // sa:allow(SA001): independent per-id updates into keyed maps;
+        // visit order is immaterial.
         for (&id, &v) in &values {
             if t > 0 && last.get(&id) != Some(&v) {
                 *toggles.entry(id).or_insert(0) += 1;

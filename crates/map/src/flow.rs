@@ -187,6 +187,8 @@ impl MappingFlow {
                 panic!("chaos: injected panic for circuit '{name}'");
             }
         }
+        // sa:allow(SA002): elapsed time is reported alongside results,
+        // never used to choose them.
         let start = Instant::now();
         let mut net = match &self.kind {
             FlowKind::PerOutput { encoder } => self.per_output(name, outputs, encoder, false)?,

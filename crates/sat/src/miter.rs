@@ -72,6 +72,8 @@ fn prove(
     budget: &Budget,
 ) -> CecProof {
     let before = enc.solver().stats();
+    // sa:allow(SA002): elapsed time only annotates the proof record; the
+    // outcome is decided by the budgeted solver.
     let start = Instant::now();
     let outcome = match enc.solver_mut().solve_budgeted(&[miter], budget) {
         Outcome::Unsat => CecOutcome::Equivalent,

@@ -90,6 +90,9 @@ impl From<&hyde_guard::Budget> for Budget {
             max_conflicts: b.sat_conflicts.unwrap_or(unlimited.max_conflicts),
             max_time: b
                 .deadline
+                // sa:allow(SA002): converting a caller deadline into the
+                // sanctioned time budget; affects only when we give up
+                // (Outcome::Unknown), never which model is found.
                 .map(|d| d.saturating_duration_since(Instant::now()))
                 .unwrap_or(unlimited.max_time),
         }
@@ -521,6 +524,8 @@ impl Solver {
         if !self.ok {
             return Outcome::Unsat;
         }
+        // sa:allow(SA002): the time budget decides only whether we stop
+        // with Outcome::Unknown; it cannot alter a Sat/Unsat answer.
         let start = Instant::now();
         let start_conflicts = self.stats.conflicts;
         self.backtrack(0);

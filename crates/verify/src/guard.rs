@@ -106,4 +106,17 @@ mod tests {
         assert!(!hyde_logic::diag::any_deny(&diags), "degradations warn");
         assert!(diags[0].message.contains("c17/o0"));
     }
+
+    #[test]
+    fn budget_exhausted_denies() {
+        // HY504 is the driver-emitted code for an exhaustion no rung
+        // absorbed: unlike HY501-HY503 it must deny, because work was
+        // actually lost.
+        let d = Diagnostic::new(
+            Code::BudgetExhausted,
+            "c17/o0: budget exhausted below the direct-cover floor",
+        );
+        assert_eq!(d.code.as_str(), "HY504");
+        assert!(hyde_logic::diag::any_deny(&[d]));
+    }
 }

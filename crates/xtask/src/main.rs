@@ -23,9 +23,13 @@
 //!   with per-circuit isolation, writing `CHAOS_chaos_s<seed>.json`) and
 //!   then `hyde-lint --suite --deep` with `HYDE_CHAOS=<seed>`, which
 //!   CEC-proves every degraded network against its specification
-//! * `unwrap-gate` — deny *new* `.unwrap()` / `.expect(` in
-//!   `crates/core/src` by comparing per-file counts against the ratchet
-//!   in `crates/core/unwrap_allowlist.txt`
+//! * `analyze` — run the `hyde-sa` static analyzer (SA001–SA008:
+//!   determinism, panic-surface ratchet, budget propagation, obs
+//!   coverage, diag-registry consistency, feature hygiene) over the
+//!   whole workspace in-process and write `ANALYZE.json`
+//! * `unwrap-gate` — deprecated alias for `analyze` (the old
+//!   `crates/core`-only unwrap ratchet is now analyzer pass SA003,
+//!   workspace-wide)
 //! * `all` — everything above (with `--deep` and the smoke-circuit
 //!   trace), in that order
 
@@ -256,69 +260,49 @@ fn chaos(root: &Path) -> Result<(), String> {
     Ok(())
 }
 
-/// The `.unwrap()` / `.expect(` ratchet for `crates/core/src`: per-file
-/// counts may shrink but never grow past the committed allowlist. New
-/// fallible paths in the decomposition core must use typed `Result`s
-/// (`CoreError::OutOfBudget` and friends), not panics.
-fn unwrap_gate(root: &Path) -> Result<(), String> {
-    let allow_path = root.join("crates/core/unwrap_allowlist.txt");
-    let allow_text = std::fs::read_to_string(&allow_path)
-        .map_err(|e| format!("{}: {e}", allow_path.display()))?;
-    let mut allowed = std::collections::BTreeMap::new();
-    for line in allow_text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (count, file) = line
-            .split_once(char::is_whitespace)
-            .ok_or_else(|| format!("{}: malformed line '{line}'", allow_path.display()))?;
-        let count: usize = count
-            .parse()
-            .map_err(|_| format!("{}: bad count in '{line}'", allow_path.display()))?;
-        allowed.insert(file.trim().to_owned(), count);
+/// Runs the `hyde-sa` static analyzer in-process over the workspace and
+/// writes `ANALYZE.json` at the root. Fails on any surviving finding —
+/// the same bar the analyzer's own `self_analysis` test enforces.
+fn analyze(root: &Path) -> Result<(), String> {
+    println!(
+        "xtask: hyde-sa --root {} --json ANALYZE.json",
+        root.display()
+    );
+    let report = hyde_analyze::analyze_root(root).map_err(|e| format!("hyde-sa: {e}"))?;
+    let json_path = root.join("ANALYZE.json");
+    std::fs::write(&json_path, report.to_json())
+        .map_err(|e| format!("{}: {e}", json_path.display()))?;
+    for note in &report.notes {
+        println!("xtask: note: {note}");
     }
-    let src = root.join("crates/core/src");
-    let mut violations = Vec::new();
-    let mut entries: Vec<_> = std::fs::read_dir(&src)
-        .map_err(|e| format!("{}: {e}", src.display()))?
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
-        .collect();
-    entries.sort();
-    for path in entries {
-        let text =
-            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let count = text.matches(".unwrap()").count() + text.matches(".expect(").count();
-        let file = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or_default()
-            .to_owned();
-        let cap = allowed.get(&file).copied().unwrap_or(0);
-        match count.cmp(&cap) {
-            std::cmp::Ordering::Greater => violations.push(format!(
-                "{file}: {count} unwrap/expect sites (allowlist caps it at {cap})"
-            )),
-            std::cmp::Ordering::Less => println!(
-                "xtask: unwrap-gate: {file} is down to {count} (allowlist says {cap}; \
-                 consider ratcheting crates/core/unwrap_allowlist.txt down)"
-            ),
-            std::cmp::Ordering::Equal => {}
-        }
-    }
-    if violations.is_empty() {
-        println!("xtask: unwrap-gate: crates/core/src within the allowlist");
+    println!(
+        "xtask: hyde-sa: {} files, {} passes, {} findings, {} allowed -> {}",
+        report.files_scanned,
+        report.passes.len(),
+        report.findings.len(),
+        report.allowed(),
+        json_path.display()
+    );
+    if report.clean() {
         Ok(())
     } else {
+        let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
         Err(format!(
-            "unwrap-gate: new panics in crates/core/src — return typed errors instead, or \
-             (for genuinely unreachable cases) justify the bump in \
-             crates/core/unwrap_allowlist.txt:\n  {}",
-            violations.join("\n  ")
+            "analyze: {} finding(s):\n  {}",
+            rendered.len(),
+            rendered.join("\n  ")
         ))
     }
+}
+
+/// Deprecated alias: the `crates/core`-only unwrap ratchet grew into the
+/// workspace-wide panic-surface pass (SA003) of `cargo xtask analyze`.
+fn unwrap_gate(root: &Path) -> Result<(), String> {
+    println!(
+        "xtask: unwrap-gate is deprecated; running `cargo xtask analyze` (the panic-surface \
+         ratchet is now analyzer pass SA003, over the whole workspace)"
+    );
+    analyze(root)
 }
 
 fn main() -> ExitCode {
@@ -338,10 +322,11 @@ fn main() -> ExitCode {
             None => Err("trace needs a circuit name, e.g. `cargo xtask trace rd73`".into()),
         },
         "chaos" => chaos(&root),
+        "analyze" => analyze(&root),
         "unwrap-gate" => unwrap_gate(&root),
         "all" => fmt(&root)
             .and_then(|()| clippy(&root))
-            .and_then(|()| unwrap_gate(&root))
+            .and_then(|()| analyze(&root))
             .and_then(|()| test(&root))
             .and_then(|()| lint_suite(&root, true))
             .and_then(|()| bench(&root, true))
@@ -349,7 +334,7 @@ fn main() -> ExitCode {
             .and_then(|()| chaos(&root)),
         other => Err(format!(
             "unknown task '{other}' (expected fmt | clippy | test | lint-suite [--deep] | \
-             bench [--smoke] | trace <circuit> | chaos | unwrap-gate | all)"
+             bench [--smoke] | trace <circuit> | chaos | analyze | all)"
         )),
     };
     match result {
