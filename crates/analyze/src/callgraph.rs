@@ -1,0 +1,280 @@
+//! Cross-crate call graph with reachability queries.
+//!
+//! Built once per [`crate::registry::Registry::run`] from the symbol
+//! table ([`crate::resolve`]): one node per workspace fn, one edge per
+//! resolved call (first call line kept as evidence). Reachability
+//! queries keep next-hop/parent pointers so every finding can print a
+//! concrete call path, not just a verdict.
+//!
+//! Panic sites are collected per fn by token scan of the body span —
+//! the same patterns as SA003 minus `[idx]` indexing (kept per-file
+//! ratcheted by SA003; including it here would make nearly every fn
+//! "panic-reaching" and the SA009 ratchet meaningless). Sites inside
+//! test code or covered by an `sa:allow(SA003)`/`sa:allow(SA009)`
+//! directive are exempt.
+
+use crate::ast::Expr;
+use crate::passes::panic_surface;
+use crate::resolve::{FnNode, Symbols};
+use crate::workspace::Workspace;
+
+/// One direct panic site inside a fn body.
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable site kind, e.g. `` `.unwrap()` ``.
+    pub what: &'static str,
+}
+
+/// The workspace call graph.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// The underlying symbol table.
+    pub syms: Symbols,
+    /// Forward edges: per fn, `(callee, call line)` sorted by callee.
+    pub callees: Vec<Vec<(usize, u32)>>,
+    /// Reverse edges: per fn, `(caller, call line in the caller)`.
+    pub callers: Vec<Vec<(usize, u32)>>,
+    /// Direct panic sites per fn, in line order.
+    pub panic_sites: Vec<Vec<PanicSite>>,
+}
+
+/// Backward panic reachability: for each fn, whether it can reach a
+/// panic site, plus the next hop toward one (`None` at a fn with a
+/// direct site).
+#[derive(Clone, Debug)]
+pub struct PanicReach {
+    /// `reaches[f]` — fn `f` can reach a panic site.
+    pub reaches: Vec<bool>,
+    next: Vec<Option<(usize, u32)>>,
+}
+
+/// Forward reachability from a set of entry fns, with parent pointers
+/// back toward the entry.
+#[derive(Clone, Debug)]
+pub struct Forward {
+    /// `reached[f]` — fn `f` is reachable from some entry.
+    pub reached: Vec<bool>,
+    parent: Vec<Option<(usize, u32)>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for `ws`.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let syms = {
+            let _obs = hyde_obs::span!("sa.resolve");
+            Symbols::collect(ws)
+        };
+        let _obs = hyde_obs::span!("sa.callgraph");
+        let n = syms.fns.len();
+        let mut callees: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        let mut panic_sites: Vec<Vec<PanicSite>> = vec![Vec::new(); n];
+        for idx in 0..n {
+            let node = &syms.fns[idx];
+            let mut edges: Vec<(usize, u32)> = Vec::new();
+            if let Some(body) = &node.body {
+                crate::ast::visit(&body.exprs, &mut |e| match e {
+                    Expr::Call { path, line, .. } => {
+                        for c in syms.resolve_call(ws, node.file, node.owner.as_deref(), path) {
+                            edges.push((c, *line));
+                        }
+                    }
+                    Expr::Method { name, line, .. } => {
+                        for c in syms.resolve_method(name) {
+                            edges.push((c, *line));
+                        }
+                    }
+                    _ => {}
+                });
+            }
+            // Keep the first call line per callee, deterministically.
+            edges.sort_by_key(|&(c, l)| (c, l));
+            edges.dedup_by_key(|&mut (c, _)| c);
+            callees[idx] = edges;
+            panic_sites[idx] = direct_panic_sites(ws, node);
+        }
+        let mut callers: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        for (caller, edges) in callees.iter().enumerate() {
+            for &(callee, line) in edges {
+                callers[callee].push((caller, line));
+            }
+        }
+        let mut total_edges = 0u64;
+        for e in &callees {
+            total_edges += e.len() as u64;
+        }
+        hyde_obs::counter("sa.fns", n as u64);
+        hyde_obs::counter("sa.calls", total_edges);
+        CallGraph {
+            syms,
+            callees,
+            callers,
+            panic_sites,
+        }
+    }
+
+    /// Backward BFS from every fn with a direct panic site.
+    pub fn panic_reach(&self) -> PanicReach {
+        let n = self.syms.fns.len();
+        let mut reaches = vec![false; n];
+        let mut next: Vec<Option<(usize, u32)>> = vec![None; n];
+        let mut queue: Vec<usize> = (0..n)
+            .filter(|&i| !self.panic_sites[i].is_empty())
+            .collect();
+        for &i in &queue {
+            reaches[i] = true;
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let f = queue[head];
+            head += 1;
+            for &(caller, line) in &self.callers[f] {
+                if !reaches[caller] {
+                    reaches[caller] = true;
+                    next[caller] = Some((f, line));
+                    queue.push(caller);
+                }
+            }
+        }
+        PanicReach { reaches, next }
+    }
+
+    /// Renders the call path from `root` to a concrete panic site as
+    /// display-id hops ending in the site itself.
+    pub fn panic_path(&self, ws: &Workspace, reach: &PanicReach, root: usize) -> Vec<String> {
+        let mut out = vec![self.syms.fns[root].display.clone()];
+        let mut f = root;
+        for _ in 0..128 {
+            let Some((callee, line)) = reach.next[f] else {
+                break;
+            };
+            let file = &ws.files[self.syms.fns[f].file];
+            out.push(format!(
+                "{} (called at {}:{})",
+                self.syms.fns[callee].display, file.path, line
+            ));
+            f = callee;
+        }
+        if let Some(site) = self.panic_sites[f].first() {
+            let file = &ws.files[self.syms.fns[f].file];
+            out.push(format!("{} at {}:{}", site.what, file.path, site.line));
+        }
+        out
+    }
+
+    /// Forward BFS from `entries`.
+    pub fn forward_reach(&self, entries: &[usize]) -> Forward {
+        let n = self.syms.fns.len();
+        let mut reached = vec![false; n];
+        let mut parent: Vec<Option<(usize, u32)>> = vec![None; n];
+        let mut queue: Vec<usize> = Vec::new();
+        for &e in entries {
+            if e < n && !reached[e] {
+                reached[e] = true;
+                queue.push(e);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let f = queue[head];
+            head += 1;
+            for &(callee, line) in &self.callees[f] {
+                if !reached[callee] {
+                    reached[callee] = true;
+                    parent[callee] = Some((f, line));
+                    queue.push(callee);
+                }
+            }
+        }
+        Forward { reached, parent }
+    }
+
+    /// Renders the call path from the owning entry down to `f`
+    /// (entry-first order).
+    pub fn entry_path(&self, ws: &Workspace, fwd: &Forward, f: usize) -> Vec<String> {
+        let mut chain = vec![f];
+        let mut cur = f;
+        for _ in 0..128 {
+            let Some((caller, _)) = fwd.parent[cur] else {
+                break;
+            };
+            chain.push(caller);
+            cur = caller;
+        }
+        chain.reverse();
+        let mut out = Vec::with_capacity(chain.len());
+        for pair in chain.windows(2) {
+            let (caller, callee) = (pair[0], pair[1]);
+            let line = fwd.parent[callee].map_or(0, |(_, l)| l);
+            let file = &ws.files[self.syms.fns[caller].file];
+            out.push(format!(
+                "{} (calls {} at {}:{})",
+                self.syms.fns[caller].display, self.syms.fns[callee].name, file.path, line
+            ));
+        }
+        out.push(self.syms.fns[f].display.clone());
+        out
+    }
+}
+
+/// Direct panic sites in `node`'s body: SA003's method/macro patterns
+/// (no indexing), excluding test code and allowed lines.
+fn direct_panic_sites(ws: &Workspace, node: &FnNode) -> Vec<PanicSite> {
+    let Some(body) = &node.body else {
+        return Vec::new();
+    };
+    let file = &ws.files[node.file];
+    let toks = file.toks();
+    let Some(window) = toks.get(body.span.0..=body.span.1) else {
+        return Vec::new();
+    };
+    panic_surface::scan_sites(window)
+        .into_iter()
+        .filter(|s| !s.indexing)
+        .filter(|s| !file.in_test_code(s.line))
+        .filter(|s| !file.allowed("SA003", s.line) && !file.allowed("SA009", s.line))
+        .map(|s| PanicSite {
+            line: s.line,
+            what: s.what,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_and_panic_paths() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/a.rs",
+            "pub fn entry() { middle() }\nfn middle() { deep() }\n\
+             fn deep() { maybe().unwrap(); }\nfn maybe() -> Option<u8> { None }\n",
+        )]);
+        let g = CallGraph::build(&ws);
+        let reach = g.panic_reach();
+        let entry = g.syms.fns.iter().position(|f| f.name == "entry").unwrap();
+        assert!(reach.reaches[entry]);
+        let path = g.panic_path(&ws, &reach, entry);
+        assert!(path[0].ends_with("::entry"));
+        assert!(path.last().unwrap().contains(".unwrap()"));
+        assert!(path.iter().any(|h| h.contains("::deep")));
+    }
+
+    #[test]
+    fn forward_reach_tracks_parents() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/a.rs",
+            "pub fn entry() { level1() }\nfn level1() { level2() }\nfn level2() {}\n",
+        )]);
+        let g = CallGraph::build(&ws);
+        let entry = g.syms.fns.iter().position(|f| f.name == "entry").unwrap();
+        let l2 = g.syms.fns.iter().position(|f| f.name == "level2").unwrap();
+        let fwd = g.forward_reach(&[entry]);
+        assert!(fwd.reached[l2]);
+        let path = g.entry_path(&ws, &fwd, l2);
+        assert!(path[0].contains("::entry"));
+        assert!(path.last().unwrap().ends_with("::level2"));
+    }
+}

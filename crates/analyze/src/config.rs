@@ -41,6 +41,11 @@ pub const SPANS: &[(&str, &str)] = &[
     ("lint.circuit", "verify"),
     ("bench.circuit", "bench"),
     ("bench.chaos_circuit", "bench"),
+    ("sa.lex", "analyze"),
+    ("sa.parse", "analyze"),
+    ("sa.resolve", "analyze"),
+    ("sa.callgraph", "analyze"),
+    ("sa.pass", "analyze"),
 ];
 
 /// The documented counter taxonomy. Every `counter(...)` name literal
@@ -80,6 +85,11 @@ pub const COUNTERS: &[&str] = &[
     "guard.degrade.bdd_threshold",
     "guard.degrade.shannon",
     "guard.degrade.direct_cover",
+    "sa.files",
+    "sa.fns",
+    "sa.calls",
+    "sa.findings",
+    "sa.allowed",
 ];
 
 /// Phase-level functions that must open their documented span:

@@ -1,29 +1,28 @@
-//! SA004 — budget propagation: the admission-control invariant of the
-//! degradation ladder (`hyde-guard`).
+//! SA004 — budget propagation (shim).
 //!
-//! Public functions in the budgeted crates (`core`, `map`) that
-//! construct BDD nodes (`ite`/`and`/`from_fn`/…, `Bdd::new`) or invoke
-//! the SAT solver must thread a `guard::Budget` — or an explicit node
-//! cap — through their signature or body. A public entry point that
-//! builds BDD work with no budget in scope is an unbounded-work hole:
-//! it can blow past `max_bdd_nodes` with no `OutOfBudget` off-ramp.
+//! The v1 pass flagged public fns in budgeted crates that construct
+//! BDD/SAT work with no textual "budget evidence" in their own
+//! signature-plus-body window. That heuristic could not see a budget
+//! arriving through a caller, so it both over- and under-approximated.
+//! SA004 is now a shim that defers entirely to the interprocedural
+//! **SA010** budget-flow pass ([`crate::passes::budget_flow`]), which
+//! walks the call graph from `Budget`-accepting entry points. The code
+//! stays registered so old `sa:allow(SA004)` directives are recognized
+//! (and flagged as stale by SA013 once migrated to SA010).
+//!
+//! The token-level detectors remain here as the shared vocabulary both
+//! passes speak.
 
 use crate::config;
 use crate::lexer::{Tok, TokKind};
-use crate::registry::{Emitter, Pass};
-use crate::source::{FileKind, FnItem, SourceFile};
-use crate::workspace::Workspace;
+use crate::registry::{Cx, Emitter, Pass};
 
-/// The budget-propagation pass (SA004).
+/// The budget-propagation shim pass (SA004 — defers to SA010).
 pub struct BudgetPass;
-
-fn eligible(f: &SourceFile) -> bool {
-    config::BUDGETED.contains(&f.crate_name.as_str()) && f.kind == FileKind::Lib
-}
 
 /// True when the token window contains a BDD-constructing or
 /// SAT-invoking call.
-fn constructs_bounded_work(toks: &[Tok]) -> bool {
+pub fn constructs_bounded_work(toks: &[Tok]) -> bool {
     for (i, t) in toks.iter().enumerate() {
         // `.ite(` / `.and(` / ... method calls.
         if t.is_punct('.') {
@@ -50,43 +49,9 @@ fn constructs_bounded_work(toks: &[Tok]) -> bool {
 }
 
 /// True when the signature-plus-body window shows budget evidence.
-fn has_budget_evidence(toks: &[Tok]) -> bool {
+pub fn has_budget_evidence(toks: &[Tok]) -> bool {
     toks.iter()
         .any(|t| t.kind == TokKind::Ident && config::BUDGET_EVIDENCE.contains(&t.text.as_str()))
-}
-
-fn check_file(file: &SourceFile, out: &mut Emitter) {
-    let toks = file.toks();
-    for f in file.fns() {
-        if !f.is_pub || file.in_test_code(f.line) {
-            continue;
-        }
-        let Some((body_open, body_close)) = f.body else {
-            continue;
-        };
-        let Some(window) = toks.get(f.fn_tok..=body_close) else {
-            continue;
-        };
-        let Some(body) = toks.get(body_open..=body_close) else {
-            continue;
-        };
-        if constructs_bounded_work(body) && !has_budget_evidence(window) {
-            emit_fn(file, &f, out);
-        }
-    }
-}
-
-fn emit_fn(file: &SourceFile, f: &FnItem, out: &mut Emitter) {
-    out.emit(
-        file,
-        "SA004",
-        f.line,
-        format!(
-            "pub fn `{}` constructs BDD/SAT work without threading a `guard::Budget` \
-             (or an explicit node cap); unbounded work has no `OutOfBudget` off-ramp",
-            f.name
-        ),
-    );
 }
 
 impl Pass for BudgetPass {
@@ -98,9 +63,8 @@ impl Pass for BudgetPass {
         &["SA004"]
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Emitter) {
-        for file in ws.files.iter().filter(|f| eligible(f)) {
-            check_file(file, out);
-        }
+    fn check(&self, _cx: &Cx, _out: &mut Emitter) {
+        // Shim: superseded by SA010 (budget-flow), which performs the
+        // same check interprocedurally with call-path evidence.
     }
 }

@@ -18,9 +18,8 @@
 
 use crate::config;
 use crate::lexer::{Tok, TokKind};
-use crate::registry::{Emitter, Pass};
+use crate::registry::{Cx, Emitter, Pass};
 use crate::source::{FileKind, SourceFile};
-use crate::workspace::Workspace;
 
 /// The determinism pass (SA001 + SA002).
 pub struct DeterminismPass;
@@ -268,8 +267,8 @@ impl Pass for DeterminismPass {
         &["SA001", "SA002"]
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Emitter) {
-        for file in ws.files.iter().filter(|f| eligible(f)) {
+    fn check(&self, cx: &Cx, out: &mut Emitter) {
+        for file in cx.ws.files.iter().filter(|f| eligible(f)) {
             check_sa001(file, out);
             check_sa002(file, out);
         }

@@ -17,7 +17,7 @@
 
 use crate::config;
 use crate::lexer::TokKind;
-use crate::registry::{Emitter, Pass, Registry};
+use crate::registry::{Cx, Emitter, Pass, Registry};
 use crate::source::{FileKind, SourceFile};
 use crate::workspace::Workspace;
 
@@ -118,7 +118,8 @@ impl Pass for DiagRegistryPass {
         &["SA007"]
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Emitter) {
+    fn check(&self, cx: &Cx, out: &mut Emitter) {
+        let ws = cx.ws;
         let Some(decl_file) = ws.files.iter().find(|f| f.path == config::DIAG_DECL_FILE) else {
             out.emit_path(
                 config::DIAG_DECL_FILE,

@@ -17,7 +17,7 @@
 //!   everywhere is the documented workspace policy.
 
 use crate::manifest::{Dep, Manifest};
-use crate::registry::{Emitter, Pass};
+use crate::registry::{Cx, Emitter, Pass};
 use crate::workspace::Workspace;
 
 /// The feature-hygiene pass (SA008).
@@ -116,7 +116,8 @@ impl Pass for FeatureHygienePass {
         &["SA008"]
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Emitter) {
+    fn check(&self, cx: &Cx, out: &mut Emitter) {
+        let ws = cx.ws;
         for m in &ws.manifests {
             if m.package.is_empty() {
                 continue;

@@ -14,7 +14,7 @@
 
 use crate::config;
 use crate::lexer::TokKind;
-use crate::registry::{Emitter, Pass};
+use crate::registry::{Cx, Emitter, Pass};
 use crate::source::{FileKind, SourceFile};
 use crate::workspace::Workspace;
 
@@ -218,8 +218,8 @@ impl Pass for ObsPass {
         &["SA005", "SA006"]
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Emitter) {
-        check_sa005(ws, out);
-        check_sa006(ws, out);
+    fn check(&self, cx: &Cx, out: &mut Emitter) {
+        check_sa005(cx.ws, out);
+        check_sa006(cx.ws, out);
     }
 }

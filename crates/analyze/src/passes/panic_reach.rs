@@ -1,0 +1,156 @@
+//! SA009 — transitive panic reachability: the interprocedural upgrade
+//! of SA003's per-file counts.
+//!
+//! Every *public* production fn that can transitively reach a panic
+//! site (`.unwrap()`/`.expect(`/`panic!`/`unreachable!`/`todo!`/
+//! `unimplemented!` — indexing is SA003's business) outside
+//! `#[cfg(test)]` must appear in the committed set ratchet
+//! `crates/analyze/ratchets/SA009-panic-reach.txt`, one fn display id
+//! (`<path>::[Owner::]name`) per line. A public fn reaching a panic
+//! that is *not* in the ratchet fails the run, and the finding prints
+//! the concrete call path down to the site. Entries may be removed
+//! freely as panics are burned down to typed errors; adding one needs
+//! a justified diff. Stale entries (fn no longer exists or no longer
+//! reaches a panic) are denied so the ratchet stays honest.
+//!
+//! Resolution over-approximates (see [`crate::resolve`]), so the
+//! ratchet is a superset of the true panic-reaching API — the safe
+//! direction for a "which entry points can panic" contract.
+
+use crate::ratchet::SetRatchet;
+use crate::registry::{Cx, Emitter, Pass};
+use crate::source::FileKind;
+
+/// The panic-reachability pass (SA009).
+pub struct PanicReachPass;
+
+/// Ratchet file name under `crates/analyze/ratchets/`.
+pub const RATCHET_FILE: &str = "SA009-panic-reach.txt";
+
+/// Header written into a regenerated ratchet file.
+pub const RATCHET_HEADER: &str = "\
+Panic-reachability ratchet, enforced by `cargo xtask analyze` (pass
+SA009). Every public production fn that can transitively reach a panic
+site (unwrap/expect/unwrap_unchecked, panic!/unreachable!/todo!/
+unimplemented!) outside #[cfg(test)] is listed here by display id,
+`<workspace-relative-path>::[Owner::]name`. Entries may be removed
+freely as panic sites are converted to typed errors; a NEW entry means
+a new public fn joined the can-panic surface and needs a justification
+in the PR. Call resolution over-approximates, so this is a superset of
+the true panic-reaching API.
+Regenerate with `cargo run -p hyde-analyze --bin hyde-sa -- --update-ratchets`.";
+
+/// The public panic-reaching fns: `(fn index, display id)` sorted by
+/// display id.
+fn reaching_roots(cx: &Cx) -> Vec<(usize, String)> {
+    let reach = cx.graph.panic_reach();
+    let mut roots: Vec<(usize, String)> = cx
+        .graph
+        .syms
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(i, f)| {
+            f.is_pub && !f.in_test && cx.ws.files[f.file].kind == FileKind::Lib && reach.reaches[*i]
+        })
+        .map(|(i, f)| (i, f.display.clone()))
+        .collect();
+    roots.sort_by(|a, b| a.1.cmp(&b.1));
+    roots
+}
+
+/// Renders a fresh ratchet file from the current workspace state
+/// (builds its own call graph — used by `--update-ratchets`).
+pub fn render_ratchet(ws: &crate::workspace::Workspace) -> String {
+    let graph = crate::callgraph::CallGraph::build(ws);
+    let cx = Cx { ws, graph: &graph };
+    let ids: Vec<String> = reaching_roots(&cx).into_iter().map(|(_, d)| d).collect();
+    SetRatchet::render(RATCHET_HEADER, &ids)
+}
+
+impl Pass for PanicReachPass {
+    fn name(&self) -> &'static str {
+        "panic-reach"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SA009"]
+    }
+
+    fn check(&self, cx: &Cx, out: &mut Emitter) {
+        let ws = cx.ws;
+        let Some(text) = ws.ratchet(RATCHET_FILE) else {
+            out.emit_path(
+                RATCHET_FILE,
+                "SA009",
+                0,
+                "panic-reachability ratchet file is missing; regenerate with \
+                 `hyde-sa --update-ratchets` and commit it"
+                    .into(),
+            );
+            return;
+        };
+        let ratchet = SetRatchet::parse(text);
+        let reach = cx.graph.panic_reach();
+        let roots = reaching_roots(cx);
+        // Record which SA009 allow directives fire (they remove sites
+        // from the graph in `callgraph::direct_panic_sites`), for SA013.
+        for file in &ws.files {
+            if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+                continue;
+            }
+            for site in crate::passes::panic_surface::scan_sites(file.toks()) {
+                if site.indexing || file.in_test_code(site.line) {
+                    continue;
+                }
+                if let Some(directive) = file.allow_match("SA009", site.line) {
+                    out.mark_allow_used(file, directive);
+                }
+            }
+        }
+        for (idx, display) in &roots {
+            if ratchet.contains(display) {
+                continue;
+            }
+            let node = &cx.graph.syms.fns[*idx];
+            let file = &ws.files[node.file];
+            let path = cx.graph.panic_path(ws, &reach, *idx);
+            out.emit_with_path(
+                file,
+                "SA009",
+                node.line,
+                format!(
+                    "pub fn `{}` can reach a panic site and is not in the \
+                     panic-reachability ratchet; convert the path below to typed errors, \
+                     or regenerate {RATCHET_FILE} with `hyde-sa --update-ratchets` and \
+                     justify the new entry in the PR",
+                    node.name
+                ),
+                path,
+            );
+        }
+        // Stale entries keep the ratchet honest.
+        for entry in &ratchet.entries {
+            if !roots.iter().any(|(_, d)| d == entry) {
+                out.emit_path(
+                    RATCHET_FILE,
+                    "SA009",
+                    0,
+                    format!(
+                        "stale ratchet entry `{entry}`: the fn no longer exists or no \
+                         longer reaches a panic site; remove the line (or regenerate \
+                         with `hyde-sa --update-ratchets`)"
+                    ),
+                );
+            }
+        }
+        if roots.len() < ratchet.entries.len() {
+            out.note(format!(
+                "SA009: panic-reaching public surface is down to {} fns (ratchet lists \
+                 {}); regenerate {RATCHET_FILE} to lock in the improvement",
+                roots.len(),
+                ratchet.entries.len()
+            ));
+        }
+    }
+}

@@ -15,9 +15,9 @@
 //! gates are sanctioned (see `strict-checks`), panics as control flow
 //! are not.
 
-use crate::lexer::{self, TokKind};
+use crate::lexer::{self, Tok, TokKind};
 use crate::ratchet::Ratchet;
-use crate::registry::{Emitter, Pass};
+use crate::registry::{Cx, Emitter, Pass};
 use crate::source::{FileKind, SourceFile};
 use crate::workspace::Workspace;
 
@@ -47,32 +47,59 @@ fn eligible(f: &SourceFile) -> bool {
     matches!(f.kind, FileKind::Lib | FileKind::Bin)
 }
 
-/// Counts the panic-surface sites of one file (allow-directive and
-/// test-code exempt sites excluded).
-pub fn count_file(file: &SourceFile) -> usize {
-    let toks = file.toks();
-    let mut count = 0usize;
+/// One raw panic-surface site (no test-code or allow filtering).
+#[derive(Clone, Copy, Debug)]
+pub struct Site {
+    /// 1-based line of the site.
+    pub line: u32,
+    /// Human-readable site kind, e.g. `` `.unwrap()` ``.
+    pub what: &'static str,
+    /// True for `expr[idx]` indexing — counted by SA003's per-file
+    /// ratchet, excluded from SA009's reachability (it would make
+    /// nearly every fn panic-reaching).
+    pub indexing: bool,
+}
+
+/// Scans a token window for raw panic-surface sites. Callers apply
+/// their own test-code / allow-directive filtering.
+pub fn scan_sites(toks: &[Tok]) -> Vec<Site> {
+    let mut out = Vec::new();
     for (i, t) in toks.iter().enumerate() {
-        let line = t.line;
-        if file.in_test_code(line) || file.allowed("SA003", line) {
-            continue;
-        }
         // `.unwrap()` / `.expect(` / `.unwrap_unchecked(`
-        if t.is_punct('.')
-            && toks.get(i + 1).is_some_and(|m| {
-                m.kind == TokKind::Ident && PANIC_METHODS.contains(&m.text.as_str())
-            })
-            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
-        {
-            count += 1;
-            continue;
+        if t.is_punct('.') && toks.get(i + 2).is_some_and(|p| p.is_punct('(')) {
+            if let Some(m) = toks
+                .get(i + 1)
+                .filter(|m| m.kind == TokKind::Ident && PANIC_METHODS.contains(&m.text.as_str()))
+            {
+                let what = match m.text.as_str() {
+                    "unwrap" => "`.unwrap()`",
+                    "expect" => "`.expect(..)`",
+                    _ => "`.unwrap_unchecked()`",
+                };
+                out.push(Site {
+                    line: t.line,
+                    what,
+                    indexing: false,
+                });
+                continue;
+            }
         }
         // `panic!(` and friends
         if t.kind == TokKind::Ident
             && PANIC_MACROS.contains(&t.text.as_str())
             && toks.get(i + 1).is_some_and(|b| b.is_punct('!'))
         {
-            count += 1;
+            let what = match t.text.as_str() {
+                "panic" => "`panic!`",
+                "unreachable" => "`unreachable!`",
+                "todo" => "`todo!`",
+                _ => "`unimplemented!`",
+            };
+            out.push(Site {
+                line: t.line,
+                what,
+                indexing: false,
+            });
             continue;
         }
         // `expr[idx]` index expressions: `[` after an identifier (not a
@@ -86,11 +113,24 @@ pub fn count_file(file: &SourceFile) -> usize {
                 _ => false,
             });
             if indexes {
-                count += 1;
+                out.push(Site {
+                    line: t.line,
+                    what: "`[idx]` indexing",
+                    indexing: true,
+                });
             }
         }
     }
-    count
+    out
+}
+
+/// Counts the panic-surface sites of one file (allow-directive and
+/// test-code exempt sites excluded).
+pub fn count_file(file: &SourceFile) -> usize {
+    scan_sites(file.toks())
+        .iter()
+        .filter(|s| !file.in_test_code(s.line) && !file.allowed("SA003", s.line))
+        .count()
 }
 
 /// Per-file counts over the whole workspace, sorted by path.
@@ -116,7 +156,19 @@ impl Pass for PanicSurfacePass {
         &["SA003"]
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Emitter) {
+    fn check(&self, cx: &Cx, out: &mut Emitter) {
+        let ws = cx.ws;
+        // Record which SA003 allow directives actually fire, for SA013.
+        for file in ws.files.iter().filter(|f| eligible(f)) {
+            for site in scan_sites(file.toks()) {
+                if file.in_test_code(site.line) {
+                    continue;
+                }
+                if let Some(directive) = file.allow_match("SA003", site.line) {
+                    out.mark_allow_used(file, directive);
+                }
+            }
+        }
         let Some(text) = ws.ratchet(RATCHET_FILE) else {
             out.emit_path(
                 RATCHET_FILE,

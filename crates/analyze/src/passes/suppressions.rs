@@ -1,0 +1,82 @@
+//! SA013 — unused suppressions: an `sa:allow` that suppresses nothing
+//! is debt pretending to be documentation.
+//!
+//! Runs in the registry's *post* phase, after every pass has recorded
+//! which directives actually fired. A directive that suppressed zero
+//! findings gets a **warning**-severity finding (it does not fail the
+//! run — a directive can legitimately go stale the moment the code it
+//! covered improves; the warning is the prompt to delete it). Unknown
+//! `SAxxx` codes in directives are warned about too.
+//!
+//! Emission is two-phase so the pass can police itself: directives for
+//! other codes are checked first (their warnings may be suppressed by
+//! an `sa:allow(SA013)`), then SA013-directives that still suppressed
+//! nothing — including in phase one — are warned about.
+
+use std::collections::BTreeSet;
+
+use crate::registry::{Cx, Emitter, Pass, UsedAllow};
+use crate::source::Allow;
+
+/// The unused-suppression pass (SA013).
+pub struct SuppressionsPass {
+    /// Every code a registered pass can emit (SA013 included).
+    pub known_codes: Vec<&'static str>,
+}
+
+fn stale_message(a: &Allow) -> String {
+    format!(
+        "`sa:allow({})` suppresses zero findings; delete the directive (if the code \
+         it covered has improved, also ratchet down with `hyde-sa --update-ratchets`)",
+        a.code
+    )
+}
+
+impl Pass for SuppressionsPass {
+    fn name(&self) -> &'static str {
+        "suppressions"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SA013"]
+    }
+
+    fn check(&self, _cx: &Cx, _out: &mut Emitter) {
+        // All work happens in `post`, once suppression usage is known.
+    }
+
+    fn post(&self, cx: &Cx, used: &BTreeSet<UsedAllow>, out: &mut Emitter) {
+        // Phase one: unknown codes and stale non-SA013 directives.
+        for file in &cx.ws.files {
+            for a in &file.allows {
+                if !self.known_codes.contains(&a.code.as_str()) {
+                    out.warn(
+                        file,
+                        "SA013",
+                        a.line,
+                        format!(
+                            "`sa:allow({})` names a code no registered pass can emit",
+                            a.code
+                        ),
+                    );
+                    continue;
+                }
+                if a.code != "SA013" && !used.contains(&(file.path.clone(), a.line)) {
+                    out.warn(file, "SA013", a.line, stale_message(a));
+                }
+            }
+        }
+        // Phase two: SA013-directives that did not fire in phase one
+        // (or anywhere else) are themselves stale.
+        for file in &cx.ws.files {
+            for a in &file.allows {
+                if a.code == "SA013"
+                    && !used.contains(&(file.path.clone(), a.line))
+                    && !out.was_allow_used(file, a.line)
+                {
+                    out.warn(file, "SA013", a.line, stale_message(a));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! SA012 — swallowed errors: a `Result` silently discarded in a
+//! result-affecting crate is a diagnosis hole.
+//!
+//! Two shapes are flagged in production code of the result-affecting
+//! crates:
+//!
+//! * `let _ = fallible(..);` — the value (and any `Err`) vanishes;
+//! * a statement ending in `.ok();` whose value is not bound or
+//!   returned — `.ok()` as an expression feeding `?`/`unwrap_or`/a
+//!   binding is fine, `.ok();` as a statement is a swallow.
+//!
+//! The fix is to propagate (`?`), handle the error, or justify the
+//! discard with `sa:allow(SA012)` (e.g. `fmt::Write` into a `String`,
+//! which is infallible by construction).
+
+use crate::config;
+use crate::registry::{Cx, Emitter, Pass};
+use crate::source::{FileKind, SourceFile};
+
+/// The swallowed-errors pass (SA012).
+pub struct SwallowPass;
+
+fn eligible(f: &SourceFile) -> bool {
+    config::RESULT_AFFECTING.contains(&f.crate_name.as_str())
+        && matches!(f.kind, FileKind::Lib | FileKind::Bin)
+}
+
+fn check_file(file: &SourceFile, out: &mut Emitter) {
+    let toks = file.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        // `let _ = <call>;`
+        if t.is_ident("let")
+            && toks.get(i + 1).is_some_and(|u| u.is_ident("_"))
+            && toks.get(i + 2).is_some_and(|e| e.is_punct('='))
+            && !toks.get(i + 3).is_some_and(|e| e.is_punct('='))
+        {
+            // Only flag when a call is being discarded — `let _ = x;`
+            // silences an unused-variable, not an error.
+            let mut has_call = false;
+            let mut depth = 0usize;
+            for tj in toks.get(i + 3..).unwrap_or_default() {
+                if tj.is_punct('(') || tj.is_punct('[') || tj.is_punct('{') {
+                    depth += 1;
+                    has_call = has_call || tj.is_punct('(');
+                } else if tj.is_punct(')') || tj.is_punct(']') || tj.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 && tj.is_punct(';') {
+                    break;
+                }
+            }
+            if has_call {
+                out.emit(
+                    file,
+                    "SA012",
+                    t.line,
+                    "`let _ =` discards a call result in a result-affecting crate; \
+                     propagate with `?`, handle the error, or justify with \
+                     `sa:allow(SA012)`"
+                        .into(),
+                );
+            }
+            continue;
+        }
+        // `<expr>.ok();` as a statement.
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|m| m.is_ident("ok"))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+            && toks.get(i + 3).is_some_and(|p| p.is_punct(')'))
+            && toks.get(i + 4).is_some_and(|s| s.is_punct(';'))
+        {
+            // Walk back to the statement start; a binding or `return`
+            // (or an `=` on the way) means the value is used.
+            let mut used = false;
+            let mut depth = 0usize;
+            for tj in toks.get(..i).unwrap_or_default().iter().rev() {
+                if tj.is_punct(')') || tj.is_punct(']') || tj.is_punct('}') {
+                    depth += 1;
+                } else if tj.is_punct('(') || tj.is_punct('[') || tj.is_punct('{') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth == 0 {
+                    if tj.is_punct(';') {
+                        break;
+                    }
+                    if tj.is_punct('=') || tj.is_ident("let") || tj.is_ident("return") {
+                        used = true;
+                        break;
+                    }
+                }
+            }
+            if !used {
+                out.emit(
+                    file,
+                    "SA012",
+                    t.line,
+                    "statement-level `.ok();` swallows a `Result` in a result-affecting \
+                     crate; propagate with `?`, handle the error, or justify with \
+                     `sa:allow(SA012)`"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
+impl Pass for SwallowPass {
+    fn name(&self) -> &'static str {
+        "swallow"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SA012"]
+    }
+
+    fn check(&self, cx: &Cx, out: &mut Emitter) {
+        for file in cx.ws.files.iter().filter(|f| eligible(f)) {
+            check_file(file, out);
+        }
+    }
+}

@@ -67,9 +67,63 @@ impl Ratchet {
     }
 }
 
+/// A set-valued ratchet: one stable entry id per line (used by SA009,
+/// where the entry is a fn display id rather than a count). Entries may
+/// be removed freely; adding one requires a justified diff.
+#[derive(Clone, Debug, Default)]
+pub struct SetRatchet {
+    /// Entries as committed, in file order.
+    pub entries: Vec<String>,
+}
+
+impl SetRatchet {
+    /// Parses set-ratchet `text` (`#` comments and blank lines skipped).
+    pub fn parse(text: &str) -> SetRatchet {
+        SetRatchet {
+            entries: text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_owned)
+                .collect(),
+        }
+    }
+
+    /// True when `id` is a committed entry.
+    pub fn contains(&self, id: &str) -> bool {
+        self.entries.iter().any(|e| e == id)
+    }
+
+    /// Serializes `ids` as a fresh set-ratchet file.
+    pub fn render(header: &str, ids: &[String]) -> String {
+        let mut out = String::new();
+        for line in header.lines() {
+            out.push_str("# ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("#\n# Format: one entry id per line.\n");
+        for id in ids {
+            out.push_str(id);
+            out.push('\n');
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn set_ratchet_round_trips() {
+        let s = SetRatchet::render("hdr", &["a::f".into(), "b::g".into()]);
+        let r = SetRatchet::parse(&s);
+        assert!(r.contains("a::f"));
+        assert!(r.contains("b::g"));
+        assert!(!r.contains("c::h"));
+        assert_eq!(r.entries.len(), 2);
+    }
 
     #[test]
     fn parse_and_cap() {

@@ -2,10 +2,30 @@
 //! the workspace out to every pass — the same shape as hyde-verify's
 //! `Lint`/`Registry` pair, over source files instead of pipeline
 //! artifacts.
+//!
+//! v2 additions: passes receive a [`Cx`] carrying the workspace *and*
+//! the call graph (built once per run), findings carry a severity, and
+//! every suppression an emitter applies is recorded as a
+//! `(file, directive line)` pair so the post-phase SA013 pass can flag
+//! stale `sa:allow` directives.
 
-use crate::report::{Finding, PassSummary, Report};
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallGraph;
+use crate::report::{Finding, PassSummary, Report, Severity};
 use crate::source::SourceFile;
 use crate::workspace::Workspace;
+
+/// Everything a pass can see: the workspace and the call graph.
+pub struct Cx<'a> {
+    /// The analyzed workspace.
+    pub ws: &'a Workspace,
+    /// The cross-crate call graph (symbol table inside).
+    pub graph: &'a CallGraph,
+}
+
+/// A suppression that fired: `(file path, directive line)`.
+pub type UsedAllow = (String, u32);
 
 /// Collects findings for one pass, applying `sa:allow` directives.
 pub struct Emitter {
@@ -13,6 +33,7 @@ pub struct Emitter {
     findings: Vec<Finding>,
     allowed: usize,
     notes: Vec<String>,
+    used_allows: BTreeSet<UsedAllow>,
 }
 
 impl Emitter {
@@ -22,14 +43,29 @@ impl Emitter {
             findings: Vec::new(),
             allowed: 0,
             notes: Vec::new(),
+            used_allows: BTreeSet::new(),
         }
     }
 
-    /// Emits a finding anchored in `file`, honoring its allow
+    /// Emits a deny finding anchored in `file`, honoring its allow
     /// directives.
     pub fn emit(&mut self, file: &SourceFile, code: &'static str, line: u32, message: String) {
-        if file.allowed(code, line) {
+        self.emit_with_path(file, code, line, message, Vec::new());
+    }
+
+    /// Emits a deny finding with call-path evidence, honoring allow
+    /// directives at `line`.
+    pub fn emit_with_path(
+        &mut self,
+        file: &SourceFile,
+        code: &'static str,
+        line: u32,
+        message: String,
+        path: Vec<String>,
+    ) {
+        if let Some(directive) = file.allow_match(code, line) {
             self.allowed += 1;
+            self.used_allows.insert((file.path.clone(), directive));
         } else {
             self.findings.push(Finding {
                 code,
@@ -37,12 +73,34 @@ impl Emitter {
                 file: file.path.clone(),
                 line,
                 message,
+                severity: Severity::Deny,
+                path,
             });
         }
     }
 
-    /// Emits a finding against a path with no allow-directive support
-    /// (manifests, `DESIGN.md`, ratchet files, workspace-level checks).
+    /// Emits a warn finding anchored in `file`, honoring its allow
+    /// directives.
+    pub fn warn(&mut self, file: &SourceFile, code: &'static str, line: u32, message: String) {
+        if let Some(directive) = file.allow_match(code, line) {
+            self.allowed += 1;
+            self.used_allows.insert((file.path.clone(), directive));
+        } else {
+            self.findings.push(Finding {
+                code,
+                pass: self.pass,
+                file: file.path.clone(),
+                line,
+                message,
+                severity: Severity::Warn,
+                path: Vec::new(),
+            });
+        }
+    }
+
+    /// Emits a deny finding against a path with no allow-directive
+    /// support (manifests, `DESIGN.md`, ratchet files, workspace-level
+    /// checks).
     pub fn emit_path(&mut self, path: &str, code: &'static str, line: u32, message: String) {
         self.findings.push(Finding {
             code,
@@ -50,7 +108,24 @@ impl Emitter {
             file: path.to_owned(),
             line,
             message,
+            severity: Severity::Deny,
+            path: Vec::new(),
         });
+    }
+
+    /// Records that the allow directive at `(file, line)` suppressed a
+    /// finding — used by passes that apply directives through a side
+    /// channel (e.g. SA003's ratchet counting, SA009's site filter).
+    pub fn mark_allow_used(&mut self, file: &SourceFile, directive_line: u32) {
+        self.used_allows.insert((file.path.clone(), directive_line));
+    }
+
+    /// True when this emitter itself recorded the directive at
+    /// `(file, line)` as used — lets SA013 avoid warning about an
+    /// SA013-allow that just suppressed another SA013 warning.
+    pub fn was_allow_used(&self, file: &SourceFile, directive_line: u32) -> bool {
+        self.used_allows
+            .contains(&(file.path.clone(), directive_line))
     }
 
     /// Records a non-failing improvement note (e.g. a ratchet count
@@ -66,8 +141,13 @@ pub trait Pass {
     fn name(&self) -> &'static str;
     /// The stable `SAxxx` codes this pass can emit.
     fn codes(&self) -> &'static [&'static str];
-    /// Appends findings on `ws` to `out`.
-    fn check(&self, ws: &Workspace, out: &mut Emitter);
+    /// Appends findings on `cx` to `out`.
+    fn check(&self, cx: &Cx, out: &mut Emitter);
+    /// Post-phase hook, run after every pass's `check` with the union
+    /// of suppressions that fired. Only SA013 implements this.
+    fn post(&self, cx: &Cx, used: &BTreeSet<UsedAllow>, out: &mut Emitter) {
+        let _ = (cx, used, out);
+    }
 }
 
 /// An ordered collection of passes run as one analysis.
@@ -90,6 +170,14 @@ impl Registry {
         r.register(Box::new(crate::passes::obs::ObsPass));
         r.register(Box::new(crate::passes::diag::DiagRegistryPass));
         r.register(Box::new(crate::passes::features::FeatureHygienePass));
+        r.register(Box::new(crate::passes::panic_reach::PanicReachPass));
+        r.register(Box::new(crate::passes::budget_flow::BudgetFlowPass));
+        r.register(Box::new(crate::passes::par_merge::ParMergePass));
+        r.register(Box::new(crate::passes::swallow::SwallowPass));
+        let known = r.all_codes_with("SA013");
+        r.register(Box::new(crate::passes::suppressions::SuppressionsPass {
+            known_codes: known,
+        }));
         r
     }
 
@@ -111,24 +199,57 @@ impl Registry {
             .collect()
     }
 
-    /// Runs every pass over `ws` and collects the report.
+    fn all_codes_with(&self, extra: &'static str) -> Vec<&'static str> {
+        let mut v = self.all_codes();
+        v.push(extra);
+        v
+    }
+
+    /// Runs every pass over `ws` and collects the report. The call
+    /// graph is built once and shared; the post phase (SA013) runs
+    /// after every check with the union of used suppressions.
     pub fn run(&self, ws: &Workspace) -> Report {
+        let graph = CallGraph::build(ws);
+        let cx = Cx { ws, graph: &graph };
         let mut report = Report {
             files_scanned: ws.files.len(),
             ..Report::default()
         };
+        let mut used: BTreeSet<UsedAllow> = BTreeSet::new();
+        let mut emitters: Vec<Emitter> = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
+            let _obs = hyde_obs::span!("sa.pass");
             let mut em = Emitter::new(pass.name());
-            pass.check(ws, &mut em);
+            pass.check(&cx, &mut em);
+            used.extend(em.used_allows.iter().cloned());
+            emitters.push(em);
+        }
+        for (pass, em) in self.passes.iter().zip(emitters.iter_mut()) {
+            pass.post(&cx, &used, em);
+        }
+        for em in emitters {
+            let denies = em
+                .findings
+                .iter()
+                .filter(|f| f.severity == Severity::Deny)
+                .count();
             report.passes.push(PassSummary {
-                pass: pass.name(),
-                codes: pass.codes().to_vec(),
-                findings: em.findings.len(),
+                pass: em.pass,
+                codes: self
+                    .passes
+                    .iter()
+                    .find(|p| p.name() == em.pass)
+                    .map(|p| p.codes().to_vec())
+                    .unwrap_or_default(),
+                findings: denies,
+                warnings: em.findings.len() - denies,
                 allowed: em.allowed,
             });
             report.findings.extend(em.findings);
             report.notes.extend(em.notes);
         }
+        hyde_obs::counter("sa.findings", report.findings.len() as u64);
+        hyde_obs::counter("sa.allowed", report.allowed() as u64);
         report
     }
 }

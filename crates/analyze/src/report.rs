@@ -1,10 +1,30 @@
 //! Findings, per-pass summaries and the `ANALYZE.json` emitter.
 
-/// JSON schema tag written into `ANALYZE.json`.
-pub const SCHEMA: &str = "hyde-sa-v1";
+/// JSON schema tag written into `ANALYZE.json`. v2 adds per-finding
+/// `severity` and call-path arrays; v1 reports are still accepted as
+/// `--baseline` input (see [`crate::baseline`]).
+pub const SCHEMA: &str = "hyde-sa-v2";
 
-/// One analyzer finding. Every finding is deny-level: the run fails if
-/// any survive allow directives and ratchets.
+/// How a surviving finding affects the exit status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run (exit 1).
+    Deny,
+    /// Reported but does not fail the run (SA013).
+    Warn,
+}
+
+impl Severity {
+    /// Lower-case tag used in JSON and terminal output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One analyzer finding.
 #[derive(Clone, Debug)]
 pub struct Finding {
     /// Stable code, e.g. `SA001`.
@@ -17,23 +37,36 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description.
     pub message: String,
+    /// Whether the finding fails the run.
+    pub severity: Severity,
+    /// Call-path evidence (entry-first hops), empty for token-level
+    /// findings.
+    pub path: Vec<String>,
 }
 
 impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Deny => "",
+            Severity::Warn => "warning: ",
+        };
         if self.line == 0 {
             write!(
                 f,
-                "{} [{}] {}: {}",
-                self.code, self.pass, self.file, self.message
-            )
+                "{}{} [{}] {}: {}",
+                sev, self.code, self.pass, self.file, self.message
+            )?;
         } else {
             write!(
                 f,
-                "{} [{}] {}:{}: {}",
-                self.code, self.pass, self.file, self.line, self.message
-            )
+                "{}{} [{}] {}:{}: {}",
+                sev, self.code, self.pass, self.file, self.line, self.message
+            )?;
         }
+        for hop in &self.path {
+            write!(f, "\n      {hop}")?;
+        }
+        Ok(())
     }
 }
 
@@ -44,8 +77,10 @@ pub struct PassSummary {
     pub pass: &'static str,
     /// Codes the pass can emit.
     pub codes: Vec<&'static str>,
-    /// Findings that survived allows/ratchets.
+    /// Deny findings that survived allows/ratchets.
     pub findings: usize,
+    /// Warn findings that survived allows.
+    pub warnings: usize,
     /// Findings suppressed by `sa:allow` directives.
     pub allowed: usize,
 }
@@ -64,9 +99,24 @@ pub struct Report {
 }
 
 impl Report {
-    /// True when no finding survived.
+    /// True when no deny-level finding survived (warnings do not fail
+    /// the run).
     pub fn clean(&self) -> bool {
-        self.findings.is_empty()
+        !self.findings.iter().any(|f| f.severity == Severity::Deny)
+    }
+
+    /// The deny-level findings.
+    pub fn denies(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+    }
+
+    /// The warn-level findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
     }
 
     /// Total suppressed findings across passes.
@@ -74,7 +124,7 @@ impl Report {
         self.passes.iter().map(|p| p.allowed).sum()
     }
 
-    /// Serializes the report as `hyde-sa-v1` JSON (hand-rolled, no
+    /// Serializes the report as `hyde-sa-v2` JSON (hand-rolled, no
     /// serde — the build is offline).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -89,10 +139,11 @@ impl Report {
             .map(|p| {
                 let codes: Vec<String> = p.codes.iter().map(|c| json_str(c)).collect();
                 format!(
-                    "    {{\"pass\": {}, \"codes\": [{}], \"findings\": {}, \"allowed\": {}}}",
+                    "    {{\"pass\": {}, \"codes\": [{}], \"findings\": {}, \"warnings\": {}, \"allowed\": {}}}",
                     json_str(p.pass),
                     codes.join(", "),
                     p.findings,
+                    p.warnings,
                     p.allowed
                 )
             })
@@ -104,13 +155,16 @@ impl Report {
             .findings
             .iter()
             .map(|f| {
+                let path: Vec<String> = f.path.iter().map(|h| json_str(h)).collect();
                 format!(
-                    "    {{\"code\": {}, \"pass\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                    "    {{\"code\": {}, \"pass\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"path\": [{}]}}",
                     json_str(f.code),
                     json_str(f.pass),
+                    json_str(f.severity.tag()),
                     json_str(&f.file),
                     f.line,
-                    json_str(&f.message)
+                    json_str(&f.message),
+                    path.join(", ")
                 )
             })
             .collect();
@@ -161,6 +215,7 @@ mod tests {
             pass: "determinism",
             codes: vec!["SA001", "SA002"],
             findings: 1,
+            warnings: 0,
             allowed: 3,
         });
         r.findings.push(Finding {
@@ -169,11 +224,32 @@ mod tests {
             file: "crates/core/src/x.rs".into(),
             line: 7,
             message: "iterates a \"HashMap\"".into(),
+            severity: Severity::Deny,
+            path: vec!["crates/core/src/x.rs::f".into()],
         });
         let json = r.to_json();
-        assert!(json.contains("\"schema\": \"hyde-sa-v1\""));
+        assert!(json.contains("\"schema\": \"hyde-sa-v2\""));
         assert!(json.contains("\\\"HashMap\\\""));
+        assert!(json.contains("\"severity\": \"deny\""));
+        assert!(json.contains("\"path\": [\"crates/core/src/x.rs::f\"]"));
         assert!(json.contains("\"allowed\": 3"));
         assert!(!r.clean());
+    }
+
+    #[test]
+    fn warnings_do_not_fail() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            code: "SA013",
+            pass: "suppressions",
+            file: "crates/core/src/x.rs".into(),
+            line: 3,
+            message: "stale allow".into(),
+            severity: Severity::Warn,
+            path: Vec::new(),
+        });
+        assert!(r.clean());
+        assert_eq!(r.warnings().count(), 1);
+        assert_eq!(r.denies().count(), 0);
     }
 }

@@ -1,7 +1,9 @@
 //! Source-file model: a lexed `.rs` file with item structure
 //! (functions, `#[cfg(test)]` regions) and `sa:allow` directives.
 
+use crate::ast::Ast;
 use crate::lexer::{self, Lexed, Tok, TokKind};
+use crate::parse;
 
 /// What role a file plays in its crate, derived from its path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,6 +60,8 @@ pub struct SourceFile {
     pub allows: Vec<Allow>,
     /// 1-based line ranges (inclusive) covered by `#[cfg(test)]` items.
     pub test_ranges: Vec<(u32, u32)>,
+    /// Item-level AST parsed from the token stream.
+    pub ast: Ast,
 }
 
 /// Derives `(crate_name, kind)` from a workspace-relative path.
@@ -116,21 +120,34 @@ fn match_bracket(toks: &[Tok], open: usize) -> usize {
     toks.len().saturating_sub(1)
 }
 
+/// True for a well-formed directive code: `SA` + three digits.
+fn is_sa_code(code: &str) -> bool {
+    code.len() == 5 && code.starts_with("SA") && code.bytes().skip(2).all(|b| b.is_ascii_digit())
+}
+
 fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
     let mut out = Vec::new();
     for c in &lexed.comments {
         let Some(pos) = c.text.find("sa:allow(") else {
             continue;
         };
+        // A backtick-quoted occurrence is prose *about* a directive
+        // (doc comments, finding messages), not a directive.
+        if pos > 0 && c.text.as_bytes().get(pos - 1) == Some(&b'`') {
+            continue;
+        }
         let Some(tail) = c.text.get(pos + "sa:allow(".len()..) else {
             continue;
         };
         let Some(close) = tail.find(')') else {
             continue;
         };
-        let Some(code) = tail.get(..close) else {
+        let Some(code) = tail.get(..close).map(str::trim) else {
             continue;
         };
+        if !is_sa_code(code) {
+            continue;
+        }
         // Require a non-empty justification after "): ".
         let justified = tail
             .get(close + 1..)
@@ -140,7 +157,7 @@ fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
             continue;
         }
         out.push(Allow {
-            code: code.trim().to_owned(),
+            code: code.to_owned(),
             line: c.line,
             file_scope: c.inner,
         });
@@ -213,6 +230,10 @@ impl SourceFile {
         let lexed = lexer::lex(text);
         let allows = parse_allows(&lexed);
         let test_ranges = parse_test_ranges(&lexed.toks);
+        let ast = {
+            let _obs = hyde_obs::span!("sa.parse");
+            parse::parse_file(&lexed.toks)
+        };
         SourceFile {
             path: path.to_owned(),
             crate_name,
@@ -220,6 +241,7 @@ impl SourceFile {
             lexed,
             allows,
             test_ranges,
+            ast,
         }
     }
 
@@ -248,6 +270,18 @@ impl SourceFile {
             a.code == code
                 && (a.file_scope || a.line == line || self.next_code_line(a.line) == Some(line))
         })
+    }
+
+    /// Like [`SourceFile::allowed`], but returns the directive's own
+    /// line so suppression usage can be tracked (SA013).
+    pub fn allow_match(&self, code: &str, line: u32) -> Option<u32> {
+        self.allows
+            .iter()
+            .find(|a| {
+                a.code == code
+                    && (a.file_scope || a.line == line || self.next_code_line(a.line) == Some(line))
+            })
+            .map(|a| a.line)
     }
 
     /// The line of the first token after `line` (comments are not

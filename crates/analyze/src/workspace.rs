@@ -56,7 +56,8 @@ impl Workspace {
         ws
     }
 
-    /// Reads the workspace rooted at `root` from disk.
+    /// Reads the workspace rooted at `root` from disk, lexing/parsing
+    /// with the environment's `HYDE_THREADS` worker count.
     ///
     /// # Errors
     ///
@@ -64,6 +65,15 @@ impl Workspace {
     /// individual unreadable files fail rather than being skipped, so a
     /// permissions problem cannot silently shrink the analysis surface.
     pub fn from_root(root: &Path) -> Result<Workspace, SaError> {
+        Workspace::from_root_with_threads(root, hyde_core::parallel::thread_count())
+    }
+
+    /// [`Workspace::from_root`] with an explicit worker count — the
+    /// 1-vs-N determinism test drives this directly. IO is sequential
+    /// (path-sorted); lexing and parsing fan out through
+    /// `hyde_core::parallel::map_chunked`, whose input-order merge
+    /// keeps `ws.files` path-sorted for any thread count.
+    pub fn from_root_with_threads(root: &Path, threads: usize) -> Result<Workspace, SaError> {
         let mut ws = Workspace::default();
         let mut rs_files: Vec<PathBuf> = Vec::new();
         let mut manifest_paths: Vec<PathBuf> = vec![root.join("Cargo.toml")];
@@ -86,11 +96,15 @@ impl Workspace {
         }
 
         rs_files.sort();
+        let mut pairs: Vec<(String, String)> = Vec::with_capacity(rs_files.len());
         for path in rs_files {
             let rel = rel_path(root, &path);
-            let text = read(&path)?;
-            ws.files.push(SourceFile::new(&rel, &text));
+            pairs.push((rel, read(&path)?));
         }
+        ws.files = hyde_core::parallel::map_chunked("sa.lex", &pairs, threads, |(rel, text)| {
+            SourceFile::new(rel, text)
+        });
+        hyde_obs::counter("sa.files", ws.files.len() as u64);
         manifest_paths.sort();
         for path in manifest_paths {
             let rel = rel_path(root, &path);

@@ -40,6 +40,23 @@ fn fires(ws: &Workspace, pass: Box<dyn Pass>, code: &str, file_contains: &str) -
         .any(|f| f.code == code && f.file.contains(file_contains))
 }
 
+/// Like [`fires`], but returns the matching findings so drills can
+/// assert on call-path evidence.
+fn findings_of(
+    ws: &Workspace,
+    pass: Box<dyn Pass>,
+    code: &str,
+    file_contains: &str,
+) -> Vec<hyde_analyze::report::Finding> {
+    let mut r = Registry::empty();
+    r.register(pass);
+    r.run(ws)
+        .findings
+        .into_iter()
+        .filter(|f| f.code == code && f.file.contains(file_contains))
+        .collect()
+}
+
 #[test]
 fn sa001_fires_on_injected_unordered_iteration() {
     let mut ws = workspace();
@@ -89,21 +106,149 @@ fn sa003_fires_on_panic_surface_growth() {
 }
 
 #[test]
-fn sa004_fires_on_budget_less_entry_point() {
+fn sa009_fires_on_new_panic_reaching_api_with_call_path() {
     let mut ws = workspace();
     let file = "crates/core/src/classes.rs";
     mutate_file(&mut ws, file, |t| {
         format!(
-            "{t}\npub fn mutated_work(m: &mut hyde_bdd::Bdd, a: hyde_bdd::Ref) -> hyde_bdd::Ref {{\n\
+            "{t}\npub fn mutated_api(v: &[u32]) -> u32 {{ mutated_inner(v) }}\n\
+             fn mutated_inner(v: &[u32]) -> u32 {{ v.first().copied().unwrap() }}\n"
+        )
+    });
+    let found = findings_of(
+        &ws,
+        Box::new(passes::panic_reach::PanicReachPass),
+        "SA009",
+        file,
+    );
+    let f = found
+        .iter()
+        .find(|f| f.message.contains("mutated_api"))
+        .unwrap_or_else(|| panic!("{found:?}"));
+    // The finding prints the concrete call path down to the site.
+    assert!(
+        f.path.iter().any(|hop| hop.contains("mutated_inner")),
+        "{:?}",
+        f.path
+    );
+    assert!(
+        f.path.last().is_some_and(|hop| hop.contains("unwrap")),
+        "{:?}",
+        f.path
+    );
+}
+
+#[test]
+fn sa010_fires_on_budget_less_flow_with_call_path() {
+    let mut ws = workspace();
+    let file = "crates/core/src/classes.rs";
+    mutate_file(&mut ws, file, |t| {
+        format!(
+            "{t}\npub fn mutated_entry(m: &mut hyde_bdd::Bdd, a: hyde_bdd::Ref, \
+             budget: &hyde_guard::Budget) -> hyde_bdd::Ref {{\n\
+             \x20   mutated_work(m, a)\n}}\n\
+             fn mutated_work(m: &mut hyde_bdd::Bdd, a: hyde_bdd::Ref) -> hyde_bdd::Ref {{\n\
              \x20   m.not(a)\n}}\n"
+        )
+    });
+    let found = findings_of(
+        &ws,
+        Box::new(passes::budget_flow::BudgetFlowPass),
+        "SA010",
+        file,
+    );
+    let f = found
+        .iter()
+        .find(|f| f.message.contains("mutated_work"))
+        .unwrap_or_else(|| panic!("{found:?}"));
+    assert!(
+        f.path.iter().any(|hop| hop.contains("mutated_entry")),
+        "the path must start at the Budget-accepting entry: {:?}",
+        f.path
+    );
+}
+
+#[test]
+fn sa011_fires_on_impure_worker_closure() {
+    let mut ws = workspace();
+    let file = "crates/core/src/varpart.rs";
+    mutate_file(&mut ws, file, |t| {
+        format!(
+            "{t}\npub fn mutated_par(items: &[u32]) -> Vec<u32> {{\n\
+             \x20   let mut acc: Vec<u32> = Vec::new();\n\
+             \x20   crate::parallel::map_chunked(\"sa.lex\", items, 2, |x| {{\n\
+             \x20       acc.push(*x);\n\
+             \x20       *x + 1\n\
+             \x20   }})\n}}\n"
         )
     });
     assert!(fires(
         &ws,
-        Box::new(passes::budget::BudgetPass),
-        "SA004",
+        Box::new(passes::par_merge::ParMergePass),
+        "SA011",
         file
     ));
+}
+
+#[test]
+fn sa012_fires_on_swallowed_result() {
+    let mut ws = workspace();
+    let file = "crates/sat/src/solver.rs";
+    mutate_file(&mut ws, file, |t| {
+        format!("{t}\npub fn mutated_swallow() {{ std::fs::remove_file(\"x\").ok(); }}\n")
+    });
+    assert!(fires(
+        &ws,
+        Box::new(passes::swallow::SwallowPass),
+        "SA012",
+        file
+    ));
+}
+
+#[test]
+fn sa013_fires_on_injected_stale_directive() {
+    let mut ws = workspace();
+    let file = "crates/sat/src/solver.rs";
+    mutate_file(&mut ws, file, |t| {
+        format!(
+            "{t}\n// sa:allow(SA001): mutated directive suppressing nothing\n\
+             pub fn mutated_nothing() {{}}\n"
+        )
+    });
+    let mut r = Registry::empty();
+    r.register(Box::new(passes::determinism::DeterminismPass));
+    r.register(Box::new(passes::suppressions::SuppressionsPass {
+        known_codes: Registry::with_defaults().all_codes(),
+    }));
+    let report = r.run(&ws);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code == "SA013" && f.file == file && f.message.contains("SA001")),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn baseline_diff_surfaces_only_the_seeded_finding() {
+    // The clean tree's own report is an empty-diff baseline; a seeded
+    // violation shows up as the one new deny.
+    let clean = workspace();
+    let registry = Registry::with_defaults();
+    let baseline = hyde_analyze::baseline::Baseline::parse(&registry.run(&clean).to_json())
+        .expect("own report parses as baseline");
+    let mut mutated = clean.clone();
+    let file = "crates/bdd/src/manager.rs";
+    mutate_file(&mut mutated, file, |t| {
+        format!("{t}\npub fn mutated_now() -> std::time::Instant {{ std::time::Instant::now() }}\n")
+    });
+    let report = registry.run(&mutated);
+    let new = baseline.new_denies(&report);
+    assert_eq!(new.len(), 1, "{new:?}");
+    assert_eq!(new[0].code, "SA002");
+    assert!(new[0].file.contains(file));
 }
 
 #[test]

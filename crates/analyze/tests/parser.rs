@@ -1,0 +1,202 @@
+//! Parser corpus and the tiling property test.
+//!
+//! The parser is *total*: it never fails, and the top-level item spans
+//! tile the token stream exactly — no gaps, no overlaps. The corpus
+//! pins the shapes the passes depend on (generics, trait impls, nested
+//! closures, raw identifiers, macro bodies); the property test runs the
+//! tiling invariant over every file of the real workspace, so any
+//! future syntax the parser mishandles shows up as a hole here first.
+
+use hyde_analyze::ast::{self, Expr, Item, ItemKind};
+use hyde_analyze::source::SourceFile;
+use hyde_analyze::workspace::Workspace;
+use std::path::{Path, PathBuf};
+
+fn root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn parse(src: &str) -> SourceFile {
+    SourceFile::new("crates/core/src/x.rs", src)
+}
+
+/// Collects `(owner, fn name)` pairs from a parsed file.
+fn fn_names(file: &SourceFile) -> Vec<(Option<String>, String)> {
+    let mut out = Vec::new();
+    ast::visit_fns(&file.ast.items, &mut |owner, decl| {
+        out.push((owner.map(str::to_owned), decl.name.clone()));
+    });
+    out
+}
+
+#[test]
+fn corpus_generics_and_where_clauses() {
+    let f = parse(
+        "pub fn map_chunked<T: Sync, R: Send>(label: &str, items: &[T]) -> Vec<R>\n\
+         where R: Clone {\n\
+             helper(items)\n\
+         }\n\
+         fn helper<T>(items: &[T]) -> Vec<T> { Vec::new() }\n",
+    );
+    let names = fn_names(&f);
+    assert_eq!(names.len(), 2, "{names:?}");
+    assert_eq!(names[0].1, "map_chunked");
+    // The generic args must not leak into the call's path segments.
+    let mut calls = Vec::new();
+    ast::visit_fns(&f.ast.items, &mut |_, decl| {
+        if let Some(body) = &decl.body {
+            ast::visit(&body.exprs, &mut |e| {
+                if let Expr::Call { path, .. } = e {
+                    calls.push(path.join("::"));
+                }
+            });
+        }
+    });
+    assert!(calls.contains(&"helper".to_owned()), "{calls:?}");
+}
+
+#[test]
+fn corpus_trait_impls_and_bodiless_methods() {
+    let f = parse(
+        "pub trait Pass {\n\
+             fn name(&self) -> &'static str;\n\
+             fn run(&self) { self.name(); }\n\
+         }\n\
+         pub struct P;\n\
+         impl Pass for P {\n\
+             fn name(&self) -> &'static str { \"p\" }\n\
+         }\n",
+    );
+    let names = fn_names(&f);
+    assert!(
+        names.contains(&(Some("Pass".to_owned()), "name".to_owned())),
+        "{names:?}"
+    );
+    assert!(
+        names.contains(&(Some("P".to_owned()), "name".to_owned())),
+        "{names:?}"
+    );
+    // The bodiless declaration parses with `body: None`.
+    let mut bodiless = 0;
+    ast::visit_fns(&f.ast.items, &mut |_, decl| {
+        if decl.body.is_none() {
+            bodiless += 1;
+        }
+    });
+    assert_eq!(bodiless, 1);
+}
+
+#[test]
+fn corpus_nested_closures() {
+    let f = parse(
+        "pub fn f(items: &[u32]) -> Vec<u32> {\n\
+             items.iter().map(|x| {\n\
+                 let g = |y: u32| y + 1;\n\
+                 g(*x)\n\
+             }).collect()\n\
+         }\n",
+    );
+    let mut closures = 0;
+    let mut inner_params: Vec<String> = Vec::new();
+    ast::visit_fns(&f.ast.items, &mut |_, decl| {
+        if let Some(body) = &decl.body {
+            ast::visit(&body.exprs, &mut |e| {
+                if let Expr::Closure { params, .. } = e {
+                    closures += 1;
+                    inner_params.extend(params.iter().cloned());
+                }
+            });
+        }
+    });
+    assert_eq!(closures, 2, "outer |x| and inner |y|");
+    assert!(inner_params.contains(&"x".to_owned()), "{inner_params:?}");
+    assert!(inner_params.contains(&"y".to_owned()), "{inner_params:?}");
+}
+
+#[test]
+fn corpus_raw_identifiers_and_macro_bodies() {
+    let f = parse(
+        "pub fn r#match(r#type: u32) -> u32 {\n\
+             let msg = format!(\"got {}\", helper(r#type));\n\
+             msg.len() as u32\n\
+         }\n\
+         fn helper(x: u32) -> u32 { x }\n",
+    );
+    let names = fn_names(&f);
+    assert_eq!(names.len(), 2, "{names:?}");
+    // Calls inside macro arguments still show up.
+    let mut saw_helper_call = false;
+    ast::visit_fns(&f.ast.items, &mut |_, decl| {
+        if let Some(body) = &decl.body {
+            ast::visit(&body.exprs, &mut |e| {
+                if let Expr::Call { path, .. } = e {
+                    saw_helper_call |= path.last().is_some_and(|s| s == "helper");
+                }
+            });
+        }
+    });
+    assert!(saw_helper_call, "call inside format! argument not found");
+}
+
+#[test]
+fn corpus_macro_rules_definitions_become_filler() {
+    // A macro_rules! body is full of token soup (`$x:expr`, nested
+    // braces); it must become an `Other` item without derailing the
+    // items after it.
+    let f = parse(
+        "macro_rules! span {\n\
+             ($name:expr) => {{ $crate::enter($name) }};\n\
+         }\n\
+         pub fn after() {}\n",
+    );
+    let names = fn_names(&f);
+    assert_eq!(names, vec![(None, "after".to_owned())], "{names:?}");
+}
+
+/// Asserts `items` tile `lo..=hi` exactly, recursing into mods/impls
+/// (children must stay inside the parent's span).
+fn assert_tiles(items: &[Item], lo: usize, hi: usize, path: &str) {
+    let mut next = lo;
+    for item in items {
+        assert_eq!(
+            item.span.0, next,
+            "{path}: gap or overlap before token {next} (item {:?})",
+            item.kind
+        );
+        assert!(
+            item.span.1 >= item.span.0 && item.span.1 <= hi,
+            "{path}: item span {:?} escapes parent 0..={hi}",
+            item.span
+        );
+        if let ItemKind::Mod { items: inner, .. } = &item.kind {
+            for child in inner {
+                assert!(
+                    child.span.0 >= item.span.0 && child.span.1 <= item.span.1,
+                    "{path}: mod child {:?} outside parent {:?}",
+                    child.span,
+                    item.span
+                );
+            }
+        }
+        next = item.span.1 + 1;
+    }
+    assert_eq!(next, hi + 1, "{path}: items stop before the last token");
+}
+
+#[test]
+fn item_spans_tile_every_workspace_file() {
+    let ws = Workspace::from_root(&root()).expect("workspace readable");
+    assert!(ws.files.len() > 100, "workspace discovery broke");
+    for file in &ws.files {
+        let n = file.toks().len();
+        if n == 0 {
+            assert!(
+                file.ast.items.is_empty(),
+                "{}: items without tokens",
+                file.path
+            );
+            continue;
+        }
+        assert_tiles(&file.ast.items, 0, n - 1, &file.path);
+    }
+}

@@ -1025,10 +1025,16 @@ impl Bdd {
     /// (terminals as boxes, else-edges dashed) — handy when debugging
     /// decomposition cuts.
     pub fn to_dot(&self, f: Ref, name: &str) -> String {
-        use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "digraph \"{name}\" {{");
-        let _ = writeln!(s, "  T [shape=box,label=\"1\"]; F [shape=box,label=\"0\"];");
+        // sa:allow(SA012): fmt::Write into a String is infallible
+        let _ = self.to_dot_into(&mut s, f, name);
+        s
+    }
+
+    fn to_dot_into(&self, s: &mut String, f: Ref, name: &str) -> std::fmt::Result {
+        use std::fmt::Write as _;
+        writeln!(s, "digraph \"{name}\" {{")?;
+        writeln!(s, "  T [shape=box,label=\"1\"]; F [shape=box,label=\"0\"];")?;
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![f];
         while let Some(r) = stack.pop() {
@@ -1036,19 +1042,19 @@ impl Bdd {
                 continue;
             }
             let n = self.node(r);
-            let _ = writeln!(s, "  n{} [label=\"x{}\"];", r.0, n.var);
+            writeln!(s, "  n{} [label=\"x{}\"];", r.0, n.var)?;
             let fmt_ref = |x: Ref| match x {
                 Ref::TRUE => "T".to_string(),
                 Ref::FALSE => "F".to_string(),
                 other => format!("n{}", other.0),
             };
-            let _ = writeln!(s, "  n{} -> {} [style=dashed];", r.0, fmt_ref(n.lo));
-            let _ = writeln!(s, "  n{} -> {};", r.0, fmt_ref(n.hi));
+            writeln!(s, "  n{} -> {} [style=dashed];", r.0, fmt_ref(n.lo))?;
+            writeln!(s, "  n{} -> {};", r.0, fmt_ref(n.hi))?;
             stack.push(n.lo);
             stack.push(n.hi);
         }
         s.push_str("}\n");
-        s
+        Ok(())
     }
 }
 

@@ -41,7 +41,7 @@ pub struct BddDecomposition {
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidBoundSet`] for malformed bound sets.
-// sa:allow(SA004): operates on the caller's manager, whose node cap
+// sa:allow(SA010): operates on the caller's manager, whose node cap
 // (`set_node_cap`) already bounds every operation performed here.
 pub fn bdd_decompose(
     bdd: &mut Bdd,
@@ -175,6 +175,8 @@ pub fn copy_into_mapped(src: &Bdd, f: Ref, dst: &mut Bdd, map: &[usize]) -> Ref 
     copy_rec(src, f, dst, map, &mut memo)
 }
 
+// sa:allow(SA010): structure-preserving copy — one node per source
+// node, bounded by `compact_to_support`'s pre-sized destination.
 fn copy_rec(src: &Bdd, f: Ref, dst: &mut Bdd, map: &[usize], memo: &mut HashMap<Ref, Ref>) -> Ref {
     if f == Ref::FALSE {
         return dst.zero();
@@ -197,7 +199,7 @@ fn copy_rec(src: &Bdd, f: Ref, dst: &mut Bdd, map: &[usize], memo: &mut HashMap<
 /// Compacts `f` onto its support: returns a new manager over exactly the
 /// support variables (in order) plus the translated root, and the support
 /// itself (`support[i]` is the old variable at new position `i`).
-// sa:allow(SA004): a structure-preserving copy bounded by the source
+// sa:allow(SA010): a structure-preserving copy bounded by the source
 // node count; it cannot allocate more nodes than already exist.
 pub fn compact_to_support(src: &Bdd, f: Ref) -> (Bdd, Ref, Vec<usize>) {
     let support = src.support(f);

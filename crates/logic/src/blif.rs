@@ -290,17 +290,23 @@ pub fn parse(text: &str) -> Result<Network, LogicError> {
 /// names, internal nodes are written under generated unique names when
 /// duplicates exist.
 pub fn write(net: &Network) -> String {
-    use std::fmt::Write as _;
     let mut s = String::new();
-    let _ = writeln!(s, ".model {}", net.name());
+    // sa:allow(SA012): fmt::Write into a String is infallible
+    let _ = write_into(&mut s, net);
+    s
+}
+
+fn write_into(s: &mut String, net: &Network) -> std::fmt::Result {
+    use std::fmt::Write as _;
+    writeln!(s, ".model {}", net.name())?;
     let in_names: Vec<String> = net
         .inputs()
         .iter()
         .map(|&id| net.node_name(id).to_owned())
         .collect();
-    let _ = writeln!(s, ".inputs {}", in_names.join(" "));
+    writeln!(s, ".inputs {}", in_names.join(" "))?;
     let out_names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
-    let _ = writeln!(s, ".outputs {}", out_names.join(" "));
+    writeln!(s, ".outputs {}", out_names.join(" "))?;
 
     // Unique signal names per node id.
     let mut sig: HashMap<NodeId, String> = HashMap::new();
@@ -323,27 +329,27 @@ pub fn write(net: &Network) -> String {
             continue;
         }
         let fanin_names: Vec<String> = net.fanins(id).iter().map(|f| sig[f].clone()).collect();
-        let _ = writeln!(s, ".names {} {}", fanin_names.join(" "), sig[&id]);
+        writeln!(s, ".names {} {}", fanin_names.join(" "), sig[&id])?;
         let sop = crate::cube::SopCover::isop(net.function(id));
         if net.fanins(id).is_empty() {
             if net.function(id).is_one() {
-                let _ = writeln!(s, "1");
+                writeln!(s, "1")?;
             }
             continue;
         }
         for cube in sop.iter() {
-            let _ = writeln!(s, "{cube} 1");
+            writeln!(s, "{cube} 1")?;
         }
     }
     // Outputs driven by differently-named nodes need buffers.
     for (name, id) in net.outputs() {
         if &sig[id] != name {
-            let _ = writeln!(s, ".names {} {name}", sig[id]);
-            let _ = writeln!(s, "1 1");
+            writeln!(s, ".names {} {name}", sig[id])?;
+            writeln!(s, "1 1")?;
         }
     }
     s.push_str(".end\n");
-    s
+    Ok(())
 }
 
 #[cfg(test)]

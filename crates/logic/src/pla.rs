@@ -202,13 +202,19 @@ impl Pla {
 
     /// Serializes back to PLA text (type `fd`: only on/dc rows written).
     pub fn to_text(&self) -> String {
-        use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, ".i {}", self.inputs);
-        let _ = writeln!(s, ".o {}", self.outputs());
-        let _ = writeln!(s, ".ilb {}", self.input_names.join(" "));
-        let _ = writeln!(s, ".ob {}", self.output_names.join(" "));
-        let _ = writeln!(s, ".p {}", self.rows.len());
+        // sa:allow(SA012): fmt::Write into a String is infallible
+        let _ = self.write_into(&mut s);
+        s
+    }
+
+    fn write_into(&self, s: &mut String) -> std::fmt::Result {
+        use std::fmt::Write as _;
+        writeln!(s, ".i {}", self.inputs)?;
+        writeln!(s, ".o {}", self.outputs())?;
+        writeln!(s, ".ilb {}", self.input_names.join(" "))?;
+        writeln!(s, ".ob {}", self.output_names.join(" "))?;
+        writeln!(s, ".p {}", self.rows.len())?;
         for (cube, outs) in &self.rows {
             let outstr: String = outs
                 .iter()
@@ -218,10 +224,10 @@ impl Pla {
                     OutputValue::DontCare => '-',
                 })
                 .collect();
-            let _ = writeln!(s, "{cube} {outstr}");
+            writeln!(s, "{cube} {outstr}")?;
         }
         s.push_str(".e\n");
-        s
+        Ok(())
     }
 
     /// Builds a single-output PLA from a truth table via ISOP.

@@ -23,10 +23,14 @@
 //!   with per-circuit isolation, writing `CHAOS_chaos_s<seed>.json`) and
 //!   then `hyde-lint --suite --deep` with `HYDE_CHAOS=<seed>`, which
 //!   CEC-proves every degraded network against its specification
-//! * `analyze` — run the `hyde-sa` static analyzer (SA001–SA008:
-//!   determinism, panic-surface ratchet, budget propagation, obs
-//!   coverage, diag-registry consistency, feature hygiene) over the
-//!   whole workspace in-process and write `ANALYZE.json`
+//! * `analyze` — run the `hyde-sa` static analyzer (SA001–SA013:
+//!   determinism, panic-surface and panic-reachability ratchets,
+//!   budget flow, obs coverage, diag-registry consistency, feature
+//!   hygiene, parallel-merge determinism, swallowed errors,
+//!   suppression hygiene) over the whole workspace in-process and
+//!   write `ANALYZE.json`; `analyze --diff` reads the committed
+//!   `ANALYZE.json` as a baseline first and fails only on *new*
+//!   findings (the pull-request gate)
 //! * `unwrap-gate` — deprecated alias for `analyze` (the old
 //!   `crates/core`-only unwrap ratchet is now analyzer pass SA003,
 //!   workspace-wide)
@@ -261,15 +265,36 @@ fn chaos(root: &Path) -> Result<(), String> {
 }
 
 /// Runs the `hyde-sa` static analyzer in-process over the workspace and
-/// writes `ANALYZE.json` at the root. Fails on any surviving finding —
-/// the same bar the analyzer's own `self_analysis` test enforces.
-fn analyze(root: &Path) -> Result<(), String> {
+/// writes `ANALYZE.json` at the root.
+///
+/// In strict mode (the default, and what `all` runs) any surviving deny
+/// finding fails — the same bar the analyzer's own `self_analysis` test
+/// enforces. With `--diff`, the committed `ANALYZE.json` is read as a
+/// baseline *before* being overwritten and only findings that are new
+/// relative to it fail; this is the pull-request gate, so a branch is
+/// judged on what it introduces rather than on pre-existing debt.
+fn analyze(root: &Path, diff: bool) -> Result<(), String> {
     println!(
-        "xtask: hyde-sa --root {} --json ANALYZE.json",
-        root.display()
+        "xtask: hyde-sa --root {} --json ANALYZE.json{}",
+        root.display(),
+        if diff { " --diff" } else { "" }
     );
-    let report = hyde_analyze::analyze_root(root).map_err(|e| format!("hyde-sa: {e}"))?;
     let json_path = root.join("ANALYZE.json");
+    let baseline = if diff {
+        let text = std::fs::read_to_string(&json_path).map_err(|e| {
+            format!(
+                "analyze --diff needs a committed {}: {e}",
+                json_path.display()
+            )
+        })?;
+        Some(
+            hyde_analyze::baseline::Baseline::parse(&text)
+                .map_err(|e| format!("{}: {e}", json_path.display()))?,
+        )
+    } else {
+        None
+    };
+    let report = hyde_analyze::analyze_root(root).map_err(|e| format!("hyde-sa: {e}"))?;
     std::fs::write(&json_path, report.to_json())
         .map_err(|e| format!("{}: {e}", json_path.display()))?;
     for note in &report.notes {
@@ -283,6 +308,22 @@ fn analyze(root: &Path) -> Result<(), String> {
         report.allowed(),
         json_path.display()
     );
+    if let Some(base) = baseline {
+        let new = base.new_denies(&report);
+        if new.is_empty() {
+            println!(
+                "xtask: analyze --diff: no new findings vs committed baseline ({})",
+                base.schema
+            );
+            return Ok(());
+        }
+        let rendered: Vec<String> = new.iter().map(|f| f.to_string()).collect();
+        return Err(format!(
+            "analyze --diff: {} new finding(s) vs committed baseline:\n  {}",
+            rendered.len(),
+            rendered.join("\n  ")
+        ));
+    }
     if report.clean() {
         Ok(())
     } else {
@@ -302,7 +343,7 @@ fn unwrap_gate(root: &Path) -> Result<(), String> {
         "xtask: unwrap-gate is deprecated; running `cargo xtask analyze` (the panic-surface \
          ratchet is now analyzer pass SA003, over the whole workspace)"
     );
-    analyze(root)
+    analyze(root, false)
 }
 
 fn main() -> ExitCode {
@@ -322,11 +363,11 @@ fn main() -> ExitCode {
             None => Err("trace needs a circuit name, e.g. `cargo xtask trace rd73`".into()),
         },
         "chaos" => chaos(&root),
-        "analyze" => analyze(&root),
+        "analyze" => analyze(&root, args.iter().any(|a| a == "--diff")),
         "unwrap-gate" => unwrap_gate(&root),
         "all" => fmt(&root)
             .and_then(|()| clippy(&root))
-            .and_then(|()| analyze(&root))
+            .and_then(|()| analyze(&root, false))
             .and_then(|()| test(&root))
             .and_then(|()| lint_suite(&root, true))
             .and_then(|()| bench(&root, true))
@@ -334,7 +375,7 @@ fn main() -> ExitCode {
             .and_then(|()| chaos(&root)),
         other => Err(format!(
             "unknown task '{other}' (expected fmt | clippy | test | lint-suite [--deep] | \
-             bench [--smoke] | trace <circuit> | chaos | analyze | all)"
+             bench [--smoke] | trace <circuit> | chaos | analyze [--diff] | all)"
         )),
     };
     match result {
