@@ -22,6 +22,7 @@ pub const BUDGETED: &[&str] = &["core", "map"];
 pub const SPANS: &[(&str, &str)] = &[
     ("varpart.select_best", "core"),
     ("varpart.score", "core"),
+    ("varpart.floor", "core"),
     ("decompose.step", "core"),
     ("decompose.bdd", "core"),
     ("chart.build", "core"),
@@ -79,6 +80,13 @@ pub const COUNTERS: &[&str] = &[
     "bdd.cache_evictions",
     "bdd.unique_growths",
     "bdd.cache_growths",
+    "bdd.gc.runs",
+    "bdd.gc.reclaimed",
+    "hyde.npn.hits",
+    "hyde.npn.misses",
+    "hyde.npn.canonize_us",
+    "sched.steal.blocks",
+    "sched.steal.steals",
     "guard.chaos.injected",
     "guard.hyper_fallback",
     "guard.degrade.exact",
@@ -99,7 +107,7 @@ pub const PHASE_FNS: &[(&str, &str, &str, &str)] = &[
     (
         "core",
         "decompose.rs",
-        "decompose_step_budgeted",
+        "decompose_step_with",
         "decompose.step",
     ),
     (

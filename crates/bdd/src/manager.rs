@@ -41,6 +41,11 @@ impl Ref {
 
 const NO_VAR: u32 = u32::MAX;
 
+/// `var` sentinel for a node slot reclaimed by [`Bdd::gc`]: the slot is
+/// on the free list and will be reused by the next `mk` allocation. Dead
+/// slots never appear in the unique table or in [`Bdd::node_triples`].
+const DEAD: u32 = u32::MAX - 1;
+
 /// Empty bucket sentinel in the unique table.
 const EMPTY: u32 = u32::MAX;
 
@@ -112,6 +117,10 @@ pub struct BddStats {
     /// Computed-cache doublings under eviction pressure since the last
     /// reset.
     pub cache_growths: u64,
+    /// Garbage collections performed (see [`Bdd::gc`]).
+    pub gc_runs: u64,
+    /// Dead nodes reclaimed across all collections.
+    pub gc_reclaimed: u64,
 }
 
 impl BddStats {
@@ -155,6 +164,8 @@ struct GlobalStatCells {
     cache_evictions: AtomicU64,
     unique_growths: AtomicU64,
     cache_growths: AtomicU64,
+    gc_runs: AtomicU64,
+    gc_reclaimed: AtomicU64,
 }
 
 static GLOBAL_STATS: GlobalStatCells = GlobalStatCells {
@@ -168,6 +179,8 @@ static GLOBAL_STATS: GlobalStatCells = GlobalStatCells {
     cache_evictions: AtomicU64::new(0),
     unique_growths: AtomicU64::new(0),
     cache_growths: AtomicU64::new(0),
+    gc_runs: AtomicU64::new(0),
+    gc_reclaimed: AtomicU64::new(0),
 };
 
 /// Snapshot of the process-global counters accumulated from every manager
@@ -189,6 +202,8 @@ pub fn global_stats() -> BddStats {
         cache_evictions: load(&GLOBAL_STATS.cache_evictions),
         unique_growths: load(&GLOBAL_STATS.unique_growths),
         cache_growths: load(&GLOBAL_STATS.cache_growths),
+        gc_runs: load(&GLOBAL_STATS.gc_runs),
+        gc_reclaimed: load(&GLOBAL_STATS.gc_reclaimed),
     }
 }
 
@@ -239,6 +254,18 @@ pub struct Bdd {
     /// computation unwinds cheaply instead of thrashing; results are
     /// garbage and must be discarded via [`Bdd::guarded`].
     exhausted: bool,
+    /// Node slots reclaimed by [`Bdd::gc`], reused (LIFO) by `mk` before
+    /// the node vector grows. Indices stay stable across collections, so
+    /// live [`Ref`]s are never invalidated.
+    free: Vec<u32>,
+    /// Growth-pressure GC trigger: [`Bdd::maybe_gc`] collects when the
+    /// in-use node count reaches this. `None` disables safe-point GC;
+    /// `Some(0)` forces a collection at every safe point (test mode).
+    gc_threshold: Option<usize>,
+    /// Chaos hook for the sweep: when armed, a tripped site poisons the
+    /// manager right after a collection, simulating an allocation failure
+    /// inside node management (drained via [`Bdd::guarded`]).
+    gc_chaos: Option<(hyde_guard::Chaos, String)>,
     stats: StatCells,
     /// Scratch memo reused by [`Bdd::permute`] (cleared per call, never
     /// reallocated).
@@ -260,6 +287,8 @@ struct StatCells {
     cache_evictions: std::cell::Cell<u64>,
     unique_growths: std::cell::Cell<u64>,
     cache_growths: std::cell::Cell<u64>,
+    gc_runs: std::cell::Cell<u64>,
+    gc_reclaimed: std::cell::Cell<u64>,
 }
 
 impl Bdd {
@@ -309,6 +338,9 @@ impl Bdd {
             cache_pressure: 0,
             node_cap: None,
             exhausted: false,
+            free: Vec::new(),
+            gc_threshold: None,
+            gc_chaos: None,
             stats: StatCells::default(),
             permute_memo: HashMap::new(),
             sat_memo: RefCell::new(HashMap::new()),
@@ -320,9 +352,16 @@ impl Bdd {
         self.num_vars
     }
 
-    /// Total number of allocated nodes (including both terminals).
+    /// Total number of allocated node slots (including both terminals
+    /// and any dead slots awaiting reuse after a [`Bdd::gc`]).
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of in-use nodes: allocated slots minus the free list. This
+    /// is the count the node cap and the GC trigger are measured against.
+    pub fn live_len(&self) -> usize {
+        self.nodes.len() - self.free.len()
     }
 
     /// Whether only the terminals exist.
@@ -342,6 +381,8 @@ impl Bdd {
             cache_evictions: self.stats.cache_evictions.get(),
             unique_growths: self.stats.unique_growths.get(),
             cache_growths: self.stats.cache_growths.get(),
+            gc_runs: self.stats.gc_runs.get(),
+            gc_reclaimed: self.stats.gc_reclaimed.get(),
         }
     }
 
@@ -359,6 +400,8 @@ impl Bdd {
         self.stats.cache_evictions.set(0);
         self.stats.unique_growths.set(0);
         self.stats.cache_growths.set(0);
+        self.stats.gc_runs.set(0);
+        self.stats.gc_reclaimed.set(0);
     }
 
     /// Current unique-table bucket count (diagnostics/tests).
@@ -377,8 +420,18 @@ impl Bdd {
     /// for this and every subsequent allocation until the poison is
     /// cleared. Run capped work through [`Bdd::guarded`] to turn the
     /// poison into a typed [`hyde_guard::OutOfBudget`].
+    ///
+    /// Setting a cap also arms safe-point garbage collection at 3/4 of
+    /// the cap (unless a GC threshold was already configured), so capped
+    /// workloads that call [`Bdd::maybe_gc`] reclaim dead nodes before
+    /// the cap poisons the manager.
     pub fn set_node_cap(&mut self, cap: Option<usize>) {
         self.node_cap = cap;
+        if let Some(c) = cap {
+            if self.gc_threshold.is_none() {
+                self.gc_threshold = Some((c / 4).max(1) * 3);
+            }
+        }
     }
 
     /// The node cap, if one is set.
@@ -424,6 +477,144 @@ impl Bdd {
         }
     }
 
+    /// Configures the safe-point GC trigger (see [`Bdd::maybe_gc`]):
+    /// collect when the in-use node count reaches `threshold`. `None`
+    /// disables; `Some(0)` forces a collection at every safe point,
+    /// which the GC correctness tests use to prove collections are
+    /// semantically invisible.
+    pub fn set_gc_threshold(&mut self, threshold: Option<usize>) {
+        self.gc_threshold = threshold;
+    }
+
+    /// The current safe-point GC trigger, if armed.
+    pub fn gc_threshold(&self) -> Option<usize> {
+        self.gc_threshold
+    }
+
+    /// Arms the chaos hook inside the GC sweep: after a collection under
+    /// `chaos`, the site `bddgc:<ctx>` may deterministically poison the
+    /// manager, simulating an allocation failure inside node management.
+    /// The poison surfaces as a typed [`hyde_guard::OutOfBudget`] at the
+    /// enclosing [`Bdd::guarded`] boundary, so degradation ladders (and
+    /// the `hyde-bench --chaos` drills) exercise the GC path too.
+    pub fn set_gc_chaos(&mut self, chaos: hyde_guard::Chaos, ctx: &str) {
+        self.gc_chaos = Some((chaos, ctx.to_string()));
+    }
+
+    /// Collects garbage if the in-use node count has reached the
+    /// configured threshold (see [`Bdd::set_gc_threshold`]); returns the
+    /// number of nodes reclaimed (0 when no collection ran).
+    ///
+    /// Call this only at *safe points*: moments when `roots` is the
+    /// complete set of [`Ref`]s that must survive. Never call it while
+    /// intermediate results are held outside `roots` (e.g. mid-recursion
+    /// cofactors) — they would be swept and their indices reused.
+    ///
+    /// After a collection that reclaims less than half of the in-use
+    /// nodes, the threshold doubles (growth-pressure backoff) so mostly
+    /// -live managers stop paying for futile sweeps.
+    pub fn maybe_gc(&mut self, roots: &[Ref]) -> usize {
+        let Some(threshold) = self.gc_threshold else {
+            return 0;
+        };
+        if self.live_len() < threshold.max(2) {
+            return 0;
+        }
+        let reclaimed = self.gc(roots);
+        if self.live_len() * 2 > threshold {
+            self.gc_threshold = Some(threshold.saturating_mul(2));
+        }
+        reclaimed
+    }
+
+    /// Collects every node unreachable from `roots` (and the terminals):
+    /// dead slots go on the free list for reuse by `mk`, the unique table
+    /// is rebuilt from the survivors, and the operation cache plus the
+    /// permute/sat-count memos are invalidated (their entries may
+    /// reference swept nodes). Returns the number of nodes reclaimed.
+    ///
+    /// Live refs keep their indices — collections never move nodes — so
+    /// a GC is semantically invisible to any computation whose inputs are
+    /// all in `roots`. The same safe-point contract as [`Bdd::maybe_gc`]
+    /// applies.
+    pub fn gc(&mut self, roots: &[Ref]) -> usize {
+        // Mark phase: walk from the roots; terminals are always live.
+        let mut live = vec![false; self.nodes.len()];
+        live[0] = true;
+        live[1] = true;
+        let mut stack: Vec<u32> = Vec::new();
+        for r in roots {
+            let i = r.0 as usize;
+            if i < live.len() && !live[i] {
+                live[i] = true;
+                stack.push(r.0);
+            }
+        }
+        while let Some(i) = stack.pop() {
+            let n = self.nodes[i as usize];
+            for child in [n.lo.0, n.hi.0] {
+                if !live[child as usize] {
+                    live[child as usize] = true;
+                    stack.push(child);
+                }
+            }
+        }
+        // Sweep phase: dead slots become free-list entries. Already-dead
+        // slots (from an earlier collection) stay on the free list.
+        let mut reclaimed = 0usize;
+        for (i, node) in self.nodes.iter_mut().enumerate().skip(2) {
+            if live[i] || node.var == DEAD {
+                continue;
+            }
+            *node = Node {
+                var: DEAD,
+                lo: Ref::FALSE,
+                hi: Ref::FALSE,
+            };
+            self.free.push(i as u32);
+            reclaimed += 1;
+        }
+        // Rebuild the unique table from the survivors (capacity is kept:
+        // it is sized for the peak, and shrinking would force an
+        // immediate regrow on the next burst).
+        let mask = self.unique_mask;
+        for bucket in &mut self.unique {
+            *bucket = EMPTY;
+        }
+        self.unique_len = 0;
+        for (i, node) in self.nodes.iter().enumerate().skip(2) {
+            if node.var == DEAD {
+                continue;
+            }
+            let mut idx = mix3(node.var, node.lo.0, node.hi.0) as usize & mask;
+            while self.unique[idx] != EMPTY {
+                idx = (idx + 1) & mask;
+            }
+            self.unique[idx] = i as u32;
+            self.unique_len += 1;
+        }
+        // The op cache and memos may hold swept refs as keys or results:
+        // invalidate them wholesale.
+        for slot in &mut self.cache {
+            *slot = EMPTY_SLOT;
+        }
+        self.cache_pressure = 0;
+        self.permute_memo.clear();
+        self.sat_memo.borrow_mut().clear();
+        self.stats.gc_runs.set(self.stats.gc_runs.get() + 1);
+        self.stats
+            .gc_reclaimed
+            .set(self.stats.gc_reclaimed.get() + reclaimed as u64);
+        if let Some((chaos, ctx)) = &self.gc_chaos {
+            // Chaos site inside the sweep: a tripped site models the
+            // allocator failing during node management.
+            if chaos.trips(&format!("bddgc:{ctx}"), 4) {
+                self.exhausted = true;
+            }
+        }
+        reclaimed
+    }
+
     /// Iterates over the non-terminal nodes as `(index, var, lo, hi)`
     /// triples, in allocation order.
     ///
@@ -434,6 +625,7 @@ impl Bdd {
             .iter()
             .enumerate()
             .skip(2)
+            .filter(|(_, n)| n.var != DEAD)
             .map(|(i, n)| (i, n.var as usize, n.lo, n.hi))
     }
 
@@ -519,13 +711,19 @@ impl Bdd {
             .unique_probes
             .set(self.stats.unique_probes.get() + probes);
         if let Some(cap) = self.node_cap {
-            if self.nodes.len() >= cap {
+            if self.live_len() >= cap {
                 self.exhausted = true;
                 return Ref::FALSE;
             }
         }
-        let r = Ref(self.nodes.len() as u32);
-        self.nodes.push(Node { var, lo, hi });
+        let r = if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = Node { var, lo, hi };
+            Ref(slot)
+        } else {
+            let r = Ref(self.nodes.len() as u32);
+            self.nodes.push(Node { var, lo, hi });
+            r
+        };
         self.unique[idx] = r.0;
         self.unique_len += 1;
         if self.unique_len * 4 >= self.unique.len() * 3 {
@@ -1080,6 +1278,8 @@ impl Drop for Bdd {
         add(&GLOBAL_STATS.cache_evictions, s.cache_evictions);
         add(&GLOBAL_STATS.unique_growths, s.unique_growths);
         add(&GLOBAL_STATS.cache_growths, s.cache_growths);
+        add(&GLOBAL_STATS.gc_runs, s.gc_runs);
+        add(&GLOBAL_STATS.gc_reclaimed, s.gc_reclaimed);
         if !hyde_obs::enabled() {
             return;
         }
@@ -1093,6 +1293,8 @@ impl Drop for Bdd {
         hyde_obs::counter("bdd.cache_evictions", s.cache_evictions);
         hyde_obs::counter("bdd.unique_growths", s.unique_growths);
         hyde_obs::counter("bdd.cache_growths", s.cache_growths);
+        hyde_obs::counter("bdd.gc.runs", s.gc_runs);
+        hyde_obs::counter("bdd.gc.reclaimed", s.gc_reclaimed);
     }
 }
 
@@ -1174,6 +1376,141 @@ mod tests {
         assert_eq!(bdd.unique_capacity() > 1 << 4, s.unique_growths > 0);
         bdd.reset_stats();
         assert_eq!(bdd.stats().unique_growths, 0);
+    }
+
+    /// Reference function used by the GC tests: a mildly irregular
+    /// 8-variable function with plenty of intermediate garbage.
+    fn gc_workload(bdd: &mut Bdd) -> Ref {
+        let mut acc = bdd.zero();
+        for i in 0..8u32 {
+            let f = bdd.from_fn(|m| (m.wrapping_mul(2654435761) >> i) & 1 == 1);
+            acc = bdd.xor(acc, f);
+            let g = bdd.exists(acc, (i as usize) % 8);
+            acc = bdd.or(acc, g);
+        }
+        acc
+    }
+
+    #[test]
+    fn gc_reclaims_dead_nodes_and_preserves_semantics() {
+        let mut bdd = Bdd::new(8);
+        let root = gc_workload(&mut bdd);
+        let truth: Vec<bool> = (0..256).map(|m| bdd.eval(root, m)).collect();
+        let allocated = bdd.len();
+        let live = bdd.node_count(root) + 2;
+        assert!(allocated > live, "workload left no garbage to collect");
+        let reclaimed = bdd.gc(&[root]);
+        assert_eq!(reclaimed, allocated - live);
+        assert_eq!(bdd.live_len(), live);
+        assert_eq!(bdd.stats().gc_runs, 1);
+        assert_eq!(bdd.stats().gc_reclaimed, reclaimed as u64);
+        // The root still denotes the same function...
+        for (m, &want) in truth.iter().enumerate() {
+            assert_eq!(bdd.eval(root, m as u32), want, "minterm {m}");
+        }
+        // ...and the manager is fully usable: new work reuses dead slots
+        // without growing the node vector past its previous peak.
+        let a = bdd.var(3);
+        let again = bdd.and(root, a);
+        assert!(bdd.len() <= allocated);
+        assert_eq!(bdd.eval(again, 0b0000_1000), truth[0b0000_1000]);
+        assert!(!bdd.eval(again, 0));
+    }
+
+    #[test]
+    fn gc_forced_every_op_matches_never() {
+        // Byte-identical results with GC forced at every safe point vs.
+        // never collecting: collections must be semantically invisible.
+        let mut never = Bdd::new(8);
+        let clean = gc_workload(&mut never);
+        let expect: Vec<bool> = (0..256).map(|m| never.eval(clean, m)).collect();
+
+        let mut forced = Bdd::new(8);
+        forced.set_gc_threshold(Some(0));
+        let mut acc = forced.zero();
+        for i in 0..8u32 {
+            let f = forced.from_fn(|m| (m.wrapping_mul(2654435761) >> i) & 1 == 1);
+            acc = forced.xor(acc, f);
+            forced.maybe_gc(&[acc]);
+            let g = forced.exists(acc, (i as usize) % 8);
+            forced.maybe_gc(&[acc, g]);
+            acc = forced.or(acc, g);
+            forced.maybe_gc(&[acc]);
+        }
+        assert!(forced.stats().gc_runs >= 8, "forced mode never collected");
+        let got: Vec<bool> = (0..256).map(|m| forced.eval(acc, m)).collect();
+        assert_eq!(got, expect);
+        // Structural sanity after heavy collection: the audit iterator
+        // sees only live, well-formed nodes.
+        for (_, var, lo, hi) in forced.node_triples() {
+            assert!(var < 8, "dead or corrupt node leaked: var {var}");
+            assert_ne!(lo, hi);
+        }
+    }
+
+    #[test]
+    fn maybe_gc_honors_threshold_and_backs_off() {
+        let mut bdd = Bdd::new(8);
+        bdd.set_gc_threshold(Some(1 << 20));
+        let root = gc_workload(&mut bdd);
+        // Far below the threshold: no collection.
+        assert_eq!(bdd.maybe_gc(&[root]), 0);
+        assert_eq!(bdd.stats().gc_runs, 0);
+        // Tight threshold: collects, then doubles because most nodes
+        // survive relative to the tiny trigger.
+        bdd.set_gc_threshold(Some(2));
+        let reclaimed = bdd.maybe_gc(&[root]);
+        assert!(reclaimed > 0);
+        assert_eq!(bdd.gc_threshold(), Some(4));
+    }
+
+    #[test]
+    fn node_cap_measures_live_nodes_after_gc() {
+        let mut bdd = Bdd::new(8);
+        let root = gc_workload(&mut bdd);
+        let live = bdd.node_count(root) + 2;
+        // A cap below the allocated peak but above the live count: dead
+        // slots must not count against it once collected.
+        bdd.set_node_cap(Some(live + 8));
+        assert!(bdd.len() > live + 8, "peak should exceed the cap");
+        bdd.gc(&[root]);
+        let a = bdd.var(5);
+        let r = bdd.guarded(|b| {
+            let x = b.and(root, a);
+            b.or(x, a)
+        });
+        assert!(r.is_ok(), "post-GC allocation under the cap failed: {r:?}");
+    }
+
+    #[test]
+    fn gc_chaos_site_poisons_deterministically() {
+        // Find a seed whose sweep site trips, then check the poison is
+        // surfaced as a typed budget error by `guarded`.
+        let ctx = "testckt";
+        let seed = (0..u64::MAX)
+            .find(|&s| hyde_guard::Chaos::new(s).trips(&format!("bddgc:{ctx}"), 4))
+            .unwrap();
+        let mut bdd = Bdd::new(8);
+        bdd.set_gc_chaos(hyde_guard::Chaos::new(seed), ctx);
+        let err = bdd
+            .guarded(|b| {
+                let root = gc_workload(b);
+                b.gc(&[root]);
+                root
+            })
+            .unwrap_err();
+        assert_eq!(err.resource, hyde_guard::Resource::BddNodes);
+        // A seed that does not trip leaves the collection clean.
+        let calm = (0..u64::MAX)
+            .find(|&s| !hyde_guard::Chaos::new(s).trips(&format!("bddgc:{ctx}"), 4))
+            .unwrap();
+        let mut bdd = Bdd::new(8);
+        bdd.set_gc_chaos(hyde_guard::Chaos::new(calm), ctx);
+        let ok = bdd.guarded(|b| {
+            let root = gc_workload(b);
+            b.gc(&[root]);
+        });
+        assert!(ok.is_ok());
     }
 
     #[test]

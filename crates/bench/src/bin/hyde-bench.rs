@@ -29,8 +29,8 @@ Options:
                      (default: hot_path)
   --out <FILE>       explicit output path
   --smoke            3-circuit subset (rd73, misex1, z4ml) instead of all 25;
-                     also soft-checks per-circuit wall time against the
-                     committed BENCH_hot_path.json baseline when present
+                     also gates per-circuit wall time against the committed
+                     BENCH_smoke.json baseline when present (fails >1.3x + 2ms)
   --circuits <LIST>  comma-separated circuit names to run (overrides --smoke)
   --k <K>            LUT size (default 5)
   --baseline <FILE>  embed FILE (an earlier hyde-bench JSON) as the baseline
@@ -146,25 +146,46 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     Ok(Some(opts))
 }
 
-/// Soft overhead guard for `--smoke`: compares the smoke circuits' wall
-/// times against the committed full-suite baseline (PR 3's
-/// `BENCH_hot_path.json`). Logs, never fails — smoke runs on shared CI
-/// hardware, so this is a tripwire for gross regressions (for example
-/// tracing overhead leaking into the untraced path), not a gate.
-fn smoke_overhead_check(run: &hyde_bench::perf::BenchRun) {
-    let Ok(baseline) = std::fs::read_to_string("BENCH_hot_path.json") else {
-        eprintln!("hyde-bench: no BENCH_hot_path.json baseline; skipping overhead check");
-        return;
+/// Hard overhead gate for `--smoke`: every smoke circuit's wall time is
+/// compared against the committed `BENCH_smoke.json`, and any circuit
+/// more than 1.3× slower fails the run. Sub-millisecond circuits sit
+/// below timer and scheduler jitter, so a pure ratio would flake on
+/// noise alone; a 2ms absolute slack on top of the ratio keeps the gate
+/// quiet there while still catching the regression class this guards
+/// against: tracing or caching overhead leaking into the untraced hot
+/// path.
+///
+/// Returns `false` — failing the run — when a circuit exceeds the
+/// margin. A missing or incomplete baseline only warns: regenerating
+/// `BENCH_smoke.json` must not require passing the gate it feeds.
+fn smoke_overhead_check(run: &hyde_bench::perf::BenchRun) -> bool {
+    const MAX_RATIO: f64 = 1.3;
+    const SLACK_MS: f64 = 2.0;
+    let Ok(baseline) = std::fs::read_to_string("BENCH_smoke.json") else {
+        eprintln!("hyde-bench: no BENCH_smoke.json baseline; skipping overhead gate");
+        return true;
     };
-    let mut base_ms = 0.0;
-    let mut now_ms = 0.0;
+    let mut ok = true;
     for s in &run.samples {
         match circuit_wall_ms(&baseline, &s.name) {
-            Some(b) => {
-                base_ms += b;
-                now_ms += s.wall_ms;
+            Some(base) if base > 0.0 => {
+                let ratio = s.wall_ms / base;
+                eprintln!(
+                    "hyde-bench: smoke gate: {:<8} {:>7.1}ms vs baseline {:.1}ms ({ratio:.2}x)",
+                    s.name, s.wall_ms, base
+                );
+                if s.wall_ms > base * MAX_RATIO + SLACK_MS {
+                    eprintln!(
+                        "hyde-bench: FAIL: '{}' is {:.0}% slower than the committed \
+                         BENCH_smoke.json (hard gate at {MAX_RATIO}x + {SLACK_MS}ms; \
+                         see DESIGN.md \"Observability\" for methodology)",
+                        s.name,
+                        (ratio - 1.0) * 100.0
+                    );
+                    ok = false;
+                }
             }
-            None => {
+            _ => {
                 eprintln!(
                     "hyde-bench: circuit '{}' missing from baseline; skipping it",
                     s.name
@@ -172,20 +193,7 @@ fn smoke_overhead_check(run: &hyde_bench::perf::BenchRun) {
             }
         }
     }
-    if base_ms <= 0.0 || now_ms <= 0.0 {
-        return;
-    }
-    let ratio = now_ms / base_ms;
-    eprintln!(
-        "hyde-bench: smoke overhead check: {now_ms:.1}ms vs baseline {base_ms:.1}ms ({ratio:.2}x)"
-    );
-    if ratio > 1.10 {
-        eprintln!(
-            "hyde-bench: WARNING: smoke subset is {:.0}% slower than the PR 3 baseline \
-             (soft check only; see DESIGN.md \"Observability\" for methodology)",
-            (ratio - 1.0) * 100.0
-        );
-    }
+    ok
 }
 
 /// The `--chaos` drill: arm deterministic fault injection, run every
@@ -350,8 +358,8 @@ fn main() -> ExitCode {
             );
         }
     }
-    if opts.smoke && opts.circuits.is_none() {
-        smoke_overhead_check(&run);
+    if opts.smoke && opts.circuits.is_none() && !smoke_overhead_check(&run) {
+        return ExitCode::FAILURE;
     }
     if let Some(path) = &trace_path {
         match hyde_obs::write_artifacts(path) {

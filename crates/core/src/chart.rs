@@ -9,7 +9,6 @@
 use crate::classes::CompatibleClasses;
 use crate::CoreError;
 use hyde_logic::{Isf, TruthTable};
-use std::collections::HashMap;
 
 /// A materialized decomposition chart for a completely specified function.
 ///
@@ -191,18 +190,382 @@ impl IsfChart {
 
 /// Counts compatible classes of `f` under `bound` without keeping the chart.
 ///
-/// This is the hot path of λ-set selection; it hashes column patterns.
+/// This is the hot path of λ-set selection. It never materializes column
+/// truth tables: the packed counter permutes the raw table words so each
+/// column becomes a contiguous bit run, then sorts and dedups the runs
+/// (see [`class_count_with`] for the allocation-free variant).
 ///
 /// # Errors
 ///
 /// Same conditions as [`DecompositionChart::new`].
 pub fn class_count(f: &TruthTable, bound: &[usize]) -> Result<usize, CoreError> {
-    let (bound, free) = split_bound_free(f.vars(), bound)?;
-    let mut distinct: HashMap<TruthTable, ()> = HashMap::new();
-    for col in column_patterns(f, &bound, &free) {
-        distinct.insert(col, ());
+    class_count_with(f, bound, &mut ClassCountScratch::new())
+}
+
+/// Reusable buffers for [`class_count_with`]: two ping-pong word arrays
+/// for the in-place bit permutation and a key buffer for sub-word column
+/// dedup. One scratch per worker turns the candidate-scoring loop
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct ClassCountScratch {
+    a: Vec<u64>,
+    b: Vec<u64>,
+    keys: Vec<u64>,
+    order: Vec<u32>,
+}
+
+impl ClassCountScratch {
+    /// Empty scratch; buffers grow to the largest function scored.
+    pub fn new() -> Self {
+        Self::default()
     }
-    Ok(distinct.len())
+}
+
+/// [`class_count`] with caller-provided scratch buffers.
+///
+/// The column multiset of a chart is invariant under any relabeling of
+/// columns and rows, so the counter is free to pick whatever bound-var
+/// order makes the word-level gather cheapest; only *distinctness* is
+/// compared, never column indices.
+///
+/// # Errors
+///
+/// Same conditions as [`DecompositionChart::new`].
+pub fn class_count_with(
+    f: &TruthTable,
+    bound: &[usize],
+    scratch: &mut ClassCountScratch,
+) -> Result<usize, CoreError> {
+    let (bound, _free) = split_bound_free(f.vars(), bound)?;
+    let n = f.vars();
+    if n <= 6 {
+        return Ok(class_count_small(f, &bound));
+    }
+    let words = f.as_words();
+    scratch.a.clear();
+    scratch.a.extend_from_slice(words);
+    scratch.b.resize(words.len(), 0);
+    // Promote each bound variable to the top of the variable order,
+    // highest original position first (promotion only shifts positions
+    // *above* the promoted variable, so lower bound positions stay
+    // valid). Afterwards the table is 2^k contiguous blocks, one column
+    // per block, with the free variables in ascending row order.
+    let mut desc: Vec<usize> = bound.clone();
+    desc.sort_unstable_by(|x, y| y.cmp(x));
+    let mut src = &mut scratch.a;
+    let mut dst = &mut scratch.b;
+    for &pos in &desc {
+        promote_to_top(src, dst, pos);
+        std::mem::swap(&mut src, &mut dst);
+    }
+    let k = bound.len();
+    let row_bits = n - k;
+    if row_bits >= 6 {
+        // Whole-word columns: sort column indices by their word run.
+        let cw = 1usize << (row_bits - 6);
+        scratch.order.clear();
+        scratch.order.extend(0..(1u32 << k));
+        let cols = &*src;
+        scratch.order.sort_unstable_by(|&x, &y| {
+            cols[x as usize * cw..][..cw].cmp(&cols[y as usize * cw..][..cw])
+        });
+        let mut distinct = 1usize;
+        for w in scratch.order.windows(2) {
+            if cols[w[0] as usize * cw..][..cw] != cols[w[1] as usize * cw..][..cw] {
+                distinct += 1;
+            }
+        }
+        Ok(distinct)
+    } else {
+        // Sub-word columns: extract each 2^row_bits-bit run into a key.
+        let mask = (1u64 << (1usize << row_bits)) - 1;
+        scratch.keys.clear();
+        for c in 0..1usize << k {
+            let bitpos = c << row_bits;
+            scratch
+                .keys
+                .push((src[bitpos >> 6] >> (bitpos & 63)) & mask);
+        }
+        scratch.keys.sort_unstable();
+        scratch.keys.dedup();
+        Ok(scratch.keys.len())
+    }
+}
+
+/// Cheap lower bound on [`class_count`]: the number of distinct column
+/// *prefixes*, each column restricted to the rows where every free
+/// variable at position `>= 6` is zero (at most one word-segment per
+/// column, extracted in place — no column materialization).
+///
+/// Distinct prefixes imply distinct columns, so the bound never exceeds
+/// the exact count, and for functions whose free variables all live in
+/// the word (`<= 6` of them, none at position `>= 6` bound-free) the
+/// prefix *is* the whole column and the bound is exact. Candidate-
+/// ranking loops use it to skip exact counting for bound sets provably
+/// worse than a running best: the floor costs one strided word read per
+/// high-bound assignment instead of a full table permutation.
+///
+/// # Errors
+///
+/// Same conditions as [`DecompositionChart::new`].
+pub fn class_floor_with(
+    f: &TruthTable,
+    bound: &[usize],
+    scratch: &mut ClassCountScratch,
+) -> Result<usize, CoreError> {
+    let (bound, _free) = split_bound_free(f.vars(), bound)?;
+    let n = f.vars();
+    if n <= 6 {
+        return Ok(class_count_small(f, &bound));
+    }
+    let words = f.as_words();
+    // Split the bound set at the word boundary: in-word variables
+    // (`< 6`) are brought to the top of their word with delta-swaps so a
+    // column's prefix becomes one contiguous segment; word-index
+    // variables (`>= 6`) select strided words, enumerated with the
+    // carry-propagation submask walk (no per-bit scatter).
+    let mut bl: Vec<usize> = bound.iter().copied().filter(|&v| v < 6).collect();
+    bl.sort_unstable_by(|x, y| y.cmp(x));
+    let kl = bl.len();
+    let kh = bound.len() - kl;
+    let mut high_mask = 0usize;
+    for &v in &bound {
+        if v >= 6 {
+            high_mask |= 1 << (v - 6);
+        }
+    }
+    let sw = 64usize >> kl;
+    let seg_mask = if kl == 0 { u64::MAX } else { (1u64 << sw) - 1 };
+    scratch.keys.clear();
+    let mut ch_bits = 0usize;
+    for _ in 0..1usize << kh {
+        let mut w = words[ch_bits];
+        for &p in &bl {
+            let (lo, hi) = unshuffle64(w, p);
+            w = lo | (hi << 32);
+        }
+        for cl in 0..1usize << kl {
+            scratch.keys.push((w >> (cl * sw)) & seg_mask);
+        }
+        ch_bits = ch_bits.wrapping_sub(high_mask) & high_mask;
+    }
+    scratch.keys.sort_unstable();
+    scratch.keys.dedup();
+    Ok(scratch.keys.len())
+}
+
+/// Exact candidate scorer that amortizes table permutations across a
+/// lexicographically ordered candidate stream.
+///
+/// [`class_count_with`] promotes each bound variable with its own pass
+/// over the table, so scoring `C(n, k)` candidates re-derives the same
+/// partial permutations over and over. This scorer keeps a stack of
+/// intermediate tables, one per promoted prefix variable (ascending
+/// order, each variable's position adjusted for the prefix already
+/// above it), and on the next candidate only redoes the passes past the
+/// longest shared sorted-prefix — amortized ~1 pass per candidate on a
+/// lexicographic stream instead of `k`. Column dedup folds each column
+/// into two independent 64-bit hash streams in one sequential pass and
+/// counts distinct 128-bit digests: equal columns always digest equal,
+/// and two *distinct* columns collide only if both streams collide
+/// (~`2^-128` per pair), so the count can understate [`class_count`]
+/// only with negligible probability — and deterministically, since the
+/// digests are a fixed function of the table. Ranking loops that need a
+/// certified count recompute the selected winner with [`class_count`].
+pub struct PrefixScorer<'f> {
+    f: &'f TruthTable,
+    /// Promoted prefix variables, ascending original positions.
+    prefix: Vec<usize>,
+    /// `bufs[j]` holds the table with `prefix[..=j]` promoted to the top.
+    bufs: Vec<Vec<u64>>,
+    sorted: Vec<usize>,
+    keys: Vec<u64>,
+    digests: Vec<u128>,
+}
+
+impl<'f> PrefixScorer<'f> {
+    /// A scorer for candidates over `f`; buffers grow on first use.
+    pub fn new(f: &'f TruthTable) -> Self {
+        PrefixScorer {
+            f,
+            prefix: Vec::new(),
+            bufs: Vec::new(),
+            sorted: Vec::new(),
+            keys: Vec::new(),
+            digests: Vec::new(),
+        }
+    }
+
+    /// Compatible-class count of `bound`: equal to
+    /// [`class_count`]`(f, bound)` unless two distinct columns collide in
+    /// both hash streams (probability ~`2^-128` per pair, and a fixed
+    /// function of `f` — the result is identical on every run and thread
+    /// count either way).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DecompositionChart::new`].
+    pub fn score(&mut self, bound: &[usize]) -> Result<usize, CoreError> {
+        let (bound, _free) = split_bound_free(self.f.vars(), bound)?;
+        let n = self.f.vars();
+        if n <= 6 {
+            return Ok(class_count_small(self.f, &bound));
+        }
+        self.sorted.clear();
+        self.sorted.extend_from_slice(&bound);
+        self.sorted.sort_unstable();
+        let k = self.sorted.len();
+        let words = self.f.as_words();
+        // Reuse the promotion stack up to the longest shared prefix.
+        let mut shared = 0;
+        while shared < self.prefix.len() && shared < k && self.prefix[shared] == self.sorted[shared]
+        {
+            shared += 1;
+        }
+        self.prefix.truncate(shared);
+        while self.bufs.len() < k {
+            self.bufs.push(vec![0; words.len()]);
+        }
+        for j in shared..k {
+            let v = self.sorted[j];
+            // Promoting ascending: the `j` prefix variables already at
+            // the top all started below `v`, so `v` sits `j` lower.
+            let pos = v - j;
+            if j == 0 {
+                promote_to_top(words, &mut self.bufs[0], pos);
+            } else {
+                let (lo, hi) = self.bufs.split_at_mut(j);
+                promote_to_top(&lo[j - 1], &mut hi[0], pos);
+            }
+            self.prefix.push(v);
+        }
+        let src = &self.bufs[k - 1];
+        let row_bits = n - k;
+        if row_bits < 6 {
+            // Sub-word columns: extract each run into a key directly.
+            let mask = (1u64 << (1usize << row_bits)) - 1;
+            self.keys.clear();
+            for c in 0..1usize << k {
+                let bitpos = c << row_bits;
+                self.keys.push((src[bitpos >> 6] >> (bitpos & 63)) & mask);
+            }
+            self.keys.sort_unstable();
+            self.keys.dedup();
+            return Ok(self.keys.len());
+        }
+        // Whole-word columns: fold each column's word run into two
+        // independent 64-bit streams (FNV-1a and a Murmur-constant
+        // variant) and count distinct 128-bit digests.
+        let cw = 1usize << (row_bits - 6);
+        let cols = 1usize << k;
+        self.digests.clear();
+        for c in 0..cols {
+            let mut h1 = 0xcbf2_9ce4_8422_2325u64;
+            let mut h2 = 0x9e37_79b9_7f4a_7c15u64;
+            for &w in &src[c * cw..(c + 1) * cw] {
+                h1 = (h1 ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+                h2 = (h2 ^ w).wrapping_mul(0xff51_afd7_ed55_8ccd);
+            }
+            self.digests.push(u128::from(h1) << 64 | u128::from(h2));
+        }
+        self.digests.sort_unstable();
+        self.digests.dedup();
+        Ok(self.digests.len())
+    }
+}
+
+/// Naive column extraction for single-word functions (`n <= 6`): at most
+/// 64 bit probes total, cheaper than any setup.
+fn class_count_small(f: &TruthTable, bound: &[usize]) -> usize {
+    let n = f.vars();
+    let free: Vec<usize> = (0..n).filter(|v| !bound.contains(v)).collect();
+    let mut keys: Vec<u64> = Vec::with_capacity(1 << bound.len());
+    for c in 0..1u32 << bound.len() {
+        let mut key = 0u64;
+        for r in 0..1u32 << free.len() {
+            let mut m = 0u32;
+            for (i, &v) in bound.iter().enumerate() {
+                m |= (c >> i & 1) << v;
+            }
+            for (i, &v) in free.iter().enumerate() {
+                m |= (r >> i & 1) << v;
+            }
+            key |= u64::from(f.eval(m)) << r;
+        }
+        keys.push(key);
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    keys.len()
+}
+
+/// Reorders `src` (a `2^n`-bit table, `n >= 7`) into `dst` so the
+/// variable at `pos` becomes the top (most significant) index bit, with
+/// all other variables keeping their relative order. One linear pass:
+/// block copies when `pos >= 6`, word-level perfect unshuffles below.
+pub(crate) fn promote_to_top(src: &[u64], dst: &mut [u64], pos: usize) {
+    let half = src.len() / 2;
+    if pos >= 6 {
+        let stride = 1usize << (pos - 6);
+        let mut out = 0;
+        let mut i = 0;
+        while i < src.len() {
+            dst[out..out + stride].copy_from_slice(&src[i..i + stride]);
+            dst[half + out..half + out + stride].copy_from_slice(&src[i + stride..i + 2 * stride]);
+            out += stride;
+            i += 2 * stride;
+        }
+    } else {
+        for j in 0..half {
+            let (l0, h0) = unshuffle64(src[2 * j], pos);
+            let (l1, h1) = unshuffle64(src[2 * j + 1], pos);
+            dst[j] = l0 | (l1 << 32);
+            dst[half + j] = h0 | (h1 << 32);
+        }
+    }
+}
+
+/// Delta-swap mask for the perfect-unshuffle step with shift `s`: bits
+/// `i` with `i mod 4s` in `[s, 2s)` (Hacker's Delight 7-2, generalized
+/// to 64 bits and arbitrary power-of-two group sizes).
+const fn unshuffle_mask(s: u32) -> u64 {
+    let mut m = 0u64;
+    let mut i = 0u32;
+    while i < 64 {
+        let r = i % (4 * s);
+        if r >= s && r < 2 * s {
+            m |= 1u64 << i;
+        }
+        i += 1;
+    }
+    m
+}
+
+const UNSHUFFLE_MASKS: [u64; 5] = [
+    unshuffle_mask(1),
+    unshuffle_mask(2),
+    unshuffle_mask(4),
+    unshuffle_mask(8),
+    unshuffle_mask(16),
+];
+
+/// Splits `w` into `(lo, hi)`: `lo` packs the bit groups of size
+/// `2^pos` at even group indices into the low 32 bits (order preserved),
+/// `hi` the odd group indices. `pos` must be in `0..6`.
+#[inline]
+fn unshuffle64(w: u64, pos: usize) -> (u64, u64) {
+    if pos >= 5 {
+        return (w & 0xFFFF_FFFF, w >> 32);
+    }
+    let mut x = w;
+    let mut s = 1u32 << pos;
+    while s < 32 {
+        let m = UNSHUFFLE_MASKS[s.trailing_zeros() as usize];
+        let t = (x ^ (x >> s)) & m;
+        x ^= t ^ (t << s);
+        s <<= 1;
+    }
+    (x & 0xFFFF_FFFF, x >> 32)
 }
 
 #[cfg(test)]
@@ -295,6 +658,203 @@ mod tests {
         let f = Isf::completely_specified(on);
         let chart = IsfChart::new(&f, &[0]).unwrap();
         assert!(!chart.columns_compatible(0, 1));
+    }
+
+    /// Reference counter: the original materializing implementation.
+    fn class_count_naive(f: &TruthTable, bound: &[usize]) -> usize {
+        let (bound, free) = split_bound_free(f.vars(), bound).unwrap();
+        let mut distinct: std::collections::HashMap<TruthTable, ()> =
+            std::collections::HashMap::new();
+        for col in column_patterns(f, &bound, &free) {
+            distinct.insert(col, ());
+        }
+        distinct.len()
+    }
+
+    #[test]
+    fn packed_counter_matches_naive_reference() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE);
+        let mut scratch = ClassCountScratch::new();
+        let bounds: &[&[usize]] = &[
+            &[0],
+            &[0, 1],
+            &[0, 1, 2],
+            &[1, 3, 5],
+            &[0, 2, 4, 6],
+            &[0, 1, 2, 3, 4],
+            &[2, 5, 6, 7],
+            &[6, 7],
+            &[0, 7],
+        ];
+        for n in 7..=10 {
+            for _ in 0..6 {
+                let f = TruthTable::random(n, &mut rng);
+                for bound in bounds {
+                    if bound.iter().any(|&v| v >= n) || bound.len() >= n {
+                        continue;
+                    }
+                    assert_eq!(
+                        class_count_with(&f, bound, &mut scratch).unwrap(),
+                        class_count_naive(&f, bound),
+                        "n={n} bound {bound:?}"
+                    );
+                }
+            }
+        }
+        // Structured functions too (naive-random charts are mostly full).
+        let parity = TruthTable::from_fn(9, |m| m.count_ones() % 2 == 1);
+        assert_eq!(
+            class_count_with(&parity, &[0, 3, 8], &mut scratch).unwrap(),
+            2
+        );
+        let f = (TruthTable::var(8, 0) & TruthTable::var(8, 1))
+            | (TruthTable::var(8, 6) & TruthTable::var(8, 7));
+        assert_eq!(
+            class_count_with(&f, &[0, 1], &mut scratch).unwrap(),
+            class_count_naive(&f, &[0, 1])
+        );
+    }
+
+    #[test]
+    fn packed_counter_handles_subword_and_whole_word_rows() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut scratch = ClassCountScratch::new();
+        let f = TruthTable::random(8, &mut rng);
+        // 5 bound vars -> 8-bit rows (sub-word path).
+        let b5 = [0usize, 2, 4, 5, 7];
+        assert_eq!(
+            class_count_with(&f, &b5, &mut scratch).unwrap(),
+            class_count_naive(&f, &b5)
+        );
+        // 2 bound vars -> 64-bit rows (whole-word path).
+        let b2 = [3usize, 4];
+        assert_eq!(
+            class_count_with(&f, &b2, &mut scratch).unwrap(),
+            class_count_naive(&f, &b2)
+        );
+    }
+
+    #[test]
+    fn unshuffle_matches_bitwise_reference() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for pos in 0..6usize {
+            let g = 1usize << pos;
+            for _ in 0..50 {
+                let w = TruthTable::random(6, &mut rng).as_words()[0];
+                let (lo, hi) = unshuffle64(w, pos);
+                let (mut rlo, mut rhi) = (0u64, 0u64);
+                let (mut nlo, mut nhi) = (0usize, 0usize);
+                for i in 0..64 {
+                    let bit = w >> i & 1;
+                    if (i / g).is_multiple_of(2) {
+                        rlo |= bit << nlo;
+                        nlo += 1;
+                    } else {
+                        rhi |= bit << nhi;
+                        nhi += 1;
+                    }
+                }
+                assert_eq!((lo, hi), (rlo, rhi), "pos {pos} word {w:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn floor_never_exceeds_exact_count() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE);
+        let mut scratch = ClassCountScratch::new();
+        let mut exact_scratch = ClassCountScratch::new();
+        for n in [4usize, 7, 8, 9, 10] {
+            for _ in 0..8 {
+                let f = TruthTable::random(n, &mut rng);
+                for k in [2usize, 3, 5] {
+                    if k >= n {
+                        continue;
+                    }
+                    // Random bound set mixing in-word (<6) and word-index
+                    // (>=6) variables — both gather paths of the floor.
+                    let mut vars: Vec<usize> = (0..n).collect();
+                    vars.shuffle(&mut rng);
+                    let bound: Vec<usize> = vars[..k].to_vec();
+                    let floor = class_floor_with(&f, &bound, &mut scratch).unwrap();
+                    let exact = class_count_with(&f, &bound, &mut exact_scratch).unwrap();
+                    assert!(floor <= exact, "n {n} bound {bound:?}: {floor} > {exact}");
+                    // Every word-index variable bound => single-word
+                    // columns => the prefix is the whole column.
+                    let kh = bound.iter().filter(|&&v| v >= 6).count();
+                    if n > 6 && kh == n - 6 {
+                        assert_eq!(floor, exact, "n {n} bound {bound:?}");
+                    }
+                }
+            }
+        }
+        // Structured functions exercise heavy column duplication.
+        let g = (TruthTable::var(9, 0) & TruthTable::var(9, 7)) ^ TruthTable::var(9, 3);
+        for bound in [vec![0, 7], vec![1, 2, 4], vec![0, 3, 7, 8], vec![5, 6]] {
+            let floor = class_floor_with(&g, &bound, &mut scratch).unwrap();
+            let exact = class_count_with(&g, &bound, &mut exact_scratch).unwrap();
+            assert!(floor <= exact, "structured bound {bound:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_scorer_matches_class_count_in_any_order() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+        for n in [5usize, 7, 9, 11] {
+            let f = TruthTable::random(n, &mut rng);
+            let mut scorer = PrefixScorer::new(&f);
+            let mut scratch = ClassCountScratch::new();
+            // Lexicographic stream (maximal prefix reuse), then a shuffled
+            // stream (stack constantly invalidated) — both must agree.
+            for k in [2usize, 3, 4] {
+                if k >= n {
+                    continue;
+                }
+                let vars: Vec<usize> = (0..n).collect();
+                let mut cands: Vec<Vec<usize>> = Vec::new();
+                for _ in 0..20 {
+                    let mut v = vars.clone();
+                    v.shuffle(&mut rng);
+                    let mut b = v[..k].to_vec();
+                    b.sort_unstable();
+                    cands.push(b);
+                }
+                let mut lex = cands.clone();
+                lex.sort();
+                for c in lex.iter().chain(cands.iter()) {
+                    assert_eq!(
+                        scorer.score(c).unwrap(),
+                        class_count_with(&f, c, &mut scratch).unwrap(),
+                        "n {n} bound {c:?}"
+                    );
+                }
+            }
+        }
+        // Structured function: heavy column duplication means most
+        // digests land in equal runs.
+        let g = (TruthTable::var(9, 0) & TruthTable::var(9, 7)) ^ TruthTable::var(9, 3);
+        let mut scorer = PrefixScorer::new(&g);
+        let mut scratch = ClassCountScratch::new();
+        for bound in [
+            vec![0, 7],
+            vec![1, 2, 4],
+            vec![0, 3, 7, 8],
+            vec![5, 6],
+            vec![0, 1, 2],
+        ] {
+            assert_eq!(
+                scorer.score(&bound).unwrap(),
+                class_count_with(&g, &bound, &mut scratch).unwrap(),
+                "structured bound {bound:?}"
+            );
+        }
     }
 
     #[test]

@@ -149,6 +149,24 @@ pub fn decompose_step_budgeted(
     k: usize,
     budget: &hyde_guard::Budget,
 ) -> Result<Decomposition, CoreError> {
+    decompose_step_with(f, bound, encoder, k, budget, None)
+}
+
+/// Like [`decompose_step_budgeted`], with an optional shared NPN search
+/// memo forwarded to encoders that run internal λ-set searches (the HYDE
+/// encoder). `None` behaves exactly like [`decompose_step_budgeted`].
+///
+/// # Errors
+///
+/// As [`decompose_step_budgeted`].
+pub fn decompose_step_with(
+    f: &TruthTable,
+    bound: &[usize],
+    encoder: &EncoderKind,
+    k: usize,
+    budget: &hyde_guard::Budget,
+    cache: Option<&std::sync::Arc<crate::dcache::DecompCache>>,
+) -> Result<Decomposition, CoreError> {
     let _obs = hyde_obs::span!("decompose.step");
     hyde_obs::counter("decompose.steps", 1);
     let chart = {
@@ -161,6 +179,9 @@ pub fn decompose_step_budgeted(
         let _obs = hyde_obs::span!("encoding.encode");
         let mut enc = encoder.build();
         enc.set_budget(*budget);
+        if let Some(cache) = cache {
+            enc.set_decomp_cache(cache.clone());
+        }
         enc.encode(classes, k)?
     };
     let alphas = build_alphas(classes.class_map(), &codes, bound.len());
@@ -230,6 +251,9 @@ pub struct Decomposer {
     /// Chaos site context (usually the circuit name); combined with the
     /// node prefix it keys injection deterministically.
     chaos_ctx: String,
+    /// Shared NPN-keyed search memo, forwarded to the partitioner and the
+    /// encoder at every step (see [`crate::dcache`]).
+    cache: Option<std::sync::Arc<crate::dcache::DecompCache>>,
 }
 
 impl Decomposer {
@@ -247,6 +271,7 @@ impl Decomposer {
             budget: hyde_guard::Budget::unlimited(),
             chaos: None,
             chaos_ctx: String::new(),
+            cache: None,
         }
     }
 
@@ -270,6 +295,14 @@ impl Decomposer {
     pub fn with_chaos(mut self, chaos: Option<hyde_guard::Chaos>, ctx: &str) -> Self {
         self.chaos = chaos;
         self.chaos_ctx = ctx.to_string();
+        self
+    }
+
+    /// Attaches a shared NPN-keyed search memo: λ-set searches at every
+    /// recursion level (and inside the HYDE encoder) are answered from
+    /// the cache when possible. `None` disables memoization.
+    pub fn with_cache(mut self, cache: Option<std::sync::Arc<crate::dcache::DecompCache>>) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -375,7 +408,11 @@ impl Decomposer {
         // Choose a λ set of size k (classes must fit in < k bits to make
         // progress: t + (n-k) < n). Prefer bound sets avoiding pseudo
         // signals; fall back to the unrestricted search.
-        let vp = self.partitioner.clone().with_budget(&self.budget);
+        let vp = self
+            .partitioner
+            .clone()
+            .with_budget(&self.budget)
+            .with_cache_opt(self.cache.clone());
         let clean: Vec<usize> = (0..f.vars())
             .filter(|&v| !avoid.contains(&signals[v]))
             .collect();
@@ -445,7 +482,14 @@ impl Decomposer {
                 .map_err(CoreError::from);
         }
         stats.steps += 1;
-        let d = decompose_step_budgeted(f, &bound, &self.encoder, self.k, &self.budget)?;
+        let d = decompose_step_with(
+            f,
+            &bound,
+            &self.encoder,
+            self.k,
+            &self.budget,
+            self.cache.as_ref(),
+        )?;
         if !d.verify(f) {
             return Err(CoreError::Verification(format!(
                 "recomposition mismatch at node {prefix}"
@@ -528,7 +572,17 @@ pub fn decompose_bdd_to_network(
     let n = bdd.num_vars();
     let mut net = Network::new(name);
     let signals: Vec<NodeId> = (0..n).map(|i| net.add_input(&format!("x{i}"))).collect();
-    let out = bdd_rec(bdd, f, k, &mut net, &signals, name, candidate_budget, 0)?;
+    let out = bdd_rec(
+        bdd,
+        f,
+        k,
+        &mut net,
+        &signals,
+        name,
+        candidate_budget,
+        0,
+        &[],
+    )?;
     net.mark_output(name, out);
     net.sweep();
     Ok(net)
@@ -544,9 +598,18 @@ fn bdd_rec(
     prefix: &str,
     budget: usize,
     depth: usize,
+    keep: &[hyde_bdd::Ref],
 ) -> Result<NodeId, CoreError> {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
+    // Recursion entry is a GC safe point: the only live refs in this
+    // manager are `f` and the caller-held `keep` roots (pending Shannon
+    // siblings). No-op unless a threshold is armed (see set_gc_threshold).
+    {
+        let mut roots = keep.to_vec();
+        roots.push(f);
+        bdd.maybe_gc(&roots);
+    }
     let support = bdd.support(f);
     if support.is_empty() {
         return Ok(net.add_constant(&format!("{prefix}_const"), f == bdd.one()));
@@ -590,6 +653,11 @@ fn bdd_rec(
         let var = support[0];
         let f0 = bdd.cofactor(f, var, false);
         let f1 = bdd.cofactor(f, var, true);
+        // The low recursion must keep f1 alive (it is still pending in
+        // this frame); the high recursion inherits only the caller's
+        // roots — f and f0 are dead by then.
+        let mut keep_lo = keep.to_vec();
+        keep_lo.push(f1);
         let n0 = bdd_rec(
             bdd,
             f0,
@@ -599,6 +667,7 @@ fn bdd_rec(
             &format!("{prefix}_lo"),
             budget,
             depth + 1,
+            &keep_lo,
         )?;
         let n1 = bdd_rec(
             bdd,
@@ -609,6 +678,7 @@ fn bdd_rec(
             &format!("{prefix}_hi"),
             budget,
             depth + 1,
+            keep,
         )?;
         let mux = TruthTable::from_fn(3, |m| {
             if m & 1 == 1 {
@@ -645,6 +715,10 @@ fn bdd_rec(
     let (mut compacted, g, g_support) = crate::bdd_decompose::compact_to_support(&gman, d.image);
     let compact_signals: Vec<NodeId> = g_support.iter().map(|&v| g_signals[v]).collect();
     drop(gman);
+    // Fresh manager for the image: caller-held roots live in the old
+    // manager, so the recursion starts with no extra keeps (but inherits
+    // the old manager's GC arming so deep recursions stay bounded).
+    compacted.set_gc_threshold(bdd.gc_threshold());
     bdd_rec(
         &mut compacted,
         g,
@@ -654,6 +728,7 @@ fn bdd_rec(
         &format!("{prefix}_g"),
         budget,
         depth + 1,
+        &[],
     )
 }
 

@@ -269,6 +269,11 @@ pub trait Encoder {
     /// with [`CoreError::OutOfBudget`]; the default implementation
     /// ignores the budget (cheap encoders have nothing to bound).
     fn set_budget(&mut self, _budget: hyde_guard::Budget) {}
+
+    /// Attaches the shared NPN-keyed decomposition cache. Only encoders
+    /// that run λ-set searches internally (the HYDE encoder's step 3)
+    /// have anything to memoize; the default implementation ignores it.
+    fn set_decomp_cache(&mut self, _cache: std::sync::Arc<crate::dcache::DecompCache>) {}
 }
 
 impl EncoderKind {
@@ -284,6 +289,7 @@ impl EncoderKind {
             EncoderKind::Hyde { seed } => Box::new(HydeEncoder {
                 seed: *seed,
                 budget: hyde_guard::Budget::unlimited(),
+                cache: None,
             }),
             EncoderKind::SupportMin { seed, iters } => Box::new(SupportMinEncoder {
                 seed: *seed,
@@ -312,6 +318,10 @@ struct CheckedEncoder {
 impl Encoder for CheckedEncoder {
     fn set_budget(&mut self, budget: hyde_guard::Budget) {
         self.inner.set_budget(budget);
+    }
+
+    fn set_decomp_cache(&mut self, cache: std::sync::Arc<crate::dcache::DecompCache>) {
+        self.inner.set_decomp_cache(cache);
     }
 
     fn encode(
@@ -481,11 +491,16 @@ impl Encoder for SupportMinEncoder {
 struct HydeEncoder {
     seed: u64,
     budget: hyde_guard::Budget,
+    cache: Option<std::sync::Arc<crate::dcache::DecompCache>>,
 }
 
 impl Encoder for HydeEncoder {
     fn set_budget(&mut self, budget: hyde_guard::Budget) {
         self.budget = budget;
+    }
+
+    fn set_decomp_cache(&mut self, cache: std::sync::Arc<crate::dcache::DecompCache>) {
+        self.cache = Some(cache);
     }
 
     fn encode(
@@ -512,7 +527,9 @@ impl Encoder for HydeEncoder {
             // The image is κ-feasible after vacuous-variable removal.
             return Ok(lex);
         }
-        let partitioner = VariablePartitioner::default().with_budget(&self.budget);
+        let partitioner = VariablePartitioner::default()
+            .with_budget(&self.budget)
+            .with_cache_opt(self.cache.clone());
         let (lambda2, _) = partitioner.best_bound_set(&g_on, k)?;
         // Split λ' into α variables (code bits) and inner free variables.
         let a_cols: Vec<usize> = lambda2.iter().copied().filter(|&v| v < t).collect();

@@ -47,11 +47,13 @@ pub mod chart;
 pub mod classes;
 pub mod containment;
 pub mod dc_assign;
+pub mod dcache;
 pub mod decompose;
 pub mod encoding;
 pub mod hyper;
 pub mod multichart;
 pub mod nonstrict;
+pub mod npn;
 pub mod parallel;
 pub mod partition;
 pub mod symmetry;

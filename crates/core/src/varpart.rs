@@ -7,16 +7,18 @@
 //! switch to BDD cut counting and, beyond a candidate budget, seeded
 //! sampling.
 
-use crate::chart::class_count;
+use crate::chart::{class_count, class_floor_with, ClassCountScratch};
+use crate::dcache::{CacheKey, DecompCache};
 use crate::parallel;
 use crate::CoreError;
 use hyde_logic::TruthTable;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Search strategy for bound-set candidates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SearchStrategy {
     /// Enumerate every size-`k` subset of the support.
     Exhaustive,
@@ -56,7 +58,9 @@ pub enum SearchStrategy {
 pub struct VariablePartitioner {
     strategy: SearchStrategy,
     /// Use BDD cut counting instead of chart hashing above this support
-    /// size (BDD restricts are cheaper than materializing wide charts).
+    /// size. The chart path's prefix-sharing scorer keeps winning well
+    /// past word width — the crossover sits where materializing and
+    /// repeatedly sweeping the 2^n-bit table loses to BDD restricts.
     bdd_threshold: usize,
     /// Hard cap on the number of candidates a search may evaluate; a
     /// search needing more fails with [`CoreError::OutOfBudget`].
@@ -65,6 +69,9 @@ pub struct VariablePartitioner {
     /// path (root build only, so the outcome is identical at any
     /// `HYDE_THREADS`).
     bdd_node_cap: Option<usize>,
+    /// Optional NPN-keyed search memo shared across partitioner clones
+    /// (and, through the flow, across circuits). `None` searches directly.
+    cache: Option<Arc<DecompCache>>,
 }
 
 impl Default for VariablePartitioner {
@@ -74,9 +81,10 @@ impl Default for VariablePartitioner {
                 budget: 1200,
                 seed: 0x9D5E_C0DE,
             },
-            bdd_threshold: 12,
+            bdd_threshold: 20,
             candidate_cap: None,
             bdd_node_cap: None,
+            cache: None,
         }
     }
 }
@@ -97,6 +105,23 @@ impl VariablePartitioner {
     pub fn with_budget(mut self, budget: &hyde_guard::Budget) -> Self {
         self.candidate_cap = budget.candidates;
         self.bdd_node_cap = budget.bdd_nodes;
+        self
+    }
+
+    /// Attaches a shared NPN-keyed search memo. Searches on functions the
+    /// cache [covers](DecompCache::covers) are canonized, answered from
+    /// the memo when possible, and run *on the canonical table* otherwise
+    /// (see the [`crate::dcache`] determinism contract). Without a cache
+    /// the partitioner behaves exactly as before.
+    pub fn with_cache(mut self, cache: Arc<DecompCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// [`Self::with_cache`] with an optional handle (convenience for
+    /// callers threading a configuration through).
+    pub fn with_cache_opt(mut self, cache: Option<Arc<DecompCache>>) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -122,8 +147,40 @@ impl VariablePartitioner {
                 support.len()
             )));
         }
+        if let Some(cache) = &self.cache {
+            if cache.covers(f) {
+                return self.best_bound_set_cached(f, k, cache);
+            }
+        }
         let candidates = self.candidates(&support, k);
         self.select_best(f, candidates)
+    }
+
+    /// The memoized search: canonize, look up, and on a miss run the
+    /// search on the canonical table so the cached value is a pure
+    /// function of the key (identical warm or cold, at any thread count).
+    /// The returned bound set is the cached canonical bound translated
+    /// through the NPN witness; among class-count ties it is the
+    /// lexicographically smallest *canonical* candidate, which may be a
+    /// different (equally good) tie pick than the uncached search makes.
+    fn best_bound_set_cached(
+        &self,
+        f: &TruthTable,
+        k: usize,
+        cache: &DecompCache,
+    ) -> Result<(Vec<usize>, usize), CoreError> {
+        let canon = cache.canonize_timed(f);
+        let key = CacheKey::new(&canon.table, k, self.strategy);
+        if let Some((canon_bound, classes)) = cache.lookup(&key) {
+            return Ok((canon.transform.bound_to_original(&canon_bound), classes));
+        }
+        // NPN transforms are variable bijections, so the canonical support
+        // has the same size and the k-validity check above still holds.
+        let canon_support = canon.table.support();
+        let candidates = self.candidates(&canon_support, k);
+        let (canon_bound, classes) = self.select_best(&canon.table, candidates)?;
+        cache.insert(key, canon_bound.clone(), classes);
+        Ok((canon.transform.bound_to_original(&canon_bound), classes))
     }
 
     /// Like [`Self::best_bound_set`], but prunes candidates through the
@@ -199,6 +256,17 @@ impl VariablePartitioner {
                 support.len()
             )));
         }
+        if pool == support {
+            // An unrestricted pool is exactly best_bound_set's search, so
+            // take the memoized path when a cache is attached. Restricted
+            // pools stay uncached: the allowed set does not survive NPN
+            // relabeling, so it cannot participate in the canonical key.
+            if let Some(cache) = &self.cache {
+                if cache.covers(f) {
+                    return self.best_bound_set_cached(f, k, cache);
+                }
+            }
+        }
         let candidates = self.candidates(&pool, k);
         self.select_best(f, candidates)
     }
@@ -242,27 +310,101 @@ impl VariablePartitioner {
                     (b, root)
                 },
                 |(b, root), cand| match root {
-                    Ok(r) => Ok(b.compatible_class_count(*r, cand)),
+                    Ok(r) => {
+                        // Candidate boundaries are GC safe points for the
+                        // worker-private manager: only the root survives
+                        // between candidates. No-op unless armed (the
+                        // node cap above arms a growth-pressure trigger).
+                        b.maybe_gc(&[*r]);
+                        Ok(b.compatible_class_count(*r, cand))
+                    }
                     Err(e) => Err(CoreError::OutOfBudget(*e)),
                 },
             )
         } else {
-            parallel::map_chunked("varpart.score", &candidates, threads, |cand| {
-                class_count(f, cand)
-            })
+            self.chart_scores(f, &candidates, threads)?
         };
         let mut best: Option<(Vec<usize>, usize)> = None;
         for (cand, count) in candidates.into_iter().zip(counts) {
             let count = count?;
+            // Pruned candidates carry `usize::MAX`: provably worse than
+            // the winner, so they can never take the argmin or a tie.
             let better = match &best {
-                None => true,
+                None => count != usize::MAX,
                 Some((bb, bc)) => count < *bc || (count == *bc && cand < *bb),
             };
             if better {
                 best = Some((cand, count));
             }
         }
-        best.ok_or_else(|| CoreError::InvalidBoundSet("no candidate bound sets".into()))
+        let mut best =
+            best.ok_or_else(|| CoreError::InvalidBoundSet("no candidate bound sets".into()))?;
+        if f.vars() > 6 && f.vars() <= self.bdd_threshold {
+            // Certify the winner: the digest-based score can (with
+            // ~2^-128 probability) understate the class count, so the
+            // value handed onward is recounted exactly — one call per
+            // search instead of one per candidate.
+            best.1 = class_count(f, &best.0)?;
+        }
+        Ok(best)
+    }
+
+    /// Chart-path candidate scoring: exact packed class counts behind a
+    /// branch-and-bound prune.
+    ///
+    /// A first parallel pass computes each candidate's cheap class-count
+    /// floor ([`class_floor_with`]); candidates are then counted exactly
+    /// in ascending-floor order so the running best drops fast, and any
+    /// candidate whose floor strictly exceeds the best seen so far is
+    /// skipped (score `usize::MAX`). The skip test is conservative at any
+    /// thread interleaving — the shared best only decreases, so a skipped
+    /// candidate's exact count strictly exceeds the final best and cannot
+    /// win the argmin or tie with it — which keeps the selection
+    /// byte-identical at every `HYDE_THREADS`.
+    fn chart_scores(
+        &self,
+        f: &TruthTable,
+        candidates: &[Vec<usize>],
+        threads: usize,
+    ) -> Result<Vec<Result<usize, CoreError>>, CoreError> {
+        let floors: Vec<usize> = parallel::map_chunked_init(
+            "varpart.floor",
+            candidates,
+            threads,
+            ClassCountScratch::new,
+            |scratch, cand| class_floor_with(f, cand, scratch),
+        )
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+        // Score in lexicographic candidate order: consecutive candidates
+        // then share long sorted prefixes, which is what lets the
+        // per-worker [`PrefixScorer`] reuse its promotion stack.
+        let mut items: Vec<usize> = (0..candidates.len()).collect();
+        items.sort_unstable_by(|&x, &y| candidates[x].cmp(&candidates[y]));
+        let best = std::sync::atomic::AtomicUsize::new(usize::MAX);
+        let scored: Vec<Result<usize, CoreError>> = parallel::map_chunked_init(
+            "varpart.score",
+            &items,
+            threads,
+            || crate::chart::PrefixScorer::new(f),
+            |scorer, &i| {
+                if floors[i] > best.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Ok(usize::MAX);
+                }
+                let count = scorer.score(&candidates[i])?;
+                // sa:allow(SA011): the bound only ever decreases and is
+                // used for a strict-inequality skip, so any interleaving
+                // yields the same argmin (see the doc comment above).
+                best.fetch_min(count, std::sync::atomic::Ordering::Relaxed);
+                Ok(count)
+            },
+        );
+        let mut counts: Vec<Result<usize, CoreError>> =
+            (0..candidates.len()).map(|_| Ok(usize::MAX)).collect();
+        for (&i, res) in items.iter().zip(scored) {
+            counts[i] = res;
+        }
+        Ok(counts)
     }
 
     /// Like [`Self::best_bound_set`] but only counts classes for one given
@@ -486,9 +628,9 @@ mod tests {
         let f = TruthTable::random(8, &mut rng);
         let vp = VariablePartitioner {
             strategy: SearchStrategy::Exhaustive,
-            bdd_threshold: 1, // force the BDD path
-            candidate_cap: None,
+            bdd_threshold: 1,      // force the BDD path
             bdd_node_cap: Some(8), // a random 8-var function won't fit
+            ..VariablePartitioner::default()
         };
         match vp.best_bound_set(&f, 3) {
             Err(CoreError::OutOfBudget(e)) => {
@@ -496,6 +638,75 @@ mod tests {
             }
             other => panic!("expected OutOfBudget, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cached_search_matches_class_count_and_hits_npn_variants() {
+        use crate::npn::{self, NpnTransform};
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let cache = Arc::new(crate::dcache::DecompCache::new());
+        let plain = VariablePartitioner::new(SearchStrategy::Exhaustive);
+        let cached = plain.clone().with_cache(cache.clone());
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in [5usize, 7, 9] {
+            let f = TruthTable::random(n, &mut rng);
+            let (pb, pc) = plain.best_bound_set(&f, 3).unwrap();
+            let (cb, cc) = cached.best_bound_set(&f, 3).unwrap();
+            // Class counts must agree exactly; the bound may be a
+            // different tie pick but must realize the same count.
+            assert_eq!(pc, cc, "n={n}");
+            assert_eq!(
+                class_count(&f, &cb).unwrap(),
+                class_count(&f, &pb).unwrap(),
+                "n={n}"
+            );
+            // Repeat lookups are deterministic (warm equals first answer).
+            assert_eq!(cached.best_bound_set(&f, 3).unwrap(), (cb.clone(), cc));
+            // An NPN variant of f must hit the same entry and return the
+            // same class count on its own variables.
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let t = NpnTransform {
+                perm,
+                input_neg: rng.gen::<u32>() & ((1 << n) - 1),
+                output_neg: rng.gen(),
+            };
+            let g = npn::apply(&f, &t);
+            let hits_before = cache.stats().hits;
+            let (gb, gc) = cached.best_bound_set(&g, 3).unwrap();
+            assert_eq!(gc, cc, "NPN variant class count n={n}");
+            assert_eq!(class_count(&g, &gb).unwrap(), gc);
+            if n <= 6 {
+                // The exact canonizer guarantees orbit collapse, so the
+                // variant must be answered from the cache.
+                assert!(cache.stats().hits > hits_before, "expected a hit at n={n}");
+            }
+        }
+        let s = cache.stats();
+        assert!(s.misses >= 3 && s.entries >= 3, "stats: {s:?}");
+    }
+
+    #[test]
+    fn cached_among_delegates_only_on_full_pool() {
+        let cache = Arc::new(crate::dcache::DecompCache::new());
+        let vp = VariablePartitioner::new(SearchStrategy::Exhaustive).with_cache(cache.clone());
+        let f = (TruthTable::var(6, 0) & TruthTable::var(6, 1) & TruthTable::var(6, 2))
+            | (TruthTable::var(6, 3) & TruthTable::var(6, 4) & TruthTable::var(6, 5));
+        // Full pool: memoized (one miss, then a hit).
+        let all: Vec<usize> = (0..6).collect();
+        let a = vp.best_bound_set_among(&f, 3, &all).unwrap();
+        let b = vp.best_bound_set_among(&f, 3, &all).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats().hits, 1);
+        // Restricted pool: uncached, and the restriction is honored.
+        let (bound, _) = vp.best_bound_set_among(&f, 3, &[1, 2, 3, 4]).unwrap();
+        assert!(bound.iter().all(|v| [1, 2, 3, 4].contains(v)));
+        assert_eq!(
+            cache.stats().hits,
+            1,
+            "restricted pool must not touch the cache"
+        );
     }
 
     #[test]

@@ -412,6 +412,58 @@ impl Network {
         self.outputs.iter().map(|(_, id)| values[id]).collect()
     }
 
+    /// Evaluates the outputs for up to 64 primary-input assignments at
+    /// once: bit `j` of `input_words[i]` is input `i`'s value (declaration
+    /// order, as [`Self::eval`]) in assignment `j`, and bit `j` of output
+    /// word `o` is output `o`'s value in assignment `j`.
+    ///
+    /// One topological pass serves all 64 assignments; each node is
+    /// evaluated word-parallel with a Shannon mux tree over its local
+    /// function, so verification sampling loops batch their minterms
+    /// through this instead of calling [`Self::eval`] per minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the input count or the
+    /// network is cyclic.
+    pub fn eval_batch64(&self, input_words: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            input_words.len(),
+            self.inputs.len(),
+            "wrong number of input words"
+        );
+        let order = self.topo_order().expect("network must be acyclic");
+        let mut values: HashMap<NodeId, u64> = HashMap::new();
+        for (pi, &w) in self.inputs.iter().zip(input_words) {
+            values.insert(*pi, w);
+        }
+        let mut ins: Vec<u64> = Vec::new();
+        let mut muxes: Vec<u64> = Vec::new();
+        for id in order {
+            let node = self.node(id);
+            if node.role == NodeRole::PrimaryInput {
+                continue;
+            }
+            ins.clear();
+            ins.extend(node.fanins.iter().map(|f| values[f]));
+            muxes.clear();
+            muxes.extend(
+                (0..1u32 << ins.len()).map(|e| if node.function.eval(e) { !0u64 } else { 0 }),
+            );
+            // Mux away one variable per round: after round `i`, entry `j`
+            // holds the cofactor words for fanins `i+1..` at index `j`.
+            let mut width = muxes.len();
+            for &x in &ins {
+                width /= 2;
+                for j in 0..width {
+                    muxes[j] = (muxes[2 * j] & !x) | (muxes[2 * j + 1] & x);
+                }
+            }
+            values.insert(id, muxes[0]);
+        }
+        self.outputs.iter().map(|(_, id)| values[id]).collect()
+    }
+
     /// Computes, for every live node, its global function over the primary
     /// input space (variable `i` = i-th primary input).
     ///

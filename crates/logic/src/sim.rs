@@ -130,14 +130,46 @@ pub fn check_against_tables(net: &Network, spec: &[TruthTable]) -> Equivalence {
                 .unwrap_or_else(|| panic!("input {:?} is not x<i>", net.node_name(id)))
         })
         .collect();
-    for m in 0u32..(1u32 << n) {
-        let bits: Vec<bool> = positions.iter().map(|&p| m >> p & 1 == 1).collect();
-        let got = net.eval(&bits);
+    // Batch 64 minterms per topological pass: bit j of each input word
+    // carries minterm base + j.
+    let total = 1u64 << n;
+    let mut base = 0u64;
+    while base < total {
+        let lanes = (total - base).min(64) as u32;
+        let lane_mask = if lanes == 64 {
+            !0u64
+        } else {
+            (1u64 << lanes) - 1
+        };
+        let words: Vec<u64> = positions
+            .iter()
+            .map(|&p| {
+                let mut w = 0u64;
+                for j in 0..lanes {
+                    w |= ((base + u64::from(j)) >> p & 1) << j;
+                }
+                w
+            })
+            .collect();
+        let got = net.eval_batch64(&words);
+        // Earliest mismatching minterm across every output, matching the
+        // scan order of the unbatched loop.
+        let mut bad = u64::MAX;
         for (o, f) in spec.iter().enumerate() {
-            if got[o] != f.eval(m) {
-                return Equivalence::Counterexample((0..n).map(|i| m >> i & 1 == 1).collect());
+            let mut want = 0u64;
+            for j in 0..lanes {
+                want |= u64::from(f.eval((base + u64::from(j)) as u32)) << j;
+            }
+            let diff = (got[o] ^ want) & lane_mask;
+            if diff != 0 {
+                bad = bad.min(base + u64::from(diff.trailing_zeros()));
             }
         }
+        if bad != u64::MAX {
+            let m = bad as u32;
+            return Equivalence::Counterexample((0..n).map(|i| m >> i & 1 == 1).collect());
+        }
+        base += u64::from(lanes);
     }
     Equivalence::Equivalent {
         exhaustive: true,

@@ -132,6 +132,28 @@ impl TruthTable {
         t
     }
 
+    /// Builds a table directly from its packed word representation (the
+    /// layout returned by [`TruthTable::as_words`]): bit `m & 63` of word
+    /// `m >> 6` is minterm `m`. Bits beyond `2^vars` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` does not match `vars` or
+    /// `vars > Self::MAX_VARS`.
+    pub fn from_words(vars: usize, words: Vec<u64>) -> Self {
+        assert!(vars <= Self::MAX_VARS, "too many variables: {vars}");
+        assert_eq!(
+            words.len(),
+            words_for(vars),
+            "word count does not match {vars} variables"
+        );
+        let mut t = TruthTable { vars, words };
+        if vars < 6 {
+            t.words[0] &= small_mask(vars);
+        }
+        t
+    }
+
     /// Uniformly random function, for workloads and property tests.
     pub fn random<R: rand::Rng>(vars: usize, rng: &mut R) -> Self {
         let mut t = Self::zero(vars);

@@ -20,6 +20,7 @@ use crate::cluster::cluster_outputs;
 use crate::report::MappingReport;
 use crate::xc3000::pack_clbs;
 use hyde_bdd::Bdd;
+use hyde_core::dcache::DecompCache;
 use hyde_core::decompose::{decompose_bdd_to_network, DecomposeStats, Decomposer};
 use hyde_core::encoding::{ceil_log2, CodeAssignment, EncoderKind};
 use hyde_core::hyper::HyperFunction;
@@ -31,6 +32,7 @@ use hyde_logic::diag::{any_deny, Code, Diagnostic, Location};
 use hyde_logic::network::{project_to_support, structural_merge};
 use hyde_logic::{Literal, Network, NodeId, NodeRole, SopCover, TruthTable};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which flow to run.
@@ -111,6 +113,12 @@ pub struct MappingFlow {
     /// Deterministic fault-injection layer (armed from `HYDE_CHAOS` unless
     /// overridden via [`MappingFlow::with_chaos`]).
     chaos: Option<Chaos>,
+    /// NPN-keyed λ-search memo shared by every decomposition this flow
+    /// runs. Fresh per flow by default; [`MappingFlow::with_decomp_cache`]
+    /// injects a cache shared across circuits (as `hyde-bench` does).
+    /// Cached values are pure functions of their keys, so sharing never
+    /// changes results — only how often the search actually runs.
+    cache: Arc<DecompCache>,
 }
 
 impl MappingFlow {
@@ -127,6 +135,7 @@ impl MappingFlow {
             verify_samples: 1 << 12,
             budget: Budget::unlimited(),
             chaos: Chaos::from_env(),
+            cache: Arc::new(DecompCache::new()),
         }
     }
 
@@ -155,6 +164,18 @@ impl MappingFlow {
     /// The budget this flow enforces.
     pub fn budget(&self) -> &Budget {
         &self.budget
+    }
+
+    /// Replaces the flow's decomposition cache with a shared one, so NPN
+    /// search results carry across circuits within one run.
+    pub fn with_decomp_cache(mut self, cache: Arc<DecompCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The NPN decomposition cache this flow populates.
+    pub fn decomp_cache(&self) -> &Arc<DecompCache> {
+        &self.cache
     }
 
     /// Maps a multi-output function vector (all outputs over the same
@@ -293,7 +314,8 @@ impl MappingFlow {
         // Rung 1: exact Roth–Karp decomposition.
         let dec = Decomposer::new(self.k, encoder.clone())
             .with_budget(self.budget)
-            .with_chaos(self.chaos, ctx);
+            .with_chaos(self.chaos, ctx)
+            .with_cache(Some(self.cache.clone()));
         match dec.decompose_onto(net, f, signals, prefix, stats) {
             Ok(id) => return Ok(id),
             Err(CoreError::OutOfBudget(ob)) => degrade(Rung::Exact, ob.resource, ob.injected),
@@ -341,7 +363,18 @@ impl MappingFlow {
             }
         }
         let mut bdd = Bdd::with_capacity(f.vars(), 1 << 12);
+        // Installing the node cap also arms a growth-pressure GC threshold
+        // (3/4 of the cap); uncapped runs get an explicit one so large
+        // recursions still reclaim dead nodes instead of growing without
+        // bound. Chaos runs use a low threshold so the collector (and its
+        // injection site inside the sweep) is actually exercised.
         bdd.set_node_cap(self.budget.bdd_nodes);
+        if bdd.gc_threshold().is_none() {
+            bdd.set_gc_threshold(Some(if self.chaos.is_some() { 512 } else { 1 << 13 }));
+        }
+        if let Some(chaos) = self.chaos {
+            bdd.set_gc_chaos(chaos, &format!("{ctx}:{prefix}"));
+        }
         let k = self.k;
         match bdd.guarded(|b| {
             let root = b.from_fn(|m| f.eval(m));
@@ -489,7 +522,7 @@ impl MappingFlow {
         encoder: &EncoderKind,
         depth: usize,
     ) -> Result<Vec<NodeId>, CoreError> {
-        let dec = Decomposer::new(self.k, encoder.clone());
+        let dec = Decomposer::new(self.k, encoder.clone()).with_cache(Some(self.cache.clone()));
         let mut stats = DecomposeStats::default();
         // Union support.
         let mut in_support = vec![false; signals.len()];
@@ -523,7 +556,7 @@ impl MappingFlow {
         // Joint bound selection: minimize the multiplicity of the stacked
         // chart (distinct column tuples). Candidates are seeded with each
         // output's own best bound set plus the leading variables.
-        let vp = VariablePartitioner::default();
+        let vp = VariablePartitioner::default().with_cache(self.cache.clone());
         let mut candidates: Vec<Vec<usize>> = Vec::new();
         for f in &fs {
             if f.support().len() > self.k {
@@ -634,7 +667,8 @@ impl MappingFlow {
         let clusters = cluster_outputs(outputs, max_cluster, max_union);
         let dec = Decomposer::new(self.k, encoder.clone())
             .with_budget(self.budget)
-            .with_chaos(self.chaos, name);
+            .with_chaos(self.chaos, name)
+            .with_cache(Some(self.cache.clone()));
         let mut parts: Vec<Network> = Vec::new();
         for cluster in &clusters {
             if cluster.len() == 1 {
@@ -783,23 +817,66 @@ impl MappingFlow {
         }
         let total = 1u64 << n;
         let stride = (total / self.verify_samples as u64).max(1);
+        // Batch 64 sample minterms per topological pass (bit j of each
+        // input word carries sample j); report the earliest mismatching
+        // (minterm, output) pair, matching the unbatched scan order.
+        let mut samples: Vec<u64> = Vec::with_capacity(64);
         let mut m = 0u64;
-        'outer: while m < total {
-            let bits: Vec<bool> = pi_positions.iter().map(|&p| m >> p & 1 == 1).collect();
-            let got = net.eval(&bits);
+        loop {
+            if m < total {
+                samples.push(m);
+                m += stride;
+            }
+            if samples.is_empty() {
+                break;
+            }
+            if samples.len() < 64 && m < total {
+                continue;
+            }
+            let words: Vec<u64> = pi_positions
+                .iter()
+                .map(|&p| {
+                    let mut w = 0u64;
+                    for (j, &s) in samples.iter().enumerate() {
+                        w |= (s >> p & 1) << j;
+                    }
+                    w
+                })
+                .collect();
+            let got = net.eval_batch64(&words);
+            let lane_mask = if samples.len() == 64 {
+                !0u64
+            } else {
+                (1u64 << samples.len()) - 1
+            };
+            let mut bad: Option<(usize, usize)> = None;
             for (o, f) in outputs.iter().enumerate() {
-                if got[o] != f.eval(m as u32) {
-                    out.push(
-                        Diagnostic::new(
-                            Code::NetworkSpecMismatch,
-                            format!("output {o} differs from its specification at minterm {m}"),
-                        )
-                        .at(Location::Output(o)),
-                    );
-                    break 'outer;
+                let mut want = 0u64;
+                for (j, &s) in samples.iter().enumerate() {
+                    want |= u64::from(f.eval(s as u32)) << j;
+                }
+                let diff = (got[o] ^ want) & lane_mask;
+                if diff != 0 {
+                    let j = diff.trailing_zeros() as usize;
+                    if bad.is_none_or(|(bj, bo)| (j, o) < (bj, bo)) {
+                        bad = Some((j, o));
+                    }
                 }
             }
-            m += stride;
+            if let Some((j, o)) = bad {
+                out.push(
+                    Diagnostic::new(
+                        Code::NetworkSpecMismatch,
+                        format!(
+                            "output {o} differs from its specification at minterm {}",
+                            samples[j]
+                        ),
+                    )
+                    .at(Location::Output(o)),
+                );
+                break;
+            }
+            samples.clear();
         }
         out
     }
