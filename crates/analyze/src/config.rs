@@ -42,6 +42,7 @@ pub const SPANS: &[(&str, &str)] = &[
     ("lint.circuit", "verify"),
     ("bench.circuit", "bench"),
     ("bench.chaos_circuit", "bench"),
+    ("obs.serve.request", "obs"),
     ("sa.lex", "analyze"),
     ("sa.parse", "analyze"),
     ("sa.resolve", "analyze"),
@@ -87,6 +88,7 @@ pub const COUNTERS: &[&str] = &[
     "hyde.npn.canonize_us",
     "sched.steal.blocks",
     "sched.steal.steals",
+    "obs.serve.requests",
     "guard.chaos.injected",
     "guard.hyper_fallback",
     "guard.degrade.exact",
@@ -98,6 +100,14 @@ pub const COUNTERS: &[&str] = &[
     "sa.calls",
     "sa.findings",
     "sa.allowed",
+];
+
+/// The documented histogram-family taxonomy. Every `observe(...)` name
+/// literal in non-test code must be listed here, and each entry must
+/// appear somewhere in its crate.
+pub const HISTOGRAMS: &[(&str, &str)] = &[
+    ("bench.circuit_wall_us", "bench"),
+    ("obs.serve.request_us", "obs"),
 ];
 
 /// Phase-level functions that must open their documented span:

@@ -6,7 +6,11 @@
 //!   in the documented taxonomy; every documented span must actually be
 //!   opened somewhere in its owning crate; and each phase-level function
 //!   on the roster (`config::PHASE_FNS`) must open its span in its own
-//!   body. Finally the taxonomy itself must appear in `DESIGN.md`.
+//!   body. Histogram families get the same two-directional treatment:
+//!   every `observe("...")` name literal must be in
+//!   `config::HISTOGRAMS`, and every documented family must be recorded
+//!   in its owning crate. Finally the taxonomy itself must appear in
+//!   `DESIGN.md`.
 //! * **SA006** does the same for counters: every `counter("...")` name
 //!   (and every `guard.degrade.*` string literal in production code)
 //!   must be documented, and every documented counter must appear in
@@ -97,6 +101,24 @@ fn counter_literals(file: &SourceFile) -> Vec<(u32, String)> {
     out
 }
 
+/// Collects `(line, name)` histogram-family literals: the string
+/// argument of `observe("...")` calls.
+fn histogram_literals(file: &SourceFile) -> Vec<(u32, String)> {
+    let toks = file.toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "observe" || file.in_test_code(t.line) {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|p| p.is_punct('(')) {
+            if let Some(s) = toks.get(i + 2).filter(|s| s.kind == TokKind::Str) {
+                out.push((s.line, s.text.clone()));
+            }
+        }
+    }
+    out
+}
+
 fn check_sa005(ws: &Workspace, out: &mut Emitter) {
     // 1. Every opened span is documented.
     for file in ws.files.iter().filter(|f| production(f)) {
@@ -164,7 +186,41 @@ fn check_sa005(ws: &Workspace, out: &mut Emitter) {
             );
         }
     }
-    // 4. The taxonomy is reflected in DESIGN.md.
+    // 4. Every recorded histogram family is documented.
+    for file in ws.files.iter().filter(|f| production(f)) {
+        for (line, name) in histogram_literals(file) {
+            if !config::HISTOGRAMS.iter().any(|(n, _)| *n == name) {
+                out.emit(
+                    file,
+                    "SA005",
+                    line,
+                    format!(
+                        "histogram family `{name}` is not in the documented taxonomy; add \
+                         it to DESIGN.md's histogram table and `config::HISTOGRAMS`"
+                    ),
+                );
+            }
+        }
+    }
+    // 5. Every documented histogram family is recorded in its owning crate.
+    for (name, owner) in config::HISTOGRAMS {
+        let recorded = ws
+            .files
+            .iter()
+            .filter(|f| f.crate_name == *owner && production(f))
+            .any(|f| histogram_literals(f).iter().any(|(_, n)| n == name));
+        if !recorded {
+            out.emit_path(
+                "DESIGN.md",
+                "SA005",
+                0,
+                format!(
+                    "documented histogram family `{name}` is never recorded in crate `{owner}`"
+                ),
+            );
+        }
+    }
+    // 6. The taxonomy is reflected in DESIGN.md.
     if let Some(design) = &ws.design {
         for (name, _) in config::SPANS {
             if !design.contains(name) {
@@ -173,6 +229,18 @@ fn check_sa005(ws: &Workspace, out: &mut Emitter) {
                     "SA005",
                     0,
                     format!("span `{name}` is missing from DESIGN.md's span table"),
+                );
+            }
+        }
+        for (name, _) in config::HISTOGRAMS {
+            if !design.contains(name) {
+                out.emit_path(
+                    "DESIGN.md",
+                    "SA005",
+                    0,
+                    format!(
+                        "histogram family `{name}` is missing from DESIGN.md's histogram table"
+                    ),
                 );
             }
         }

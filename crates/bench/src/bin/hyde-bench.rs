@@ -12,11 +12,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hyde_bench::diff::{MAX_RATIO, SLACK_MS};
 use hyde_bench::perf::{
     chaos_to_json, circuit_wall_ms, run_bench_budgeted, run_bench_observed_budgeted, run_chaos,
     to_json, totals_wall_ms, validate_json, ChaosStatus,
 };
 use hyde_guard::Budget;
+use hyde_logic::diag::{Code, Diagnostic};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -51,6 +53,9 @@ Options:
   --trace <FILE>     collect spans: embed the obs breakdown in the JSON and
                      write a Chrome trace to FILE plus a .folded flamegraph
                      next to it (HYDE_TRACE=<FILE> is equivalent)
+  --serve-metrics <ADDR>  serve a Prometheus scrape endpoint (GET /metrics)
+                     and a /healthz snapshot on ADDR (e.g. 127.0.0.1:9184)
+                     for the duration of the run; implies span collection
   --stdout           print the JSON to stdout instead of writing a file
   -h, --help         this message";
 
@@ -67,6 +72,7 @@ struct Options {
     chaos: Option<u64>,
     budget: Budget,
     trace: Option<String>,
+    serve_metrics: Option<String>,
     stdout: bool,
 }
 
@@ -81,6 +87,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         chaos: None,
         budget: Budget::unlimited(),
         trace: None,
+        serve_metrics: None,
         stdout: false,
     };
     fn num<T: std::str::FromStr>(
@@ -139,6 +146,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--trace" => {
                 opts.trace = Some(it.next().ok_or("--trace needs a file")?.clone());
             }
+            "--serve-metrics" => {
+                opts.serve_metrics =
+                    Some(it.next().ok_or("--serve-metrics needs an address")?.clone());
+            }
             "--stdout" => opts.stdout = true,
             other => return Err(format!("unknown option '{other}' (try --help)")),
         }
@@ -159,8 +170,6 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
 /// margin. A missing or incomplete baseline only warns: regenerating
 /// `BENCH_smoke.json` must not require passing the gate it feeds.
 fn smoke_overhead_check(run: &hyde_bench::perf::BenchRun) -> bool {
-    const MAX_RATIO: f64 = 1.3;
-    const SLACK_MS: f64 = 2.0;
     let Ok(baseline) = std::fs::read_to_string("BENCH_smoke.json") else {
         eprintln!("hyde-bench: no BENCH_smoke.json baseline; skipping overhead gate");
         return true;
@@ -309,18 +318,34 @@ fn main() -> ExitCode {
     if let Some(seed) = opts.chaos {
         return run_chaos_mode(&opts, &selected, seed);
     }
+    // Bind the scrape endpoint before the run so Prometheus (or curl)
+    // can watch the suite live; it keeps serving the retained data until
+    // the process exits.
+    let metrics_server = match &opts.serve_metrics {
+        Some(addr) => match hyde_obs::serve::MetricsServer::bind(addr.as_str()) {
+            Ok(server) => {
+                eprintln!(
+                    "hyde-bench: serving /metrics and /healthz on http://{}",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind metrics endpoint '{addr}': {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let observed = trace_path.is_some() || metrics_server.is_some();
     eprintln!(
         "hyde-bench: {} circuit(s), k={}, run '{}'{}",
         selected.len(),
         opts.k,
         opts.name,
-        if trace_path.is_some() {
-            " [traced]"
-        } else {
-            ""
-        }
+        if observed { " [traced]" } else { "" }
     );
-    let result = if trace_path.is_some() {
+    let result = if observed {
         run_bench_observed_budgeted(&opts.name, &selected, opts.k, opts.budget)
     } else {
         run_bench_budgeted(&opts.name, &selected, opts.k, opts.budget)
@@ -360,6 +385,21 @@ fn main() -> ExitCode {
     }
     if opts.smoke && opts.circuits.is_none() && !smoke_overhead_check(&run) {
         return ExitCode::FAILURE;
+    }
+    if observed {
+        let dropped = hyde_obs::dropped();
+        if dropped > 0 {
+            eprintln!(
+                "hyde-bench: {}",
+                Diagnostic::new(
+                    Code::ObsDroppedEvents,
+                    format!(
+                        "{dropped} trace event(s) dropped at the buffer cap; the exported \
+                         timeline is truncated (counters and histogram percentiles are complete)"
+                    )
+                )
+            );
+        }
     }
     if let Some(path) = &trace_path {
         match hyde_obs::write_artifacts(path) {

@@ -16,11 +16,16 @@ use hyde_map::flow::{FlowKind, MappingFlow};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Schema tag written into every benchmark JSON. v2 added the optional
-/// `"obs"` section (a [`hyde_obs::ObsReport`] per-phase breakdown).
-pub const SCHEMA: &str = "hyde-bench-v2";
+/// Schema tag written into every benchmark JSON. v3 added percentile
+/// fields (`p50_us`/`p95_us`/`p99_us`) and the `"hists"` families inside
+/// the `"obs"` section — additive keys, so v2 readers still parse it.
+pub const SCHEMA: &str = "hyde-bench-v3";
 
-/// Previous schema tag, still accepted on *read* (`--baseline` files and
+/// v2 schema tag (added the optional `"obs"` section), still accepted on
+/// *read* (`--baseline` files and perf-diff inputs).
+pub const SCHEMA_V2: &str = "hyde-bench-v2";
+
+/// v1 schema tag, still accepted on *read* (`--baseline` files and
 /// the PR 3 `BENCH_hot_path.json` artifact predate the obs section).
 pub const SCHEMA_V1: &str = "hyde-bench-v1";
 
@@ -189,6 +194,7 @@ pub fn run_bench_budgeted(
         let start = Instant::now();
         let report = map_isolated(&flow, c)?;
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        hyde_obs::observe("bench.circuit_wall_us", (wall_ms * 1e3) as u64);
         let bdd_nodes = bdd_kernel(c);
         let stats_after = hyde_bdd::global_stats();
         let (bdd_cache_hit_rate, bdd_unique_probes) =
@@ -365,9 +371,12 @@ pub fn totals_wall_ms(json: &str) -> Option<f64> {
 /// and a parsable `totals.wall_ms`.
 pub fn validate_json(json: &str) -> Result<(), String> {
     if !json.contains(&format!("\"schema\": \"{SCHEMA}\""))
+        && !json.contains(&format!("\"schema\": \"{SCHEMA_V2}\""))
         && !json.contains(&format!("\"schema\": \"{SCHEMA_V1}\""))
     {
-        return Err(format!("missing schema tag {SCHEMA} (or {SCHEMA_V1})"));
+        return Err(format!(
+            "missing schema tag {SCHEMA} (or {SCHEMA_V2}/{SCHEMA_V1})"
+        ));
     }
     if !json.contains("\"circuits\": [") {
         return Err("missing circuits array".into());

@@ -13,6 +13,7 @@
 //! | `HY3xx` | BDD manager                        |
 //! | `HY4xx` | deep semantic proofs (SAT/BDD CEC) |
 //! | `HY5xx` | budgeted execution / degradation   |
+//! | `HY6xx` | observability / telemetry          |
 //!
 //! The model lives here, at the bottom of the crate stack, so that
 //! `hyde-core` and `hyde-map` can emit diagnostics without depending on
@@ -118,11 +119,15 @@ pub enum Code {
     /// HY505: a degradation was caused by a chaos-injected fault rather
     /// than a genuine resource exhaustion (`HYDE_CHAOS` armed).
     ChaosInjected,
+    /// HY601: the trace event buffer hit its cap and events were
+    /// dropped — the exported timeline is truncated (aggregated
+    /// counters and latency histograms keep recording past the cap).
+    ObsDroppedEvents,
 }
 
 impl Code {
     /// All shipped codes, in numeric order.
-    pub const ALL: [Code; 25] = [
+    pub const ALL: [Code; 26] = [
         Code::NetworkCycle,
         Code::NetworkFaninExceedsK,
         Code::NetworkDangling,
@@ -148,6 +153,7 @@ impl Code {
         Code::DegradedDirectCover,
         Code::BudgetExhausted,
         Code::ChaosInjected,
+        Code::ObsDroppedEvents,
     ];
 
     /// The stable `HYxxx` identifier.
@@ -178,6 +184,7 @@ impl Code {
             Code::DegradedDirectCover => "HY503",
             Code::BudgetExhausted => "HY504",
             Code::ChaosInjected => "HY505",
+            Code::ObsDroppedEvents => "HY601",
         }
     }
 
@@ -189,7 +196,9 @@ impl Code {
     /// flows may legitimately produce them transiently. Degradation
     /// reports (`HY501`–`HY503`) warn — the output is still verified
     /// correct, only its quality changed — and `HY505` is a note because
-    /// a chaos-injected fault says nothing about the input.
+    /// a chaos-injected fault says nothing about the input. A truncated
+    /// trace (`HY601`) warns: the run's results are unaffected, but the
+    /// exported timeline is incomplete.
     pub fn default_severity(self) -> Severity {
         match self {
             Code::NetworkDangling
@@ -198,7 +207,8 @@ impl Code {
             | Code::DeepStuckNode
             | Code::DegradedBddPath
             | Code::DegradedShannon
-            | Code::DegradedDirectCover => Severity::Warn,
+            | Code::DegradedDirectCover
+            | Code::ObsDroppedEvents => Severity::Warn,
             Code::ChaosInjected => Severity::Note,
             _ => Severity::Deny,
         }
@@ -341,6 +351,14 @@ mod tests {
         );
         let d = Diagnostic::new(Code::NetworkDangling, "dangling").severity(Severity::Note);
         assert_eq!(d.to_string(), "HY003 [note] dangling");
+        assert!(!any_deny(&[d]));
+    }
+
+    #[test]
+    fn obs_dropped_events_warns_without_denying() {
+        let d = Diagnostic::new(Code::ObsDroppedEvents, "1234 event(s) dropped");
+        assert_eq!(d.severity, Severity::Warn);
+        assert_eq!(d.to_string(), "HY601 [warn] 1234 event(s) dropped");
         assert!(!any_deny(&[d]));
     }
 }

@@ -1,0 +1,291 @@
+//! Dependency-free log-linear latency histogram.
+//!
+//! Fixed bucket layout in the HdrHistogram family: values below
+//! [`LINEAR_BUCKETS`] get one bucket each (exact), every octave above is
+//! split into [`SUB_BUCKETS`] equal sub-buckets, so relative error is
+//! bounded by `1 / SUB_BUCKETS` (12.5%) across the full `u64` range. The
+//! layout is a compile-time constant — no rescaling, no allocation after
+//! construction — which makes [`Histogram::merge`] a plain element-wise
+//! add: associative, commutative, and therefore independent of the lane
+//! order the sharded collector drains in.
+//!
+//! Values are unitless `u64`s; by convention span durations are recorded
+//! in nanoseconds and explicit [`crate::observe`] families carry their
+//! unit in the name (`*_us`, `*_bytes`, ...).
+
+/// Number of exact one-value buckets at the bottom of the range.
+pub const LINEAR_BUCKETS: usize = 8;
+/// Sub-buckets per octave above the linear range (`2^SUB_BITS`).
+pub const SUB_BUCKETS: usize = 8;
+const SUB_BITS: u32 = 3;
+/// Octaves covered above the linear range: values `8..=u64::MAX` span
+/// exponents 3..=63.
+const OCTAVES: usize = 61;
+/// Total bucket count of the fixed layout.
+pub const NUM_BUCKETS: usize = LINEAR_BUCKETS + OCTAVES * SUB_BUCKETS;
+
+/// A fixed-layout log-linear histogram of `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of `v` in the fixed layout.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_BUCKETS as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= SUB_BITS here
+    let sub = (v >> (octave - SUB_BITS)) & (SUB_BUCKETS as u64 - 1);
+    LINEAR_BUCKETS + (octave - SUB_BITS) as usize * SUB_BUCKETS + sub as usize
+}
+
+/// Smallest value that lands in bucket `idx`.
+fn bucket_low(idx: usize) -> u64 {
+    if idx < LINEAR_BUCKETS {
+        return idx as u64;
+    }
+    let group = (idx - LINEAR_BUCKETS) / SUB_BUCKETS;
+    let sub = (idx - LINEAR_BUCKETS) % SUB_BUCKETS;
+    ((LINEAR_BUCKETS + sub) as u64) << group
+}
+
+/// Largest value that lands in bucket `idx`.
+fn bucket_high(idx: usize) -> u64 {
+    if idx + 1 < NUM_BUCKETS {
+        bucket_low(idx + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Box::new([0; NUM_BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds every recorded value of `other` into `self`. Element-wise,
+    /// so merging is associative and commutative — lane drain order
+    /// cannot change the result.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += *src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the bucket midpoint at the
+    /// nearest-rank position, clamped to the recorded min/max so exact
+    /// extremes survive bucketing. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let mid = bucket_low(idx) + (bucket_high(idx) - bucket_low(idx)) / 2;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(low, high_inclusive, count)` in ascending
+    /// value order — the exposition-format and debugging view.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| (bucket_low(idx), bucket_high(idx), n))
+    }
+
+    /// Number of recorded values whose bucket lies entirely at or below
+    /// `bound` (a conservative cumulative count for `le` buckets in the
+    /// Prometheus exposition).
+    pub fn count_le(&self, bound: u64) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .take_while(|(idx, _)| bucket_high(*idx) <= bound)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_consistent() {
+        // Every boundary value maps into the bucket whose range covers it.
+        for idx in 0..NUM_BUCKETS {
+            let lo = bucket_low(idx);
+            let hi = bucket_high(idx);
+            assert_eq!(bucket_index(lo), idx, "low of bucket {idx}");
+            assert_eq!(bucket_index(hi), idx, "high of bucket {idx}");
+            assert!(lo <= hi);
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Bucket width / low <= 1/SUB_BUCKETS above the linear range.
+        for v in [8u64, 100, 1_000, 123_456, 1 << 40, u64::MAX / 3] {
+            let idx = bucket_index(v);
+            let width = bucket_high(idx) - bucket_low(idx);
+            assert!(
+                (width as f64) <= bucket_low(idx) as f64 / SUB_BUCKETS as f64 * 2.0,
+                "bucket for {v} too wide: [{}, {}]",
+                bucket_low(idx),
+                bucket_high(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        for v in 0..8u64 {
+            let q = (v as f64 + 1.0) / 8.0;
+            assert_eq!(h.quantile(q), Some(v));
+        }
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1_000); // 1ms .. 1s in us
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // 12.5% relative-error bound from the bucket layout.
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.125, "{p50}");
+        assert!((p95 as f64 - 950_000.0).abs() / 950_000.0 < 0.125, "{p95}");
+        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.125, "{p99}");
+        assert_eq!(h.quantile(0.0), Some(h.min().unwrap()));
+        assert_eq!(h.quantile(1.0), Some(1_000_000));
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500_000);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[1, 50, 999, 1 << 30]);
+        let b = mk(&[3, 3, 3, 70_000]);
+        let c = mk(&[u64::MAX, 0, 12]);
+
+        // (a+b)+c == a+(b+c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+
+        // a+b == b+a
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // Merged equals recording everything into one histogram.
+        let all = mk(&[1, 50, 999, 1 << 30, 3, 3, 3, 70_000, u64::MAX, 0, 12]);
+        assert_eq!(ab_c, all);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn cumulative_le_is_monotone_and_conservative() {
+        let mut h = Histogram::new();
+        for v in [5u64, 100, 10_000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_le(4), 0);
+        assert_eq!(h.count_le(5), 1);
+        let mut last = 0;
+        for bound in [1u64, 10, 100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX] {
+            let c = h.count_le(bound);
+            assert!(c >= last, "cumulative counts must be monotone");
+            last = c;
+        }
+        assert_eq!(h.count_le(u64::MAX), 4);
+    }
+}

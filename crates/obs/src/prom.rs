@@ -1,0 +1,405 @@
+//! Prometheus text-exposition rendering of the collected telemetry.
+//!
+//! Dependency-free implementation of the [text format 0.0.4]: counters
+//! render as `hyde_counter_total{counter="..."}` series, span and
+//! observation histograms render as native Prometheus histograms with a
+//! fixed coarse `le` boundary ladder cumulated from the log-linear
+//! buckets ([`crate::histogram`]), and report-level scalars (dropped
+//! events, threads observed, unclosed spans) render as gauges. The
+//! counter series are rendered straight from the flushed [`ObsReport`],
+//! so a scrape and a report built at the same instant agree exactly.
+//!
+//! [`parse`] is the inverse used by the integration tests: it reads an
+//! exposition back into `(metric, labels, value)` samples.
+//!
+//! [text format 0.0.4]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::{Histogram, HistogramSet, ObsReport};
+use std::fmt::Write as _;
+
+/// `le` boundary ladder for duration histograms, nanoseconds
+/// (1µs … 10s). Rendered in seconds per Prometheus convention.
+const DURATION_BOUNDS_NS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// `le` boundary ladder for unitless value/delta histograms (powers of
+/// ten up to 10^9).
+const VALUE_BOUNDS: &[u64] = &[
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Escapes a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` without scientific notation or trailing zeros drift
+/// (fixed 9 decimal places covers nanosecond precision in seconds).
+fn fsec(ns: u64) -> String {
+    format!("{:.9}", ns as f64 / 1e9)
+}
+
+/// Writes one histogram family as cumulative `_bucket`/`_sum`/`_count`
+/// series. `render` maps a raw bound (and the sum, which shares the
+/// unit) to its rendered value.
+fn write_hist(
+    out: &mut String,
+    metric: &str,
+    label_key: &str,
+    label_val: &str,
+    h: &Histogram,
+    bounds: &[u64],
+    render: impl Fn(u64) -> String,
+) {
+    let lv = escape_label(label_val);
+    for &b in bounds {
+        let _ = writeln!(
+            out,
+            "{metric}_bucket{{{label_key}=\"{lv}\",le=\"{}\"}} {}",
+            render(b),
+            h.count_le(b)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{metric}_bucket{{{label_key}=\"{lv}\",le=\"+Inf\"}} {}",
+        h.count()
+    );
+    let _ = writeln!(
+        out,
+        "{metric}_sum{{{label_key}=\"{lv}\"}} {}",
+        render(h.sum())
+    );
+    let _ = writeln!(out, "{metric}_count{{{label_key}=\"{lv}\"}} {}", h.count());
+}
+
+/// Renders the full telemetry state as Prometheus exposition text.
+/// Counters come from `report` (the flushed view); histogram buckets
+/// come from the matching [`HistogramSet`] snapshot.
+pub fn render(report: &ObsReport, hists: &HistogramSet) -> String {
+    let mut out = String::with_capacity(4096);
+
+    let _ = writeln!(
+        out,
+        "# HELP hyde_counter_total Sum of a hyde-obs counter family."
+    );
+    let _ = writeln!(out, "# TYPE hyde_counter_total counter");
+    for c in &report.counters {
+        let _ = writeln!(
+            out,
+            "hyde_counter_total{{counter=\"{}\"}} {}",
+            escape_label(&c.name),
+            c.sum
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP hyde_counter_calls_total Increment calls of a counter family."
+    );
+    let _ = writeln!(out, "# TYPE hyde_counter_calls_total counter");
+    for c in &report.counters {
+        let _ = writeln!(
+            out,
+            "hyde_counter_calls_total{{counter=\"{}\"}} {}",
+            escape_label(&c.name),
+            c.count
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP hyde_span_duration_seconds Span latency by taxonomy name."
+    );
+    let _ = writeln!(out, "# TYPE hyde_span_duration_seconds histogram");
+    for (name, h) in &hists.spans {
+        write_hist(
+            &mut out,
+            "hyde_span_duration_seconds",
+            "span",
+            name,
+            h,
+            DURATION_BOUNDS_NS,
+            fsec,
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP hyde_counter_delta Per-call delta distribution of a counter family."
+    );
+    let _ = writeln!(out, "# TYPE hyde_counter_delta histogram");
+    for (name, h) in &hists.counters {
+        write_hist(
+            &mut out,
+            "hyde_counter_delta",
+            "counter",
+            name,
+            h,
+            VALUE_BOUNDS,
+            |b| b.to_string(),
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP hyde_observed Explicit observe() families (unit in the name)."
+    );
+    let _ = writeln!(out, "# TYPE hyde_observed histogram");
+    for (name, h) in &hists.values {
+        write_hist(
+            &mut out,
+            "hyde_observed",
+            "family",
+            name,
+            h,
+            VALUE_BOUNDS,
+            |b| b.to_string(),
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP hyde_obs_dropped_events_total Events dropped at the buffer cap."
+    );
+    let _ = writeln!(out, "# TYPE hyde_obs_dropped_events_total counter");
+    let _ = writeln!(
+        out,
+        "hyde_obs_dropped_events_total {}",
+        report.dropped_events
+    );
+    let _ = writeln!(
+        out,
+        "# HELP hyde_obs_threads_observed Distinct tracks that recorded events."
+    );
+    let _ = writeln!(out, "# TYPE hyde_obs_threads_observed gauge");
+    let _ = writeln!(out, "hyde_obs_threads_observed {}", report.threads_observed);
+    let _ = writeln!(
+        out,
+        "# HELP hyde_obs_unclosed_spans Spans still open at snapshot time."
+    );
+    let _ = writeln!(out, "# TYPE hyde_obs_unclosed_spans gauge");
+    let _ = writeln!(out, "hyde_obs_unclosed_spans {}", report.unclosed_spans);
+    let _ = writeln!(
+        out,
+        "# HELP hyde_obs_wall_seconds Wall-clock extent of the trace."
+    );
+    let _ = writeln!(out, "# TYPE hyde_obs_wall_seconds gauge");
+    let _ = writeln!(
+        out,
+        "hyde_obs_wall_seconds {}",
+        fsec(report.wall_us * 1_000)
+    );
+    out
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (e.g. `hyde_counter_total`).
+    pub metric: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Looks up a label value.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses exposition text back into samples (comments skipped). Used by
+/// the scrape-endpoint tests to verify the payload round-trips.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+        let (head, value) = line.rsplit_once(' ').ok_or_else(|| err("missing value"))?;
+        let value: f64 = value.parse().map_err(|_| err("bad value"))?;
+        let (metric, labels) = if let Some(open) = head.find('{') {
+            let close = head.rfind('}').ok_or_else(|| err("unclosed labels"))?;
+            let mut labels = Vec::new();
+            let body = &head[open + 1..close];
+            let mut rest = body;
+            while !rest.is_empty() {
+                let eq = rest.find('=').ok_or_else(|| err("label missing ="))?;
+                let key = rest[..eq].trim().to_owned();
+                let after = &rest[eq + 1..];
+                if !after.starts_with('"') {
+                    return Err(err("label value not quoted"));
+                }
+                let mut val = String::new();
+                let mut chars = after[1..].char_indices();
+                let mut consumed = None;
+                while let Some((i, ch)) = chars.next() {
+                    match ch {
+                        '\\' => {
+                            if let Some((_, esc)) = chars.next() {
+                                val.push(match esc {
+                                    'n' => '\n',
+                                    other => other,
+                                });
+                            }
+                        }
+                        '"' => {
+                            consumed = Some(i);
+                            break;
+                        }
+                        _ => val.push(ch),
+                    }
+                }
+                let end = consumed.ok_or_else(|| err("unterminated label value"))?;
+                labels.push((key, val));
+                rest = after[1 + end + 1..].trim_start_matches(',').trim_start();
+            }
+            (head[..open].to_owned(), labels)
+        } else {
+            (head.to_owned(), Vec::new())
+        };
+        if metric.is_empty() {
+            return Err(err("empty metric name"));
+        }
+        samples.push(Sample {
+            metric,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report;
+    use crate::{CounterAgg, Event, EventPhase};
+    use std::collections::BTreeMap;
+
+    fn sample_state() -> (ObsReport, HistogramSet) {
+        let events = vec![
+            Event {
+                name: "x",
+                track: 0,
+                ts_ns: 0,
+                phase: EventPhase::Begin,
+                chunk: false,
+            },
+            Event {
+                name: "x",
+                track: 0,
+                ts_ns: 3_000_000,
+                phase: EventPhase::End,
+                chunk: false,
+            },
+        ];
+        let mut counters = BTreeMap::new();
+        counters.insert("bdd.cache_hits", CounterAgg { count: 4, sum: 400 });
+        let mut hists = HistogramSet::default();
+        let mut h = Histogram::new();
+        h.record(3_000_000);
+        hists.spans.insert("x".to_owned(), h);
+        let mut v = Histogram::new();
+        v.record(42);
+        hists.values.insert("lat_us".to_owned(), v);
+        (report::build(&events, &counters, &hists, 0), hists)
+    }
+
+    #[test]
+    fn render_parse_round_trip_matches_report() {
+        let (rep, hists) = sample_state();
+        let text = render(&rep, &hists);
+        let samples = parse(&text).expect("exposition parses");
+
+        let ctr = samples
+            .iter()
+            .find(|s| {
+                s.metric == "hyde_counter_total" && s.label("counter") == Some("bdd.cache_hits")
+            })
+            .expect("counter series present");
+        assert_eq!(ctr.value, 400.0);
+
+        let count = samples
+            .iter()
+            .find(|s| {
+                s.metric == "hyde_span_duration_seconds_count" && s.label("span") == Some("x")
+            })
+            .expect("span histogram count");
+        assert_eq!(count.value, 1.0);
+
+        // Cumulative buckets are monotone and end at the total count.
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| {
+                s.metric == "hyde_span_duration_seconds_bucket" && s.label("span") == Some("x")
+            })
+            .collect();
+        assert!(!buckets.is_empty());
+        let mut last = -1.0;
+        for b in &buckets {
+            assert!(b.value >= last, "buckets must be cumulative");
+            last = b.value;
+        }
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        assert_eq!(buckets.last().unwrap().value, 1.0);
+
+        let fam = samples
+            .iter()
+            .find(|s| s.metric == "hyde_observed_sum" && s.label("family") == Some("lat_us"))
+            .expect("observe family");
+        assert_eq!(fam.value, 42.0);
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        assert_eq!(escape_label("a\"b\\c"), "a\\\"b\\\\c");
+        let text = "m{k=\"a\\\"b\\\\c\"} 1\n";
+        let samples = parse(text).expect("parses");
+        assert_eq!(samples[0].label("k"), Some("a\"b\\c"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("novalue").is_err());
+        assert!(parse("m{k=unquoted} 1").is_err());
+        assert!(parse("m 1\n# comment\nm2 2").unwrap().len() == 2);
+    }
+}

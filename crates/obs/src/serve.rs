@@ -1,0 +1,224 @@
+//! Dependency-free metrics scrape endpoint over `std::net::TcpListener`.
+//!
+//! [`MetricsServer::bind`] spawns one background thread serving a
+//! minimal HTTP/1.1 subset — enough for Prometheus and `curl`:
+//!
+//! * `GET /metrics` — the [`crate::prom`] exposition of the global
+//!   collector (counters from the flushed [`crate::ObsReport`],
+//!   histogram buckets from the lane snapshot);
+//! * `GET /healthz` — a JSON liveness snapshot: uptime, circuits
+//!   mapped, degradations taken, BDD GC runs, dropped events.
+//!
+//! `hyde-bench --serve-metrics <addr>` owns one of these today; the
+//! ROADMAP's `hyde-serve` daemon is the intended long-term owner, which
+//! is why the server lives here as a reusable module. The listener is
+//! intentionally single-threaded: scrapes are rare (seconds apart) and
+//! cheap, and one thread keeps the shutdown story trivial — set a flag,
+//! poke the socket, join.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cap on the request head we are willing to buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Per-connection socket timeout: a stalled scraper must not wedge the
+/// serving thread.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running scrape endpoint. Dropping (or [`MetricsServer::shutdown`])
+/// stops the serving thread.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, port 0 for ephemeral) and
+    /// starts serving in a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let started = Instant::now();
+        let handle = std::thread::Builder::new()
+            .name("hyde-obs-serve".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        handle_connection(stream, started);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            local_addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the serving thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            // Unblock accept() with a throwaway connection; if it fails
+            // the listener is already gone and join returns regardless.
+            let _ = TcpStream::connect_timeout(&self.local_addr, IO_TIMEOUT);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Reads the request head and writes the routed response. All errors are
+/// swallowed: a broken scrape must never take the host process down.
+fn handle_connection(mut stream: TcpStream, started: Instant) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let t0 = Instant::now();
+    let _span = crate::span!("obs.serve.request");
+    crate::counter("obs.serve.requests", 1);
+
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&head);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+
+    let (status, content_type, body) = match path {
+        "/metrics" => {
+            let report = crate::report();
+            let hists = crate::histograms();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::prom::render(&report, &hists),
+            )
+        }
+        "/healthz" | "/health" => ("200 OK", "application/json", healthz_json(started)),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_owned(),
+        ),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    crate::observe("obs.serve.request_us", t0.elapsed().as_micros() as u64);
+}
+
+/// The `/healthz` snapshot: liveness plus the handful of run-level
+/// indicators an operator checks first.
+fn healthz_json(started: Instant) -> String {
+    let report = crate::report();
+    let circuits: u64 = ["bench.circuit", "bench.chaos_circuit", "lint.circuit"]
+        .iter()
+        .filter_map(|name| report.phase(name))
+        .map(|p| p.count)
+        .sum();
+    let degradations: u64 = report
+        .counters
+        .iter()
+        // sa:allow(SA006): a report-filter prefix, not a counter increment
+        .filter(|c| c.name.starts_with("guard.degrade."))
+        .map(|c| c.sum)
+        .sum();
+    let gc_runs = report.counter("bdd.gc.runs").map_or(0, |c| c.sum);
+    format!(
+        "{{\"status\": \"ok\", \"uptime_s\": {:.3}, \"tracing_enabled\": {}, \
+         \"circuits_mapped\": {circuits}, \"degradations\": {degradations}, \
+         \"gc_runs\": {gc_runs}, \"dropped_events\": {}, \"threads_observed\": {}}}\n",
+        started.elapsed().as_secs_f64(),
+        crate::enabled(),
+        report.dropped_events,
+        report.threads_observed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal HTTP GET against the server, returning (status line, body).
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        .expect("write request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has head/body split");
+        let status = head.lines().next().unwrap_or_default().to_owned();
+        (status, body.to_owned())
+    }
+
+    #[test]
+    fn serves_metrics_and_healthz_on_ephemeral_port() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        let samples = crate::prom::parse(&body).expect("exposition parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.metric == "hyde_obs_dropped_events_total"));
+
+        let (status, body) = http_get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        let doc = crate::json::parse(&body).expect("healthz is JSON");
+        assert_eq!(doc.get("status").unwrap().as_str().unwrap(), "ok");
+
+        let (status, _) = http_get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        server.shutdown();
+    }
+}

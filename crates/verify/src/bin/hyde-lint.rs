@@ -528,6 +528,23 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = &trace_path {
+        let dropped = hyde_obs::dropped();
+        if dropped > 0 {
+            // The cap only truncates the event timeline; counters and
+            // histogram percentiles are recorded unconditionally.
+            let d = Diagnostic::new(
+                Code::ObsDroppedEvents,
+                format!(
+                    "{dropped} trace event(s) dropped at the buffer cap; the exported \
+                     timeline is truncated (counters and histogram percentiles are \
+                     complete)"
+                ),
+            );
+            if opts.json {
+                out(&json_line("trace", &d));
+            }
+            eprintln!("hyde-lint: {d}");
+        }
         match hyde_obs::write_artifacts(path) {
             Ok(folded) => eprintln!("hyde-lint: trace written to {path} and {folded}"),
             Err(e) => {

@@ -12,7 +12,14 @@
 //!   bounded proof budget and `strict-checks` invariant gates enabled
 //! * `bench` — `hyde-bench` over the 25-circuit suite, writing
 //!   `BENCH_<name>.json`; `bench --smoke` runs the 3-circuit subset and
-//!   validates the emitted JSON schema (the CI configuration)
+//!   validates the emitted JSON schema (the CI configuration);
+//!   `bench --record` additionally appends one `hyde-traj-v1` point to
+//!   `BENCH_TRAJECTORY.jsonl` (and re-validates the whole file)
+//! * `perf-diff [<old> <new>]` — compare two benchmark (or trace) JSON
+//!   documents and fail on per-circuit wall-clock regressions beyond
+//!   the smoke gate (1.3x + 2ms slack), naming the phases whose
+//!   self-time grew; with no arguments, compares the committed
+//!   `BENCH_smoke.json` (`git show HEAD:...`) against the working tree
 //! * `trace <circuit>` — run the traced flow on one circuit and write
 //!   `TRACE_<circuit>.json` (Chrome trace-event JSON, load in Perfetto)
 //!   plus `TRACE_<circuit>.folded` (collapsed stacks, feed to
@@ -113,7 +120,7 @@ fn lint_suite(root: &Path, deep: bool) -> Result<(), String> {
     run(root, &args)
 }
 
-fn bench(root: &Path, smoke: bool) -> Result<(), String> {
+fn bench(root: &Path, smoke: bool, record: bool) -> Result<(), String> {
     let name = if smoke { "smoke" } else { "hot_path" };
     let mut args = vec![
         "run",
@@ -142,7 +149,100 @@ fn bench(root: &Path, smoke: bool) -> Result<(), String> {
         path.display(),
         hyde_bench::perf::SCHEMA
     );
+    if record {
+        record_trajectory(root, name, &json)?;
+    }
     Ok(())
+}
+
+/// Appends one trajectory point for the bench run `name` to
+/// `BENCH_TRAJECTORY.jsonl`, then re-validates the whole file so a
+/// malformed append can never land silently.
+fn record_trajectory(root: &Path, name: &str, bench_json: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    let recorded_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .ok();
+    let line = hyde_bench::diff::trajectory_line(name, bench_json, recorded_at)
+        .map_err(|e| format!("bench --record: {e}"))?;
+    let path = root.join("BENCH_TRAJECTORY.jsonl");
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    writeln!(file, "{line}").map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let points = hyde_bench::diff::validate_trajectory(&text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "xtask: appended trajectory point '{name}' -> {} ({points} point(s), {})",
+        path.display(),
+        hyde_bench::diff::TRAJ_SCHEMA
+    );
+    Ok(())
+}
+
+/// Compares two benchmark (or Chrome trace) JSON documents and fails on
+/// per-circuit wall-clock regressions beyond the smoke gate, attributing
+/// each to the phases whose self-time grew. With no explicit paths, the
+/// committed `BENCH_smoke.json` (read via `git show HEAD:...`, so it
+/// works even after the working-tree file has been regenerated) is the
+/// baseline and the working-tree file is the candidate.
+fn perf_diff(root: &Path, old: Option<&str>, new: Option<&str>) -> Result<(), String> {
+    let (old_label, old_text, new_label, new_text) = match (old, new) {
+        (Some(o), Some(n)) => {
+            let read = |p: &str| {
+                std::fs::read_to_string(root.join(p)).map_err(|e| format!("perf-diff: {p}: {e}"))
+            };
+            (o.to_owned(), read(o)?, n.to_owned(), read(n)?)
+        }
+        (None, None) => {
+            let output = Command::new("git")
+                .args(["show", "HEAD:BENCH_smoke.json"])
+                .current_dir(root)
+                .output()
+                .map_err(|e| format!("perf-diff: failed to spawn git: {e}"))?;
+            if !output.status.success() {
+                return Err(
+                    "perf-diff: `git show HEAD:BENCH_smoke.json` failed; is a baseline \
+                     committed? (or pass explicit paths: `cargo xtask perf-diff <old> <new>`)"
+                        .into(),
+                );
+            }
+            let old_text = String::from_utf8(output.stdout)
+                .map_err(|_| "perf-diff: HEAD:BENCH_smoke.json is not UTF-8".to_owned())?;
+            let path = root.join("BENCH_smoke.json");
+            let new_text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("perf-diff: {}: {e}", path.display()))?;
+            (
+                "HEAD:BENCH_smoke.json".to_owned(),
+                old_text,
+                "BENCH_smoke.json".to_owned(),
+                new_text,
+            )
+        }
+        _ => {
+            return Err(
+                "perf-diff takes zero or two paths: `cargo xtask perf-diff [<old> <new>]`".into(),
+            )
+        }
+    };
+    println!("xtask: perf-diff {old_label} -> {new_label}");
+    let diff =
+        hyde_bench::diff::diff(&old_text, &new_text).map_err(|e| format!("perf-diff: {e}"))?;
+    print!("{}", diff.render());
+    if diff.regressed() {
+        Err(format!(
+            "perf-diff: {} circuit(s) regressed beyond the {}x + {}ms gate",
+            diff.regressions.len(),
+            hyde_bench::diff::MAX_RATIO,
+            hyde_bench::diff::SLACK_MS
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn trace(root: &Path, circuit: &str) -> Result<(), String> {
@@ -352,12 +452,22 @@ fn main() -> ExitCode {
     let task = args.first().cloned().unwrap_or_else(|| "all".into());
     let deep = args.iter().any(|a| a == "--deep");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let record = args.iter().any(|a| a == "--record");
     let result = match task.as_str() {
         "fmt" => fmt(&root),
         "clippy" => clippy(&root),
         "test" => test(&root),
         "lint-suite" => lint_suite(&root, deep),
-        "bench" => bench(&root, smoke),
+        "bench" => bench(&root, smoke, record),
+        "perf-diff" => {
+            let paths: Vec<&str> = args
+                .iter()
+                .skip(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .collect();
+            perf_diff(&root, paths.first().copied(), paths.get(1).copied())
+        }
         "trace" => match args.get(1).filter(|a| !a.starts_with("--")) {
             Some(circuit) => trace(&root, circuit),
             None => Err("trace needs a circuit name, e.g. `cargo xtask trace rd73`".into()),
@@ -370,12 +480,14 @@ fn main() -> ExitCode {
             .and_then(|()| analyze(&root, false))
             .and_then(|()| test(&root))
             .and_then(|()| lint_suite(&root, true))
-            .and_then(|()| bench(&root, true))
+            .and_then(|()| bench(&root, true, false))
+            .and_then(|()| perf_diff(&root, None, None))
             .and_then(|()| trace(&root, "rd73"))
             .and_then(|()| chaos(&root)),
         other => Err(format!(
             "unknown task '{other}' (expected fmt | clippy | test | lint-suite [--deep] | \
-             bench [--smoke] | trace <circuit> | chaos | analyze [--diff] | all)"
+             bench [--smoke] [--record] | perf-diff [<old> <new>] | trace <circuit> | chaos | \
+             analyze [--diff] | all)"
         )),
     };
     match result {
