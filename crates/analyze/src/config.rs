@@ -43,6 +43,8 @@ pub const SPANS: &[(&str, &str)] = &[
     ("bench.circuit", "bench"),
     ("bench.chaos_circuit", "bench"),
     ("obs.serve.request", "obs"),
+    ("serve.request", "serve"),
+    ("serve.job", "serve"),
     ("sa.lex", "analyze"),
     ("sa.parse", "analyze"),
     ("sa.resolve", "analyze"),
@@ -89,6 +91,16 @@ pub const COUNTERS: &[&str] = &[
     "sched.steal.blocks",
     "sched.steal.steals",
     "obs.serve.requests",
+    "serve.requests",
+    "serve.submitted",
+    "serve.completed",
+    "serve.retries",
+    "serve.quarantined",
+    "serve.rejected",
+    "serve.cancelled",
+    "serve.recovered",
+    "serve.journal.events",
+    "serve.watchdog.overruns",
     "guard.chaos.injected",
     "guard.hyper_fallback",
     "guard.degrade.exact",
@@ -108,6 +120,9 @@ pub const COUNTERS: &[&str] = &[
 pub const HISTOGRAMS: &[(&str, &str)] = &[
     ("bench.circuit_wall_us", "bench"),
     ("obs.serve.request_us", "obs"),
+    ("serve.request_us", "serve"),
+    ("serve.job_wall_us", "serve"),
+    ("serve.queue_wait_us", "serve"),
 ];
 
 /// Phase-level functions that must open their documented span:

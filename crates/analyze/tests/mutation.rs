@@ -139,6 +139,37 @@ fn sa009_fires_on_new_panic_reaching_api_with_call_path() {
 }
 
 #[test]
+fn sa009_fires_on_unratcheted_panic_reaching_serve_api() {
+    // The serve crate's public surface is ratcheted like everyone
+    // else's: a new panic-reachable public fn that nobody added to
+    // SA009-panic-reach.txt must fire, so service-layer panics cannot
+    // sneak past the supervision story unreviewed.
+    let mut ws = workspace();
+    let file = "crates/serve/src/protocol.rs";
+    mutate_file(&mut ws, file, |t| {
+        format!(
+            "{t}\npub fn mutated_serve_api(line: &str) -> u64 {{ mutated_parse(line) }}\n\
+             fn mutated_parse(line: &str) -> u64 {{ line.parse().unwrap() }}\n"
+        )
+    });
+    let found = findings_of(
+        &ws,
+        Box::new(passes::panic_reach::PanicReachPass),
+        "SA009",
+        file,
+    );
+    let f = found
+        .iter()
+        .find(|f| f.message.contains("mutated_serve_api"))
+        .unwrap_or_else(|| panic!("{found:?}"));
+    assert!(
+        f.path.iter().any(|hop| hop.contains("mutated_parse")),
+        "{:?}",
+        f.path
+    );
+}
+
+#[test]
 fn sa010_fires_on_budget_less_flow_with_call_path() {
     let mut ws = workspace();
     let file = "crates/core/src/classes.rs";

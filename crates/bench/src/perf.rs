@@ -12,7 +12,9 @@
 
 use hyde_circuits::Circuit;
 use hyde_core::CoreError;
-use hyde_map::flow::{FlowKind, MappingFlow};
+use hyde_guard::RetryPolicy;
+use hyde_map::flow::FlowKind;
+use hyde_map::session::{BudgetSpec, Job, JobErrorKind, Session};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -139,32 +141,26 @@ fn flow_bdd_telemetry(
     (rate, Some(probes))
 }
 
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
-    payload
-        .downcast_ref::<&str>()
-        .copied()
-        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-        .unwrap_or("opaque panic payload")
+/// Describes a [`hyde_guard::Budget`] as a serializable
+/// [`BudgetSpec`]: an absolute deadline becomes the milliseconds still
+/// remaining, restarted at each attempt.
+fn budget_spec(budget: &hyde_guard::Budget) -> BudgetSpec {
+    BudgetSpec {
+        deadline_ms: budget
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64),
+        bdd_nodes: budget.bdd_nodes,
+        sat_conflicts: budget.sat_conflicts,
+        candidates: budget.candidates,
+    }
 }
 
-/// Maps one circuit with panic isolation: a panicking flow (a bug, or a
-/// chaos-injected fault) becomes a typed error instead of aborting the
-/// whole batch.
-fn map_isolated(
-    flow: &MappingFlow,
-    c: &Circuit,
-) -> Result<hyde_map::report::MappingReport, CoreError> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        flow.map_outputs(&c.name, &c.outputs)
-    }))
-    .unwrap_or_else(|payload| {
-        Err(CoreError::Verification(format!(
-            "circuit '{}' panicked: {}",
-            c.name,
-            panic_message(payload.as_ref())
-        )))
-    })
+/// The single-attempt batch [`Session`] the bench drivers run on — the
+/// same supervised path `hyde-serve` uses, minus retries, so a
+/// panicking circuit (a bug, or a chaos-injected fault) becomes a typed
+/// error instead of aborting the whole batch.
+fn batch_session(k: usize) -> Session {
+    Session::new(k, FlowKind::hyde(0xDA98)).with_retry(RetryPolicy::single_attempt())
 }
 
 /// Runs the HYDE flow (k-input LUTs) over `circuits`, measuring each.
@@ -186,13 +182,26 @@ pub fn run_bench_budgeted(
     k: usize,
     budget: hyde_guard::Budget,
 ) -> Result<BenchRun, CoreError> {
-    let flow = MappingFlow::new(k, FlowKind::hyde(0xDA98)).with_budget(budget);
+    let session = batch_session(k);
+    let spec = budget_spec(&budget);
     let mut samples = Vec::with_capacity(circuits.len());
     for c in circuits {
         let _obs = hyde_obs::span!("bench.circuit");
         let stats_before = hyde_bdd::global_stats();
         let start = Instant::now();
-        let report = map_isolated(&flow, c)?;
+        let job = Job::new(&c.name, c.outputs.clone()).with_budget(spec);
+        let report = match session.run(&job) {
+            Ok(result) => result.report,
+            Err(e) => {
+                return Err(match e.kind {
+                    JobErrorKind::Panicked(msg) => {
+                        CoreError::Verification(format!("circuit '{}' panicked: {msg}", c.name))
+                    }
+                    JobErrorKind::Mapping(msg) => CoreError::Verification(msg),
+                    JobErrorKind::OutOfBudget(ob) => CoreError::OutOfBudget(ob),
+                })
+            }
+        };
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         hyde_obs::observe("bench.circuit_wall_us", (wall_ms * 1e3) as u64);
         let bdd_nodes = bdd_kernel(c);
@@ -451,9 +460,10 @@ impl ChaosRun {
 /// `HYDE_CHAOS_PANIC=1`) injected panics, every circuit isolated so the
 /// drill always completes. `budget` adds *real* resource caps on top of
 /// the injected ones (pass [`hyde_guard::Budget::unlimited`] for
-/// injection-only drills). Degradation events are drained per circuit and
-/// attached to its sample; every `Ok` sample's network already passed the
-/// flow's CEC verification gate.
+/// injection-only drills). Each circuit runs as a single-attempt
+/// [`Session`] job, so panic isolation and degradation capture are the
+/// same supervised path `hyde-serve` uses; every `Ok` sample's network
+/// already passed the flow's CEC verification gate.
 pub fn run_chaos(
     name: &str,
     circuits: &[Circuit],
@@ -461,30 +471,34 @@ pub fn run_chaos(
     seed: u64,
     budget: hyde_guard::Budget,
 ) -> ChaosRun {
-    let flow = MappingFlow::new(k, FlowKind::hyde(0xDA98))
-        .with_budget(budget)
-        .with_chaos(seed);
+    let session = batch_session(k).with_chaos(seed);
+    let spec = budget_spec(&budget);
     let mut samples = Vec::with_capacity(circuits.len());
-    // Start from a clean log so earlier runs cannot leak events in.
-    hyde_guard::drain_degradations();
     for c in circuits {
         let _obs = hyde_obs::span!("bench.chaos_circuit");
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            flow.map_outputs(&c.name, &c.outputs)
-        }));
-        let status = match outcome {
-            Ok(Ok(report)) => ChaosStatus::Ok { luts: report.luts },
-            Ok(Err(e)) => ChaosStatus::Failed {
-                error: e.to_string(),
-            },
-            Err(payload) => ChaosStatus::Panicked {
-                message: panic_message(payload.as_ref()).to_owned(),
-            },
+        let job = Job::new(&c.name, c.outputs.clone()).with_budget(spec);
+        let (status, degradations) = match session.run(&job) {
+            Ok(result) => (
+                ChaosStatus::Ok {
+                    luts: result.report.luts,
+                },
+                result.degradations,
+            ),
+            Err(e) => {
+                let status = match e.kind {
+                    JobErrorKind::Panicked(message) => ChaosStatus::Panicked { message },
+                    JobErrorKind::Mapping(error) => ChaosStatus::Failed { error },
+                    JobErrorKind::OutOfBudget(ob) => ChaosStatus::Failed {
+                        error: CoreError::OutOfBudget(ob).to_string(),
+                    },
+                };
+                (status, e.degradations)
+            }
         };
         samples.push(ChaosSample {
             name: c.name.clone(),
             status,
-            degradations: hyde_guard::drain_degradations(),
+            degradations,
         });
     }
     ChaosRun {

@@ -110,6 +110,11 @@ pub struct MappingFlow {
     verify_samples: usize,
     /// Resource budget threaded through every decomposition step.
     budget: Budget,
+    /// Topmost rung of the fallback ladder this flow attempts. Defaults
+    /// to [`Rung::Exact`]; a retrying supervisor
+    /// (`hyde_map::session::Session`) lowers it one rung per attempt so
+    /// a job that failed at the exact rung re-runs capped.
+    start_rung: Rung,
     /// Deterministic fault-injection layer (armed from `HYDE_CHAOS` unless
     /// overridden via [`MappingFlow::with_chaos`]).
     chaos: Option<Chaos>,
@@ -134,6 +139,7 @@ impl MappingFlow {
             kind,
             verify_samples: 1 << 12,
             budget: Budget::unlimited(),
+            start_rung: Rung::Exact,
             chaos: Chaos::from_env(),
             cache: Arc::new(DecompCache::new()),
         }
@@ -164,6 +170,19 @@ impl MappingFlow {
     /// The budget this flow enforces.
     pub fn budget(&self) -> &Budget {
         &self.budget
+    }
+
+    /// Caps the ladder at `rung`: rungs above it are skipped without
+    /// recording degradation events (the step down was already taken by
+    /// the retrying caller, not by a budget exhaustion here).
+    pub fn with_start_rung(mut self, rung: Rung) -> Self {
+        self.start_rung = rung;
+        self
+    }
+
+    /// The topmost ladder rung this flow attempts.
+    pub fn start_rung(&self) -> Rung {
+        self.start_rung
     }
 
     /// Replaces the flow's decomposition cache with a shared one, so NPN
@@ -311,38 +330,46 @@ impl MappingFlow {
                 injected,
             });
         };
+        // Rungs above `start_rung` are skipped silently: a retrying
+        // supervisor already took (and recorded) those steps.
         // Rung 1: exact Roth–Karp decomposition.
-        let dec = Decomposer::new(self.k, encoder.clone())
-            .with_budget(self.budget)
-            .with_chaos(self.chaos, ctx)
-            .with_cache(Some(self.cache.clone()));
-        match dec.decompose_onto(net, f, signals, prefix, stats) {
-            Ok(id) => return Ok(id),
-            Err(CoreError::OutOfBudget(ob)) => degrade(Rung::Exact, ob.resource, ob.injected),
-            Err(e) => return Err(e),
+        if self.start_rung <= Rung::Exact {
+            let dec = Decomposer::new(self.k, encoder.clone())
+                .with_budget(self.budget)
+                .with_chaos(self.chaos, ctx)
+                .with_cache(Some(self.cache.clone()));
+            match dec.decompose_onto(net, f, signals, prefix, stats) {
+                Ok(id) => return Ok(id),
+                Err(CoreError::OutOfBudget(ob)) => degrade(Rung::Exact, ob.resource, ob.injected),
+                Err(e) => return Err(e),
+            }
         }
         // Rung 2: BDD cut decomposition under the node cap. Partial nodes
         // left behind by the failed exact attempt are unreachable from any
         // output and disappear in the flow's sweep.
-        match self.bdd_rung(f, ctx, prefix) {
-            Ok(sub) => return splice_subnetwork(net, &sub, signals, &format!("{prefix}_r2")),
-            Err(CoreError::OutOfBudget(ob)) => {
-                degrade(Rung::BddThreshold, ob.resource, ob.injected);
+        if self.start_rung <= Rung::BddThreshold {
+            match self.bdd_rung(f, ctx, prefix) {
+                Ok(sub) => return splice_subnetwork(net, &sub, signals, &format!("{prefix}_r2")),
+                Err(CoreError::OutOfBudget(ob)) => {
+                    degrade(Rung::BddThreshold, ob.resource, ob.injected);
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => return Err(e),
         }
         // Rung 3: Shannon cofactor split. Consumes no budgeted resource
         // beyond the deadline, so it only degrades on an expired deadline
         // or an injected fault.
-        let injected = self
-            .chaos
-            .is_some_and(|c| c.trips(&format!("shannon:{ctx}:{prefix}"), 4));
-        if injected {
-            degrade(Rung::Shannon, Resource::Candidates, true);
-        } else {
-            match self.budget.check_deadline() {
-                Ok(()) => return self.shannon_onto(net, f, signals, &format!("{prefix}_r3")),
-                Err(ob) => degrade(Rung::Shannon, ob.resource, ob.injected),
+        if self.start_rung <= Rung::Shannon {
+            let injected = self
+                .chaos
+                .is_some_and(|c| c.trips(&format!("shannon:{ctx}:{prefix}"), 4));
+            if injected {
+                degrade(Rung::Shannon, Resource::Candidates, true);
+            } else {
+                match self.budget.check_deadline() {
+                    Ok(()) => return self.shannon_onto(net, f, signals, &format!("{prefix}_r3")),
+                    Err(ob) => degrade(Rung::Shannon, ob.resource, ob.injected),
+                }
             }
         }
         // Rung 4: direct SOP cover — the floor of the ladder.

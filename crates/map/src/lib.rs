@@ -35,10 +35,12 @@ pub mod cover;
 pub mod delay;
 pub mod flow;
 pub mod report;
+pub mod session;
 pub mod xc3000;
 
 pub use cluster::cluster_outputs;
 pub use cover::compact;
 pub use flow::{FlowKind, MappingFlow};
 pub use report::MappingReport;
+pub use session::{Job, JobError, JobResult, Session};
 pub use xc3000::pack_clbs;

@@ -1,0 +1,217 @@
+//! Bounded job queue with budget-based admission control.
+//!
+//! Depth and aggregate-node caps come from
+//! [`hyde_guard::AdmissionLimits`]; an over-cap submission is a typed
+//! [`hyde_guard::Rejected`] with a `retry_after` hint (backpressure,
+//! not failure). Closing the queue flips every subsequent submit to
+//! `shutting-down` and wakes blocked workers so they can drain their
+//! current job and exit.
+
+use crate::protocol::JobSpec;
+use hyde_guard::{AdmissionLimits, RejectReason, Rejected};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct QueueInner {
+    q: VecDeque<(JobSpec, Instant)>,
+    pending_nodes: u64,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer job queue.
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    cond: Condvar,
+    limits: AdmissionLimits,
+}
+
+impl JobQueue {
+    /// An empty open queue under `limits`.
+    pub fn new(limits: AdmissionLimits) -> Self {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                q: VecDeque::new(),
+                pending_nodes: 0,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            limits,
+        }
+    }
+
+    /// Admits `spec` if the caps allow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Rejected`] on overload or shutdown.
+    pub fn submit(&self, spec: JobSpec) -> Result<(), Rejected> {
+        let mut g = self.inner.lock().expect("queue mutex");
+        if g.closed {
+            return Err(Rejected {
+                reason: RejectReason::ShuttingDown,
+                retry_after: Duration::from_secs(1),
+            });
+        }
+        let charge = spec.budget.node_charge();
+        self.limits.admit(g.q.len(), g.pending_nodes, charge)?;
+        g.pending_nodes += charge;
+        g.q.push_back((spec, Instant::now()));
+        drop(g);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Admission pre-check without enqueueing. Submissions are
+    /// serialized by the service, and workers only ever *remove* items,
+    /// so a passing check cannot be invalidated before the matching
+    /// [`JobQueue::requeue`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Rejected`] on overload or shutdown.
+    pub fn would_admit(&self, spec: &JobSpec) -> Result<(), Rejected> {
+        let g = self.inner.lock().expect("queue mutex");
+        if g.closed {
+            return Err(Rejected {
+                reason: RejectReason::ShuttingDown,
+                retry_after: Duration::from_secs(1),
+            });
+        }
+        self.limits
+            .admit(g.q.len(), g.pending_nodes, spec.budget.node_charge())
+    }
+
+    /// Re-enqueues a replayed job, bypassing admission (it was admitted
+    /// before the restart; refusing it now would lose durable work).
+    pub fn requeue(&self, spec: JobSpec) {
+        let mut g = self.inner.lock().expect("queue mutex");
+        g.pending_nodes += spec.budget.node_charge();
+        g.q.push_back((spec, Instant::now()));
+        drop(g);
+        self.cond.notify_one();
+    }
+
+    /// Blocks for the next job. `None` means the queue is closed —
+    /// workers finish their current job and exit; whatever is still
+    /// queued stays journaled for the next start.
+    pub fn pop(&self) -> Option<(JobSpec, Instant)> {
+        let mut g = self.inner.lock().expect("queue mutex");
+        loop {
+            if g.closed {
+                return None;
+            }
+            if let Some((spec, enq)) = g.q.pop_front() {
+                g.pending_nodes = g.pending_nodes.saturating_sub(spec.budget.node_charge());
+                return Some((spec, enq));
+            }
+            g = self.cond.wait(g).expect("queue condvar");
+        }
+    }
+
+    /// Removes a queued job. Returns whether it was found (a running or
+    /// terminal job is not cancellable here).
+    pub fn cancel(&self, id: &str) -> bool {
+        let mut g = self.inner.lock().expect("queue mutex");
+        let before = g.q.len();
+        let mut freed = 0u64;
+        g.q.retain(|(spec, _)| {
+            if spec.id == id {
+                freed += spec.budget.node_charge();
+                false
+            } else {
+                true
+            }
+        });
+        g.pending_nodes = g.pending_nodes.saturating_sub(freed);
+        g.q.len() != before
+    }
+
+    /// Whether `id` is currently queued.
+    pub fn contains(&self, id: &str) -> bool {
+        let g = self.inner.lock().expect("queue mutex");
+        g.q.iter().any(|(spec, _)| spec.id == id)
+    }
+
+    /// Closes the queue: all waiters wake, further submits are
+    /// rejected with `shutting-down`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue mutex").closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Queued (not running) job count.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue mutex").q.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::JobKind;
+    use hyde_map::session::BudgetSpec;
+
+    fn spec(id: &str) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            name: id.into(),
+            kind: JobKind::Suite {
+                circuit: "misex1".into(),
+            },
+            budget: BudgetSpec::unlimited(),
+        }
+    }
+
+    #[test]
+    fn depth_cap_rejects_with_backpressure() {
+        let q = JobQueue::new(AdmissionLimits {
+            max_depth: 2,
+            max_pending_nodes: u64::MAX,
+        });
+        q.submit(spec("a")).unwrap();
+        q.submit(spec("b")).unwrap();
+        let r = q.submit(spec("c")).unwrap_err();
+        assert_eq!(r.reason, RejectReason::QueueFull);
+        assert!(!r.retry_after.is_zero());
+        // Popping frees a slot.
+        assert_eq!(q.pop().unwrap().0.id, "a");
+        q.submit(spec("c")).unwrap();
+    }
+
+    #[test]
+    fn node_budget_saturation_rejects() {
+        let q = JobQueue::new(AdmissionLimits {
+            max_depth: 100,
+            max_pending_nodes: 10,
+        });
+        let mut s = spec("a");
+        s.budget.bdd_nodes = Some(8);
+        q.submit(s).unwrap();
+        let mut s = spec("b");
+        s.budget.bdd_nodes = Some(8);
+        let r = q.submit(s).unwrap_err();
+        assert_eq!(r.reason, RejectReason::BudgetSaturated);
+    }
+
+    #[test]
+    fn cancel_removes_only_queued_jobs() {
+        let q = JobQueue::new(AdmissionLimits::standard());
+        q.submit(spec("a")).unwrap();
+        assert!(q.cancel("a"));
+        assert!(!q.cancel("a"));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn close_wakes_waiters_and_rejects_submits() {
+        let q = std::sync::Arc::new(JobQueue::new(AdmissionLimits::standard()));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+        let r = q.submit(spec("x")).unwrap_err();
+        assert_eq!(r.reason, RejectReason::ShuttingDown);
+    }
+}

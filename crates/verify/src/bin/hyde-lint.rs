@@ -9,10 +9,10 @@
 use hyde_core::decompose::{decompose_step, Decomposer};
 use hyde_core::encoding::EncoderKind;
 use hyde_core::hyper::HyperFunction;
-use hyde_core::CoreError;
 use hyde_logic::diag::{Code, Diagnostic, Location, Severity};
 use hyde_logic::{blif, pla::Pla, Network, NodeRole, TruthTable};
-use hyde_map::flow::{FlowKind, MappingFlow};
+use hyde_map::flow::FlowKind;
+use hyde_map::session::{Job, JobErrorKind, Session};
 use hyde_verify::deep::{register_deep, DeepConfig, ProofLog, ProofRecord};
 use hyde_verify::{Artifact, Registry};
 use std::collections::HashSet;
@@ -214,14 +214,16 @@ fn lint_file(path: &str, opts: &Options, registry: &Registry) -> Result<Vec<Diag
 /// proof on a single Roth–Karp step.
 fn lint_suite(opts: &Options, registry: &Registry) -> Vec<(String, Vec<Diagnostic>)> {
     let k = opts.k.unwrap_or(5);
-    let flow = MappingFlow::new(k, FlowKind::hyde(0xDA98));
+    // Mapping runs through the same single-attempt Session the bench
+    // drivers and hyde-serve share; the outer catch_unwind only guards
+    // the lint-only paths (hyper recovery, deep proofs) that run
+    // outside the supervised mapping attempt.
+    let session = Session::new(k, FlowKind::hyde(0xDA98));
     let mut results = Vec::new();
     for circuit in hyde_circuits::suite() {
         let _obs = hyde_obs::span!("lint.circuit");
-        // Per-circuit panic isolation: one aborting circuit reports HY504
-        // instead of taking the whole suite down.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            lint_suite_circuit(&circuit, opts, registry, &flow, k)
+            lint_suite_circuit(&circuit, opts, registry, &session, k)
         }));
         let diags = outcome.unwrap_or_else(|payload| {
             vec![Diagnostic::new(
@@ -251,13 +253,17 @@ fn lint_suite_circuit(
     circuit: &hyde_circuits::Circuit,
     opts: &Options,
     registry: &Registry,
-    flow: &MappingFlow,
+    session: &Session,
     k: usize,
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     {
-        match flow.map_outputs(&circuit.name, &circuit.outputs) {
-            Ok(mut report) => {
+        let job = Job::new(&circuit.name, circuit.outputs.clone());
+        // The ladder's degradation trail (HY501–HY503/HY505) comes back
+        // attached to the job instead of drained from the global log.
+        let degradations = match session.run(&job) {
+            Ok(result) => {
+                let mut report = result.report;
                 if let Some(seed) = opts.mutate {
                     if let Some(what) = corrupt_one_lut_bit(&mut report.network, seed) {
                         eprintln!("{}: mutated {what}", circuit.name);
@@ -268,21 +274,26 @@ fn lint_suite_circuit(
                     k: Some(k),
                     spec: Some(&circuit.outputs),
                 }));
+                result.degradations
             }
-            // An exhaustion that escaped every rung of the ladder: the
-            // circuit produced no output at all.
-            Err(CoreError::OutOfBudget(e)) => diags.push(Diagnostic::new(
-                Code::BudgetExhausted,
-                format!("mapping failed: {e}"),
-            )),
-            Err(e) => diags.push(Diagnostic::new(
-                Code::NetworkSpecMismatch,
-                format!("mapping failed: {e}"),
-            )),
-        }
-        // Surface the ladder's degradation trail (HY501–HY503/HY505)
-        // next to the circuit it belongs to.
-        let degradations = hyde_guard::drain_degradations();
+            Err(e) => {
+                diags.push(match &e.kind {
+                    // An exhaustion that escaped every rung of the
+                    // ladder: the circuit produced no output at all.
+                    JobErrorKind::OutOfBudget(ob) => {
+                        Diagnostic::new(Code::BudgetExhausted, format!("mapping failed: {ob}"))
+                    }
+                    JobErrorKind::Panicked(msg) => Diagnostic::new(
+                        Code::BudgetExhausted,
+                        format!("circuit aborted by panic: {msg}"),
+                    ),
+                    JobErrorKind::Mapping(msg) => {
+                        Diagnostic::new(Code::NetworkSpecMismatch, format!("mapping failed: {msg}"))
+                    }
+                });
+                e.degradations
+            }
+        };
         if !degradations.is_empty() {
             diags.extend(registry.run(&Artifact::Degradations(&degradations)));
         }

@@ -30,6 +30,12 @@
 //!   with per-circuit isolation, writing `CHAOS_chaos_s<seed>.json`) and
 //!   then `hyde-lint --suite --deep` with `HYDE_CHAOS=<seed>`, which
 //!   CEC-proves every degraded network against its specification
+//! * `serve-drill` — the crash-recovery drill: for each chaos seed, run
+//!   the full suite through a supervised `hyde-serve` service with
+//!   worker kills/stalls injected (every job terminal, zero process
+//!   aborts, outputs byte-identical to the offline session), then
+//!   SIGKILL a serving child mid-run and require a restart on the same
+//!   journal to finish the rest; writes `CHAOS_serve_s<seed>.json`
 //! * `analyze` — run the `hyde-sa` static analyzer (SA001–SA013:
 //!   determinism, panic-surface and panic-reachability ratchets,
 //!   budget flow, obs coverage, diag-registry consistency, feature
@@ -364,6 +370,48 @@ fn chaos(root: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// The `hyde-serve` crash-recovery drill: for each chaos seed, run the
+/// full suite through a supervised service with worker kills and stalls
+/// injected (every job must reach a terminal state with zero process
+/// aborts and byte-identical outputs to the offline session), then
+/// `SIGKILL` a serving child mid-run and require a restart on the same
+/// journal to finish the remaining jobs. Writes and validates
+/// `CHAOS_serve_s<seed>.json` per seed.
+fn serve_drill(root: &Path) -> Result<(), String> {
+    for seed in CHAOS_SEEDS {
+        let seed_str = seed.to_string();
+        let out = format!("CHAOS_serve_s{seed}.json");
+        run(
+            root,
+            &[
+                "run",
+                "-q",
+                "--release",
+                "-p",
+                "hyde-serve",
+                "--bin",
+                "hyde-serve",
+                "--",
+                "--drill",
+                &seed_str,
+                "--drill-out",
+                &out,
+            ],
+        )?;
+        let path = root.join(&out);
+        let json =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        hyde_bench::perf::validate_chaos_json(&json)
+            .map_err(|e| format!("{}: serve drill validation failed: {e}", path.display()))?;
+        println!(
+            "xtask: {} parses as {}",
+            path.display(),
+            hyde_bench::perf::CHAOS_SCHEMA
+        );
+    }
+    Ok(())
+}
+
 /// Runs the `hyde-sa` static analyzer in-process over the workspace and
 /// writes `ANALYZE.json` at the root.
 ///
@@ -473,6 +521,7 @@ fn main() -> ExitCode {
             None => Err("trace needs a circuit name, e.g. `cargo xtask trace rd73`".into()),
         },
         "chaos" => chaos(&root),
+        "serve-drill" => serve_drill(&root),
         "analyze" => analyze(&root, args.iter().any(|a| a == "--diff")),
         "unwrap-gate" => unwrap_gate(&root),
         "all" => fmt(&root)
@@ -483,11 +532,12 @@ fn main() -> ExitCode {
             .and_then(|()| bench(&root, true, false))
             .and_then(|()| perf_diff(&root, None, None))
             .and_then(|()| trace(&root, "rd73"))
-            .and_then(|()| chaos(&root)),
+            .and_then(|()| chaos(&root))
+            .and_then(|()| serve_drill(&root)),
         other => Err(format!(
             "unknown task '{other}' (expected fmt | clippy | test | lint-suite [--deep] | \
              bench [--smoke] [--record] | perf-diff [<old> <new>] | trace <circuit> | chaos | \
-             analyze [--diff] | all)"
+             serve-drill | analyze [--diff] | all)"
         )),
     };
     match result {

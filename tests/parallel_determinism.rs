@@ -61,4 +61,67 @@ fn networks_are_byte_identical_across_thread_counts() {
         }
     }
     std::env::remove_var("HYDE_THREADS");
+
+    // The service path must agree with the offline `Session` byte for
+    // byte at any worker count, even when chaos-injected worker kills
+    // force retries: supervision may change *when* a job runs and how
+    // many attempts it takes, never *what* it produces. Seed 42 trips
+    // a worker fault on every one of the picked circuits, so the retry
+    // path is genuinely exercised (asserted below).
+    let seed = 42;
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // injected kills are expected
+    let offline = hyde_serve::drill::offline_session(seed);
+    let expected: Vec<_> = circuits
+        .iter()
+        .map(|c| {
+            offline
+                .run(&hyde_serve::drill::offline_job(c))
+                .map(|r| r.blif())
+                .map_err(|e| e.to_string())
+        })
+        .collect();
+    for workers in [1usize, 8] {
+        let service = hyde_serve::service::MapService::start(
+            hyde_serve::drill::drill_config(seed, workers),
+            None,
+        )
+        .expect("in-memory service starts");
+        let ids: Vec<String> = circuits.iter().map(|c| c.name.clone()).collect();
+        for c in &circuits {
+            service
+                .submit(hyde_serve::drill::suite_spec(&c.name))
+                .expect("suite circuits admit");
+        }
+        assert!(
+            service.wait_terminal(&ids, std::time::Duration::from_secs(300)),
+            "workers={workers}: jobs stuck non-terminal"
+        );
+        let mut retried = 0u32;
+        for (c, want) in circuits.iter().zip(&expected) {
+            let state = service.state(&c.name).expect("submitted job has a state");
+            match (state, want) {
+                (hyde_serve::service::JobState::Done { blif, attempts, .. }, Ok(expect)) => {
+                    retried += attempts.saturating_sub(1);
+                    assert_eq!(
+                        &blif, expect,
+                        "{}: workers={workers} diverged from the offline session",
+                        c.name
+                    );
+                }
+                (hyde_serve::service::JobState::Quarantined { .. }, Err(_)) => {}
+                (state, want) => panic!(
+                    "{}: workers={workers} fate mismatch: service={state:?} offline_ok={}",
+                    c.name,
+                    want.is_ok()
+                ),
+            }
+        }
+        assert!(
+            retried > 0,
+            "workers={workers}: the chaos seed was expected to force retries"
+        );
+        service.shutdown(std::time::Duration::from_secs(10));
+    }
+    std::panic::set_hook(prev_hook);
 }
